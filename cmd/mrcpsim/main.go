@@ -1,0 +1,173 @@
+// Command mrcpsim runs one open-system simulation: a workload (Table 3
+// synthetic or Table 4 Facebook) against a cluster under either MRCP-RM or
+// the MinEDF-WC baseline, and prints the paper's metrics.
+//
+// Usage:
+//
+//	mrcpsim                              # Table 3 defaults under MRCP-RM
+//	mrcpsim -rm minedf                   # same workload, baseline manager
+//	mrcpsim -workload facebook -fbjobs 200 -lambda 0.0003
+//	mrcpsim -emax 100 -dul 2 -jobs 500 -v
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+
+	"mrcprm"
+)
+
+func main() {
+	var (
+		rmName   = flag.String("rm", "mrcp", "resource manager: mrcp, minedf, or fifo")
+		wl       = flag.String("workload", "synthetic", "workload: synthetic or facebook")
+		jobs     = flag.Int("jobs", 300, "number of jobs (synthetic)")
+		fbjobs   = flag.Int("fbjobs", 300, "number of jobs (facebook)")
+		seed1    = flag.Uint64("seed", 1, "random seed")
+		emax     = flag.Int64("emax", 50, "synthetic: max map task execution time (s)")
+		p        = flag.Float64("p", 0.5, "synthetic: probability of a future earliest start time")
+		smax     = flag.Int64("smax", 50000, "synthetic: max earliest start offset (s)")
+		dul      = flag.Float64("dul", 0, "deadline multiplier upper bound (0 = workload default: 5 synthetic, 2 facebook)")
+		lambda   = flag.Float64("lambda", 0, "arrival rate jobs/s (0 = workload default)")
+		m        = flag.Int("m", 0, "number of resources (0 = workload default)")
+		cmp      = flag.Int64("cmp", 2, "map slots per resource (synthetic)")
+		crd      = flag.Int64("crd", 2, "reduce slots per resource (synthetic)")
+		verb     = flag.Bool("v", false, "print per-job outcomes")
+		traceOut = flag.String("trace", "", "write the executed schedule to this file (.csv or .json)")
+		gantt    = flag.Bool("gantt", false, "print an ASCII gantt of the executed schedule")
+	)
+	flag.Parse()
+
+	rng := mrcprm.NewStream(*seed1, 0xfeed)
+	var jl []*mrcprm.Job
+	var cluster mrcprm.Cluster
+	var err error
+
+	switch *wl {
+	case "synthetic":
+		cfg := mrcprm.DefaultSyntheticWorkload()
+		cfg.EmaxSec = *emax
+		cfg.P = *p
+		cfg.SmaxSec = *smax
+		if *dul > 0 {
+			cfg.DeadlineUL = *dul
+		}
+		if *lambda > 0 {
+			cfg.Lambda = *lambda
+		}
+		if *m > 0 {
+			cfg.NumResources = *m
+		}
+		cfg.MapSlotsPerResource = *cmp
+		cfg.ReduceSlotsPerResource = *crd
+		cluster = mrcprm.Cluster{NumResources: cfg.NumResources,
+			MapSlots: cfg.MapSlotsPerResource, ReduceSlots: cfg.ReduceSlotsPerResource}
+		jl, err = cfg.Generate(*jobs, rng)
+	case "facebook":
+		cfg := mrcprm.DefaultFacebookWorkload()
+		cfg.NumJobs = *fbjobs
+		if *dul > 0 {
+			cfg.DeadlineUL = *dul
+		}
+		if *lambda > 0 {
+			cfg.Lambda = *lambda
+		}
+		if *m > 0 {
+			cfg.NumResources = *m
+		}
+		cluster = mrcprm.Cluster{NumResources: cfg.NumResources, MapSlots: 1, ReduceSlots: 1}
+		jl, err = cfg.Generate(rng)
+	default:
+		fmt.Fprintf(os.Stderr, "unknown workload %q\n", *wl)
+		os.Exit(2)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+
+	var rm mrcprm.ResourceManager
+	switch *rmName {
+	case "mrcp":
+		rm = mrcprm.NewManager(cluster, mrcprm.DefaultConfig())
+	case "minedf":
+		rm = mrcprm.NewMinEDF(cluster)
+	case "fifo":
+		rm = mrcprm.NewFIFO(cluster)
+	default:
+		fmt.Fprintf(os.Stderr, "unknown resource manager %q\n", *rmName)
+		os.Exit(2)
+	}
+
+	metrics, rec, err := mrcprm.SimulateTraced(cluster, rm, jl)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+
+	fmt.Printf("manager    : %s\n", rm.Name())
+	fmt.Printf("workload   : %s (%d jobs)\n", *wl, len(jl))
+	fmt.Printf("cluster    : m=%d, %d map + %d reduce slots each\n",
+		cluster.NumResources, cluster.MapSlots, cluster.ReduceSlots)
+	fmt.Printf("N (late)   : %d\n", metrics.N())
+	fmt.Printf("P          : %.2f%%\n", 100*metrics.P())
+	fmt.Printf("T          : %.1f s\n", metrics.T())
+	fmt.Printf("O          : %.4f s/job (%d scheduling rounds)\n", metrics.O(), metrics.Invocations)
+	fmt.Printf("makespan   : %.1f s\n", float64(metrics.MakespanMS)/1000)
+
+	if mgr, ok := rm.(*mrcprm.Manager); ok {
+		st := mgr.Stats()
+		fmt.Printf("mrcp-rm    : %d solves, %d nodes, %d deferred, %d slips (%.1fs total slip)\n",
+			st.Rounds, st.SolverNodes, st.Deferred, st.Slips, float64(st.SlipMS)/1000)
+	}
+
+	fmt.Printf("map util   : %.1f%%  reduce util: %.1f%%  active: %.1f resource-hours\n",
+		100*metrics.MapUtilization(cluster), 100*metrics.ReduceUtilization(cluster),
+		float64(metrics.ResourceActiveMS)/3_600_000)
+
+	if *traceOut != "" {
+		f, err := os.Create(*traceOut)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		if strings.HasSuffix(*traceOut, ".json") {
+			err = rec.WriteJSON(f)
+		} else {
+			err = rec.WriteCSV(f)
+		}
+		if cerr := f.Close(); err == nil {
+			err = cerr
+		}
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Printf("trace      : %d events -> %s\n", rec.Len(), *traceOut)
+	}
+	if *gantt {
+		fmt.Println()
+		for _, row := range rec.GanttRows(cluster, 100) {
+			fmt.Println(row)
+		}
+	}
+
+	if *verb {
+		recs := append([]mrcprm.JobRecord(nil), metrics.Records...)
+		sort.Slice(recs, func(i, j int) bool { return recs[i].Job.ID < recs[j].Job.ID })
+		fmt.Printf("\n%6s %10s %10s %10s %10s %6s\n", "job", "arrival", "start", "deadline", "done", "late")
+		for _, r := range recs {
+			late := ""
+			if r.Late() {
+				late = "LATE"
+			}
+			fmt.Printf("%6d %10.1f %10.1f %10.1f %10.1f %6s\n",
+				r.Job.ID, s(r.Job.Arrival), s(r.Job.EarliestStart), s(r.Job.Deadline), s(r.Completion), late)
+		}
+	}
+}
+
+func s(ms int64) float64 { return float64(ms) / 1000 }

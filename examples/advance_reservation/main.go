@@ -1,0 +1,80 @@
+// Advance reservations: jobs whose SLA carries an earliest start time s_j
+// strictly after their arrival — the AR requests that distinguish this
+// paper's SLAs from plain deadline scheduling.
+//
+// The example submits a mix of immediate and future-start jobs, shows that
+// MRCP-RM starts every AR job exactly at (or after) its reserved time, and
+// demonstrates the Section V.E optimization: far-future jobs are parked
+// and only enter matchmaking when their start time approaches, keeping the
+// CP models small.
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"mrcprm"
+)
+
+func makeJob(id int, arrival, earliest, deadline int64, mapSecs []int64) *mrcprm.Job {
+	j := &mrcprm.Job{
+		ID:            id,
+		Arrival:       arrival * 1000,
+		EarliestStart: earliest * 1000,
+		Deadline:      deadline * 1000,
+	}
+	for i, sec := range mapSecs {
+		j.MapTasks = append(j.MapTasks, &mrcprm.Task{
+			ID:    fmt.Sprintf("t%d_m%d", id, i+1),
+			JobID: id, Type: mrcprm.MapTask, Exec: sec * 1000, Req: 1,
+		})
+	}
+	return j
+}
+
+func main() {
+	cluster := mrcprm.Cluster{NumResources: 2, MapSlots: 1, ReduceSlots: 1}
+
+	jobs := []*mrcprm.Job{
+		// Immediate job: runs right away.
+		makeJob(0, 0, 0, 600, []int64{30, 30}),
+		// Advance reservation 10 minutes out: deferred on arrival.
+		makeJob(1, 5, 600, 1200, []int64{60}),
+		// Advance reservation 2 hours out: deferred much longer.
+		makeJob(2, 10, 7200, 9000, []int64{120, 120}),
+		// Another immediate job that must coexist with the reservations.
+		makeJob(3, 20, 20, 900, []int64{45, 45}),
+	}
+
+	cfg := mrcprm.DefaultConfig()
+	cfg.DeferralLead = 60 * time.Second // schedule AR jobs 60s before s_j
+
+	manager := mrcprm.NewManager(cluster, cfg)
+	metrics, err := mrcprm.Simulate(cluster, manager, jobs)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("%4s %10s %12s %12s %12s %6s\n",
+		"job", "arrival", "reserved s_j", "completed", "deadline", "late")
+	for _, rec := range metrics.Records {
+		late := "no"
+		if rec.Late() {
+			late = "YES"
+		}
+		fmt.Printf("%4d %9.0fs %11.0fs %11.1fs %11.0fs %6s\n",
+			rec.Job.ID,
+			float64(rec.Job.Arrival)/1000,
+			float64(rec.Job.EarliestStart)/1000,
+			float64(rec.Completion)/1000,
+			float64(rec.Job.Deadline)/1000,
+			late)
+	}
+
+	st := manager.Stats()
+	fmt.Printf("\n%d of %d jobs were deferred on arrival (Section V.E):\n",
+		st.Deferred, len(jobs))
+	fmt.Println("they entered matchmaking only when their reserved start approached,")
+	fmt.Printf("so each CP solve stayed small (%d scheduling rounds total).\n", st.Rounds)
+}

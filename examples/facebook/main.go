@@ -1,0 +1,52 @@
+// Facebook comparison: a scaled-down run of the paper's Figs 2 and 3 —
+// MRCP-RM versus the MinEDF-WC baseline on the Table 4 workload derived
+// from the October 2009 Facebook traces.
+//
+// The full-fidelity sweep (1000 jobs, replicated, all five arrival rates)
+// is available via `go run ./cmd/experiments -fig 2 -fbjobs 1000`.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"mrcprm"
+)
+
+func main() {
+	const jobs = 300
+	lambda := 0.0005 // the highest arrival rate the paper compares
+
+	wl := mrcprm.DefaultFacebookWorkload()
+	wl.NumJobs = jobs
+	wl.Lambda = lambda
+	cluster := mrcprm.Cluster{NumResources: wl.NumResources, MapSlots: 1, ReduceSlots: 1}
+
+	fmt.Printf("Facebook workload: %d jobs, lambda=%g jobs/s, %d resources\n\n",
+		jobs, lambda, wl.NumResources)
+	fmt.Printf("%-10s %8s %8s %10s %12s\n", "manager", "N", "P", "T (s)", "O (s/job)")
+
+	for _, name := range []string{"MRCP-RM", "MinEDF-WC"} {
+		// Identical workload for both managers: same seed.
+		jl, err := wl.Generate(mrcprm.NewStream(42, 1))
+		if err != nil {
+			log.Fatal(err)
+		}
+		var rm mrcprm.ResourceManager
+		if name == "MRCP-RM" {
+			rm = mrcprm.NewManager(cluster, mrcprm.DefaultConfig())
+		} else {
+			rm = mrcprm.NewMinEDF(cluster)
+		}
+		m, err := mrcprm.Simulate(cluster, rm, jl)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-10s %8d %7.2f%% %10.1f %12.4f\n", name, m.N(), 100*m.P(), m.T(), m.O())
+	}
+
+	fmt.Println("\nThe paper reports MRCP-RM cutting the proportion of late jobs by")
+	fmt.Println("70-93% versus MinEDF-WC across arrival rates 0.0001-0.0005 jobs/s,")
+	fmt.Println("with up to ~7% lower average turnaround. Single runs at this scale")
+	fmt.Println("are noisy; see cmd/experiments for the replicated sweep.")
+}

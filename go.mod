@@ -1,0 +1,3 @@
+module mrcprm
+
+go 1.22

@@ -1,0 +1,116 @@
+package core
+
+import (
+	"testing"
+
+	"mrcprm/internal/sim"
+	"mrcprm/internal/stats"
+	"mrcprm/internal/workload"
+)
+
+func TestSolveBatchSimple(t *testing.T) {
+	cluster := sim.Cluster{NumResources: 2, MapSlots: 1, ReduceSlots: 1}
+	jobs := []*workload.Job{
+		mkJob(0, 0, 0, 100_000, []int64{5000, 5000}, []int64{4000}),
+		mkJob(1, 0, 0, 100_000, []int64{6000}, nil),
+	}
+	sched, err := SolveBatch(cluster, jobs, deterministicConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sched.Assignments) != 4 {
+		t.Fatalf("%d assignments, want 4", len(sched.Assignments))
+	}
+	if len(sched.LateJobs) != 0 || sched.Objective != 0 {
+		t.Fatalf("late jobs %v objective %d", sched.LateJobs, sched.Objective)
+	}
+	if err := sched.Validate(cluster); err != nil {
+		t.Fatal(err)
+	}
+	if !sched.Optimal {
+		t.Fatal("zero-late schedule should be optimal")
+	}
+}
+
+func TestSolveBatchRespectsEarliestStart(t *testing.T) {
+	cluster := sim.Cluster{NumResources: 1, MapSlots: 1, ReduceSlots: 1}
+	jobs := []*workload.Job{mkJob(0, 0, 30_000, 200_000, []int64{5000}, nil)}
+	sched, err := SolveBatch(cluster, jobs, deterministicConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sched.Assignments[0].Start != 30_000 {
+		t.Fatalf("start %d, want 30000", sched.Assignments[0].Start)
+	}
+}
+
+func TestSolveBatchDetectsLateJobs(t *testing.T) {
+	cluster := sim.Cluster{NumResources: 1, MapSlots: 1, ReduceSlots: 1}
+	jobs := []*workload.Job{
+		mkJob(0, 0, 0, 8_000, []int64{5000}, nil),
+		mkJob(1, 0, 0, 8_000, []int64{5000}, nil), // only one can make it
+	}
+	sched, err := SolveBatch(cluster, jobs, deterministicConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sched.LateJobs) != 1 {
+		t.Fatalf("late jobs %v, want exactly one", sched.LateJobs)
+	}
+	if err := sched.Validate(cluster); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSolveBatchDirectMode(t *testing.T) {
+	cluster := sim.Cluster{NumResources: 2, MapSlots: 1, ReduceSlots: 1}
+	cfg := deterministicConfig()
+	cfg.Mode = ModeDirect
+	jobs := []*workload.Job{
+		mkJob(0, 0, 0, 100_000, []int64{5000, 5000}, []int64{4000}),
+	}
+	sched, err := SolveBatch(cluster, jobs, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sched.Validate(cluster); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSolveBatchSyntheticRoundTrip(t *testing.T) {
+	cfg := workload.DefaultSynthetic()
+	cfg.NumResources = 5
+	cfg.NumMapHi = 15
+	cfg.NumReduceHi = 8
+	jobs, err := cfg.Generate(10, stats.NewStream(41, 42))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cluster := sim.Cluster{NumResources: 5, MapSlots: 2, ReduceSlots: 2}
+	sched, err := SolveBatch(cluster, jobs, deterministicConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sched.Validate(cluster); err != nil {
+		t.Fatal(err)
+	}
+	total := 0
+	for _, j := range jobs {
+		total += j.NumTasks()
+	}
+	if len(sched.Assignments) != total {
+		t.Fatalf("%d assignments for %d tasks", len(sched.Assignments), total)
+	}
+}
+
+func TestSolveBatchRejectsBadInput(t *testing.T) {
+	cluster := sim.Cluster{NumResources: 1, MapSlots: 1, ReduceSlots: 1}
+	if _, err := SolveBatch(sim.Cluster{}, nil, deterministicConfig()); err == nil {
+		t.Fatal("bad cluster accepted")
+	}
+	j := &workload.Job{ID: 0, Deadline: 100}
+	if _, err := SolveBatch(cluster, []*workload.Job{j}, deterministicConfig()); err == nil {
+		t.Fatal("job without map tasks accepted")
+	}
+}

@@ -1,0 +1,86 @@
+package core
+
+import (
+	"testing"
+	"time"
+
+	"mrcprm/internal/sim"
+	"mrcprm/internal/stats"
+	"mrcprm/internal/workload"
+)
+
+func TestBatchingReducesSolverRounds(t *testing.T) {
+	gen := func() []*workload.Job {
+		cfg := workload.DefaultSynthetic()
+		cfg.NumResources = 10
+		cfg.NumMapHi = 10
+		cfg.NumReduceHi = 5
+		cfg.Lambda = 0.1 // dense arrivals so batching has something to merge
+		cfg.P = 0
+		jobs, err := cfg.Generate(30, stats.NewStream(55, 56))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return jobs
+	}
+	cluster := sim.Cluster{NumResources: 10, MapSlots: 2, ReduceSlots: 2}
+
+	perArrival := deterministicConfig()
+	_, mgrA := runJobs(t, cluster, perArrival, gen())
+
+	batched := deterministicConfig()
+	batched.BatchWindow = 30 * time.Second
+	_, mgrB := runJobs(t, cluster, batched, gen())
+
+	if mgrB.Stats().Rounds >= mgrA.Stats().Rounds {
+		t.Fatalf("batching did not reduce rounds: %d vs %d",
+			mgrB.Stats().Rounds, mgrA.Stats().Rounds)
+	}
+}
+
+func TestBatchingStillMeetsLooseDeadlines(t *testing.T) {
+	cluster := sim.Cluster{NumResources: 2, MapSlots: 1, ReduceSlots: 1}
+	cfg := deterministicConfig()
+	cfg.BatchWindow = 5 * time.Second
+	jobs := []*workload.Job{
+		mkJob(0, 0, 0, 300_000, []int64{10_000}, nil),
+		mkJob(1, 1000, 1000, 300_000, []int64{10_000}, nil),
+		mkJob(2, 2000, 2000, 300_000, []int64{10_000}, nil),
+	}
+	m, mgr := runJobs(t, cluster, cfg, jobs)
+	if m.LateJobs != 0 {
+		t.Fatalf("%d late jobs with generous deadlines", m.LateJobs)
+	}
+	// All three arrivals fall inside one 5s window: exactly one solve.
+	if mgr.Stats().Rounds != 1 {
+		t.Fatalf("rounds = %d, want 1 (single batch)", mgr.Stats().Rounds)
+	}
+	// The batch flush delays starts to the window boundary.
+	if m.Records[0].Completion < 15_000 {
+		t.Fatalf("first completion %d: batch should flush at 5s", m.Records[0].Completion)
+	}
+}
+
+func TestBatchingComposesWithDeferral(t *testing.T) {
+	cluster := sim.Cluster{NumResources: 1, MapSlots: 1, ReduceSlots: 1}
+	cfg := deterministicConfig()
+	cfg.BatchWindow = 5 * time.Second
+	cfg.DeferralLead = 10 * time.Second
+	jobs := []*workload.Job{
+		mkJob(0, 0, 0, 300_000, []int64{3000}, nil),          // batched
+		mkJob(1, 1000, 120_000, 400_000, []int64{3000}, nil), // deferred AR
+	}
+	m, mgr := runJobs(t, cluster, cfg, jobs)
+	if m.LateJobs != 0 {
+		t.Fatal("late jobs")
+	}
+	if mgr.Stats().Deferred != 1 {
+		t.Fatalf("deferred = %d", mgr.Stats().Deferred)
+	}
+	// The AR job still starts exactly at its reserved time.
+	for _, r := range m.Records {
+		if r.Job.ID == 1 && r.Completion != 123_000 {
+			t.Fatalf("AR job completed at %d, want 123000", r.Completion)
+		}
+	}
+}

@@ -1,0 +1,289 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"mrcprm/internal/cp"
+	"mrcprm/internal/sim"
+	"mrcprm/internal/workload"
+)
+
+// Manager is MRCP-RM; it implements sim.ResourceManager. Create one per
+// simulation run with New.
+type Manager struct {
+	cfg     Config
+	cluster sim.Cluster
+
+	active   map[*workload.Job]*jobTracker
+	order    []*workload.Job // active jobs in arrival order (deterministic iteration)
+	deferred []*workload.Job // Section V.E parking lot
+	batch    []*workload.Job // arrivals awaiting the batch-window flush
+	batchAt  int64           // when the pending batch flushes; 0 = none
+
+	// unitSlot remembers each scheduled task's unit slot so that, once the
+	// task starts, later rounds pin it to the same slot.
+	unitSlot map[*workload.Task]int
+
+	stats Stats
+}
+
+type jobTracker struct {
+	job       *workload.Job
+	tasksLeft int
+}
+
+// New creates an MRCP-RM manager for the cluster.
+func New(cluster sim.Cluster, cfg Config) *Manager {
+	return &Manager{
+		cfg:      cfg,
+		cluster:  cluster,
+		active:   make(map[*workload.Job]*jobTracker),
+		unitSlot: make(map[*workload.Task]int),
+	}
+}
+
+// Name implements sim.ResourceManager.
+func (m *Manager) Name() string { return "MRCP-RM" }
+
+// Stats returns the accumulated counters.
+func (m *Manager) Stats() Stats { return m.stats }
+
+// OnJobArrival implements sim.ResourceManager: Section V.E defers jobs
+// whose earliest start time is far in the future; everything else triggers
+// a full matchmaking-and-scheduling round.
+func (m *Manager) OnJobArrival(ctx sim.Context, j *workload.Job) error {
+	started := time.Now()
+	lead := m.cfg.DeferralLead.Milliseconds()
+	if lead > 0 && j.EarliestStart > ctx.Now()+lead {
+		m.deferred = append(m.deferred, j)
+		m.stats.Deferred++
+		ctx.SetTimer(j.EarliestStart - lead)
+		ctx.AddOverhead(time.Since(started))
+		return nil
+	}
+	if w := m.cfg.BatchWindow.Milliseconds(); w > 0 {
+		// Future-work batching: accumulate arrivals and solve once per
+		// window instead of once per arrival.
+		m.batch = append(m.batch, j)
+		if m.batchAt == 0 {
+			m.batchAt = ctx.Now() + w
+			ctx.SetTimer(m.batchAt)
+		}
+		ctx.AddOverhead(time.Since(started))
+		return nil
+	}
+	m.admit(j)
+	err := m.reschedule(ctx)
+	ctx.AddOverhead(time.Since(started))
+	return err
+}
+
+// OnTimer implements sim.ResourceManager: it releases deferred jobs whose
+// earliest start time is now close.
+func (m *Manager) OnTimer(ctx sim.Context) error {
+	started := time.Now()
+	lead := m.cfg.DeferralLead.Milliseconds()
+	released := false
+	rest := m.deferred[:0]
+	for _, j := range m.deferred {
+		if j.EarliestStart <= ctx.Now()+lead {
+			m.admit(j)
+			released = true
+		} else {
+			rest = append(rest, j)
+		}
+	}
+	m.deferred = rest
+	if m.batchAt > 0 && ctx.Now() >= m.batchAt {
+		for _, j := range m.batch {
+			m.admit(j)
+			released = true
+		}
+		m.batch = m.batch[:0]
+		m.batchAt = 0
+	}
+	var err error
+	if released {
+		err = m.reschedule(ctx)
+	}
+	ctx.AddOverhead(time.Since(started))
+	return err
+}
+
+// OnTaskComplete implements sim.ResourceManager. MRCP-RM does not re-solve
+// on completions (the installed timetable already accounts for them); it
+// only maintains its bookkeeping.
+func (m *Manager) OnTaskComplete(_ sim.Context, t *workload.Task) error {
+	delete(m.unitSlot, t)
+	for _, j := range m.order {
+		if j.ID == t.JobID {
+			tr := m.active[j]
+			tr.tasksLeft--
+			if tr.tasksLeft == 0 {
+				m.retire(j)
+			}
+			return nil
+		}
+	}
+	return fmt.Errorf("core: completion for unknown task %s", t.ID)
+}
+
+func (m *Manager) admit(j *workload.Job) {
+	m.active[j] = &jobTracker{job: j, tasksLeft: j.NumTasks()}
+	m.order = append(m.order, j)
+}
+
+func (m *Manager) retire(j *workload.Job) {
+	delete(m.active, j)
+	for i, other := range m.order {
+		if other == j {
+			m.order = append(m.order[:i], m.order[i+1:]...)
+			break
+		}
+	}
+}
+
+// reschedule is the Table 2 algorithm: classify every incomplete task of
+// every active job as frozen (started) or schedulable, regenerate the CP
+// model, solve, and install the new timetable.
+func (m *Manager) reschedule(ctx sim.Context) error {
+	now := ctx.Now()
+	work := m.collectWork(ctx)
+	if len(work) == 0 {
+		return nil
+	}
+	bm, err := buildModel(m.cfg.Mode, now, m.cluster, work)
+	if err != nil {
+		return err
+	}
+	solver := cp.NewSolver(bm.model, cp.Params{
+		TimeLimit: m.cfg.SolveTimeLimit,
+		NodeLimit: m.cfg.NodeLimit,
+		Ordering:  m.cfg.Ordering,
+	})
+	res := solver.Solve()
+	m.stats.Rounds++
+	m.stats.SolverNodes += res.Nodes
+	if !res.HasSolution() {
+		// Table 2 line 24. With the lateness-relaxed model a solution always
+		// exists; reaching this indicates a bug upstream.
+		return fmt.Errorf("core: CP solve failed with status %v", res.Status)
+	}
+	m.stats.LateBound += res.Objective
+
+	switch m.cfg.Mode {
+	case ModeCombined:
+		return m.installCombined(ctx, bm, &res, work)
+	default:
+		return m.installDirect(ctx, bm, &res)
+	}
+}
+
+// collectWork snapshots the incomplete tasks of all active jobs.
+func (m *Manager) collectWork(ctx sim.Context) []*jobWork {
+	var work []*jobWork
+	for _, j := range m.order {
+		w := &jobWork{job: j}
+		for _, t := range j.MapTasks {
+			switch {
+			case ctx.Completed(t):
+				w.completedMaps++
+			case ctx.Started(t):
+				res, start, _ := ctx.Placement(t)
+				w.frozenMaps = append(w.frozenMaps, frozenTask{task: t, res: res, start: start})
+			default:
+				w.pendingMaps = append(w.pendingMaps, t)
+			}
+		}
+		for _, t := range j.ReduceTasks {
+			switch {
+			case ctx.Completed(t):
+			case ctx.Started(t):
+				res, start, _ := ctx.Placement(t)
+				w.frozenReds = append(w.frozenReds, frozenTask{task: t, res: res, start: start})
+			default:
+				w.pendingReds = append(w.pendingReds, t)
+			}
+		}
+		if len(w.pendingMaps)+len(w.pendingReds)+len(w.frozenMaps)+len(w.frozenReds) > 0 {
+			work = append(work, w)
+		}
+	}
+	return work
+}
+
+// installCombined runs the Section V.D matchmaking over the combined
+// schedule and installs placements into the simulator.
+func (m *Manager) installCombined(ctx sim.Context, bm *builtModel, res *cp.Result, work []*jobWork) error {
+	mk := newMatchmaker(m.cluster.NumResources, m.cluster.MapSlots, m.cluster.ReduceSlots, &m.stats)
+
+	// Pin running tasks to the unit slots they were given earlier.
+	for _, w := range work {
+		for _, f := range append(append([]frozenTask(nil), w.frozenMaps...), w.frozenReds...) {
+			slot, ok := m.unitSlot[f.task]
+			if !ok {
+				return fmt.Errorf("core: started task %s has no remembered unit slot", f.task.ID)
+			}
+			mk.pin(f.task, slot, f.start)
+		}
+	}
+
+	// Place schedulable tasks in start order (maps break ties before
+	// reduces so same-job precedence survives slips).
+	type placed struct {
+		task  *workload.Task
+		start int64
+	}
+	var toPlace []placed
+	for t, iv := range bm.byTask {
+		if bm.frozen[t] {
+			continue
+		}
+		toPlace = append(toPlace, placed{task: t, start: res.Starts[iv.ID()]})
+	}
+	sort.Slice(toPlace, func(a, b int) bool {
+		if toPlace[a].start != toPlace[b].start {
+			return toPlace[a].start < toPlace[b].start
+		}
+		if toPlace[a].task.Type != toPlace[b].task.Type {
+			return toPlace[a].task.Type == workload.MapTask
+		}
+		return toPlace[a].task.ID < toPlace[b].task.ID
+	})
+	for _, p := range toPlace {
+		a := mk.place(p.task, p.start)
+		m.unitSlot[p.task] = a.slot
+		if err := ctx.Schedule(p.task, a.res, a.start); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// installDirect reads resource assignments straight off the CP solution.
+func (m *Manager) installDirect(ctx sim.Context, bm *builtModel, res *cp.Result) error {
+	// Deterministic install order.
+	type item struct {
+		task *workload.Task
+		iv   *cp.Interval
+	}
+	var items []item
+	for t, iv := range bm.byTask {
+		if !bm.frozen[t] {
+			items = append(items, item{t, iv})
+		}
+	}
+	sort.Slice(items, func(a, b int) bool { return items[a].task.ID < items[b].task.ID })
+	for _, it := range items {
+		r := res.Res[it.iv.ID()]
+		if r < 0 {
+			return fmt.Errorf("core: task %s has no resource in direct solution", it.task.ID)
+		}
+		if err := ctx.Schedule(it.task, r, res.Starts[it.iv.ID()]); err != nil {
+			return err
+		}
+	}
+	return nil
+}

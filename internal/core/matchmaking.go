@@ -1,0 +1,227 @@
+package core
+
+import (
+	"sort"
+
+	"mrcprm/internal/workload"
+)
+
+// The Section V.D matchmaking algorithm: the combined-resource schedule is
+// mapped onto unit-capacity slots (m * c^mp map slots and m * c^rd reduce
+// slots), choosing for each task the slot that leaves the smallest gap
+// behind it. Unit slots are grouped into resources with the configured
+// per-resource capacities. Tasks that have already started stay pinned on
+// the unit slot they were given in an earlier round.
+//
+// The paper's two-phase scheme is a relaxation (see DESIGN.md): with
+// pinned tasks pre-colored, a task occasionally fits the combined capacity
+// profile but no single unit slot. When that happens the task slips to the
+// earliest instant a slot can take it, and dependent reduce starts are
+// pushed along; slips are counted in Stats and reflected in the metrics.
+
+// RegroupSlots implements the second step of the Section V.D matchmaking
+// algorithm in its general, heterogeneous form: totalSlots unit-capacity
+// slots are divided "evenly" among n resources, meaning every resource
+// gets floor(total/n) slots and the remainder get one more. The paper's
+// example: 100 reduce slots over nr=30 resources gives 20 resources with 3
+// slots and 10 with 4.
+//
+// The simulation harness uses homogeneous clusters (as all of the paper's
+// experiments do), so this regrouping is exposed for library users
+// building heterogeneous layouts on top of the matchmaker.
+func RegroupSlots(totalSlots int64, n int) []int64 {
+	if n <= 0 || totalSlots < 0 {
+		return nil
+	}
+	base := totalSlots / int64(n)
+	rem := totalSlots % int64(n)
+	out := make([]int64, n)
+	for i := range out {
+		out[i] = base
+		// The paper assigns the extra slots to the tail of the list
+		// ("20 of the 30 resources will have c=3, and the remaining 10
+		// will have c=4").
+		if int64(i) >= int64(n)-rem {
+			out[i]++
+		}
+	}
+	return out
+}
+
+// slotTimeline is one unit-capacity slot's committed busy intervals,
+// kept sorted by start.
+type slotTimeline struct {
+	busy []busySpan
+}
+
+type busySpan struct{ from, to int64 }
+
+// fits reports whether [from, to) is free on the slot.
+func (s *slotTimeline) fits(from, to int64) bool {
+	i := sort.Search(len(s.busy), func(i int) bool { return s.busy[i].to > from })
+	return i == len(s.busy) || s.busy[i].from >= to
+}
+
+// gapBefore returns from minus the end of the latest busy span ending at or
+// before from (or from itself on an empty prefix) — the matchmaking
+// "remaining gap" criterion.
+func (s *slotTimeline) gapBefore(from int64) int64 {
+	i := sort.Search(len(s.busy), func(i int) bool { return s.busy[i].to > from })
+	if i == 0 {
+		return from
+	}
+	return from - s.busy[i-1].to
+}
+
+// earliestFitAfter returns the smallest start >= from such that a window of
+// length dur is free.
+func (s *slotTimeline) earliestFitAfter(from, dur int64) int64 {
+	st := from
+	i := sort.Search(len(s.busy), func(i int) bool { return s.busy[i].to > st })
+	for ; i < len(s.busy); i++ {
+		if s.busy[i].from >= st+dur {
+			break
+		}
+		st = s.busy[i].to
+	}
+	return st
+}
+
+// insert commits [from, to) on the slot.
+func (s *slotTimeline) insert(from, to int64) {
+	i := sort.Search(len(s.busy), func(i int) bool { return s.busy[i].from >= from })
+	s.busy = append(s.busy, busySpan{})
+	copy(s.busy[i+1:], s.busy[i:])
+	s.busy[i] = busySpan{from, to}
+}
+
+// assignment is the matchmaking output for one task.
+type assignment struct {
+	task  *workload.Task
+	res   int   // resource index for the simulator
+	slot  int   // unit slot index (persisted for pinning after start)
+	start int64 // possibly slipped
+}
+
+// matchmaker runs one round of the two-phase mapping.
+type matchmaker struct {
+	mapSlots  []slotTimeline
+	redSlots  []slotTimeline
+	mapPerRes int64
+	redPerRes int64
+	stats     *Stats
+	jobMapEnd map[int]int64 // per job: latest (possibly slipped) map end this round
+	frozenEnd map[int]int64 // per job: latest frozen/running map end
+	// taskEnd records per-task placed/pinned ends for jobs using
+	// task-level precedence (the workflow generalization).
+	taskEnd map[*workload.Task]int64
+}
+
+func newMatchmaker(numRes int, mapPerRes, redPerRes int64, stats *Stats) *matchmaker {
+	return &matchmaker{
+		mapSlots:  make([]slotTimeline, int64(numRes)*mapPerRes),
+		redSlots:  make([]slotTimeline, int64(numRes)*redPerRes),
+		mapPerRes: mapPerRes,
+		redPerRes: redPerRes,
+		stats:     stats,
+		jobMapEnd: make(map[int]int64),
+		frozenEnd: make(map[int]int64),
+		taskEnd:   make(map[*workload.Task]int64),
+	}
+}
+
+// pin commits an already-started task to its remembered unit slot.
+func (mk *matchmaker) pin(t *workload.Task, slot int, start int64) {
+	tl := mk.timeline(t.Type, slot)
+	tl.insert(start, start+t.Exec)
+	mk.taskEnd[t] = start + t.Exec
+	if t.Type == workload.MapTask {
+		if end := start + t.Exec; end > mk.frozenEnd[t.JobID] {
+			mk.frozenEnd[t.JobID] = end
+		}
+	}
+}
+
+func (mk *matchmaker) timeline(tt workload.TaskType, slot int) *slotTimeline {
+	if tt == workload.MapTask {
+		return &mk.mapSlots[slot]
+	}
+	return &mk.redSlots[slot]
+}
+
+// resourceOf converts a unit slot index to its owning resource.
+func (mk *matchmaker) resourceOf(tt workload.TaskType, slot int) int {
+	if tt == workload.MapTask {
+		return int(int64(slot) / mk.mapPerRes)
+	}
+	return int(int64(slot) / mk.redPerRes)
+}
+
+// place maps one task (in non-decreasing start order across calls) onto a
+// unit slot, preferring the best-gap slot at the task's assigned start and
+// slipping forward only when no slot is free.
+func (mk *matchmaker) place(t *workload.Task, start int64) assignment {
+	if len(t.Preds) > 0 {
+		// Task-level precedence (workflow jobs): wait for the possibly
+		// slipped ends of the predecessors placed this round or pinned.
+		// Completed predecessors are absent from taskEnd and ended at or
+		// before now <= start.
+		for _, p := range t.Preds {
+			if end := mk.taskEnd[p]; end > start {
+				start = end
+			}
+		}
+	} else if t.Type == workload.ReduceTask {
+		// Classic jobs: reduces must not start before the job's (possibly
+		// slipped) maps.
+		if end := mk.jobEnd(t.JobID); end > start {
+			start = end
+		}
+	}
+	slots := mk.mapSlots
+	if t.Type == workload.ReduceTask {
+		slots = mk.redSlots
+	}
+	best := -1
+	var bestGap int64
+	for i := range slots {
+		if !slots[i].fits(start, start+t.Exec) {
+			continue
+		}
+		gap := slots[i].gapBefore(start)
+		if best < 0 || gap < bestGap {
+			best, bestGap = i, gap
+		}
+	}
+	actual := start
+	if best < 0 {
+		// Relaxation edge case: slip to the earliest feasible instant.
+		bestAt := int64(1<<63 - 1)
+		for i := range slots {
+			at := slots[i].earliestFitAfter(start, t.Exec)
+			if at < bestAt {
+				bestAt, best = at, i
+			}
+		}
+		actual = bestAt
+		mk.stats.Slips++
+		mk.stats.SlipMS += actual - start
+	}
+	slots[best].insert(actual, actual+t.Exec)
+	mk.taskEnd[t] = actual + t.Exec
+	if t.Type == workload.MapTask {
+		if end := actual + t.Exec; end > mk.jobMapEnd[t.JobID] {
+			mk.jobMapEnd[t.JobID] = end
+		}
+	}
+	return assignment{task: t, res: mk.resourceOf(t.Type, best), slot: best, start: actual}
+}
+
+// jobEnd returns the job's latest known map completion this round.
+func (mk *matchmaker) jobEnd(jobID int) int64 {
+	end := mk.frozenEnd[jobID]
+	if e := mk.jobMapEnd[jobID]; e > end {
+		end = e
+	}
+	return end
+}

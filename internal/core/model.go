@@ -1,0 +1,239 @@
+package core
+
+import (
+	"fmt"
+
+	"mrcprm/internal/cp"
+	"mrcprm/internal/sim"
+	"mrcprm/internal/workload"
+)
+
+// builtModel couples a cp.Model with the bookkeeping needed to read the
+// solution back out.
+type builtModel struct {
+	model *cp.Model
+	// byTask maps each incomplete task to its interval.
+	byTask map[*workload.Task]*cp.Interval
+	// frozen marks tasks that have started executing: their start (and, in
+	// direct mode, resource) is pinned and they are not re-installed.
+	frozen map[*workload.Task]bool
+	// lates maps each job to its N_j indicator.
+	lates map[*workload.Job]*cp.Bool
+}
+
+// jobWork is the schedulable remainder of one job.
+type jobWork struct {
+	job *workload.Job
+	// pendingMaps/pendingReds are not started; frozenMaps/frozenReds have
+	// started but not completed (with their current placement).
+	pendingMaps []*workload.Task
+	pendingReds []*workload.Task
+	frozenMaps  []frozenTask
+	frozenReds  []frozenTask
+	// completedMaps counts map tasks already finished (they no longer
+	// constrain anything: new work starts at or after now anyway).
+	completedMaps int
+}
+
+type frozenTask struct {
+	task  *workload.Task
+	res   int
+	start int64
+}
+
+// buildModel constructs the Table 1 CP formulation over the given work.
+// now is the invocation time; cluster describes the system component.
+func buildModel(mode SolveMode, now int64, cluster sim.Cluster, work []*jobWork) (*builtModel, error) {
+	horizon := horizonFor(now, work)
+	m := cp.NewModel(horizon)
+	bm := &builtModel{
+		model:  m,
+		byTask: make(map[*workload.Task]*cp.Interval),
+		frozen: make(map[*workload.Task]bool),
+		lates:  make(map[*workload.Job]*cp.Bool),
+	}
+
+	numRes := cluster.NumResources
+	var mapTasks, redTasks []*cp.Interval // combined-mode cumulative members
+	perResMap := make([][]*cp.Interval, numRes)
+	perResRed := make([][]*cp.Interval, numRes)
+
+	var lates []*cp.Bool
+	for _, w := range work {
+		j := w.job
+		est := w.job.EarliestStart
+		if est < now {
+			est = now // Table 2 lines 1-4: outdated earliest start times advance to now
+		}
+		var mapIvs, redIvs []*cp.Interval
+		type taskIv struct {
+			task *workload.Task
+			iv   *cp.Interval
+		}
+		var jobTasks []taskIv // creation order, for deterministic constraint posting
+
+		addTask := func(t *workload.Task, fz *frozenTask) (*cp.Interval, error) {
+			if mode == ModeCombined && t.Req != 1 {
+				// The gap-based matchmaking pass places each task on
+				// exactly one unit slot; tasks demanding several slots
+				// need the direct formulation.
+				return nil, fmt.Errorf("core: task %s has demand %d; combined mode requires unit demands",
+					t.ID, t.Req)
+			}
+			iv := m.NewInterval(t.ID, t.Exec)
+			iv.Demand = t.Req
+			iv.Due = j.Deadline
+			iv.JobKey = j.ID
+			if fz != nil {
+				// Table 2 line 11: pin started tasks to their placement.
+				if fz.start > horizon-t.Exec {
+					return nil, fmt.Errorf("core: frozen task %s at %d beyond horizon", t.ID, fz.start)
+				}
+				m.FixStart(iv, fz.start)
+				bm.frozen[t] = true
+			} else {
+				m.SetStartBounds(iv, est, horizon-t.Exec)
+			}
+			bm.byTask[t] = iv
+			jobTasks = append(jobTasks, taskIv{t, iv})
+			switch mode {
+			case ModeCombined:
+				if t.Type == workload.MapTask {
+					mapTasks = append(mapTasks, iv)
+				} else {
+					redTasks = append(redTasks, iv)
+				}
+			case ModeDirect:
+				rv := m.NewResVar(iv, numRes)
+				if fz != nil {
+					m.FixRes(rv, fz.res)
+				}
+				for r := 0; r < numRes; r++ {
+					if t.Type == workload.MapTask {
+						perResMap[r] = append(perResMap[r], iv)
+					} else {
+						perResRed[r] = append(perResRed[r], iv)
+					}
+				}
+			}
+			return iv, nil
+		}
+
+		for _, t := range w.pendingMaps {
+			iv, err := addTask(t, nil)
+			if err != nil {
+				return nil, err
+			}
+			mapIvs = append(mapIvs, iv)
+		}
+		for i := range w.frozenMaps {
+			iv, err := addTask(w.frozenMaps[i].task, &w.frozenMaps[i])
+			if err != nil {
+				return nil, err
+			}
+			mapIvs = append(mapIvs, iv)
+		}
+		for _, t := range w.pendingReds {
+			iv, err := addTask(t, nil)
+			if err != nil {
+				return nil, err
+			}
+			redIvs = append(redIvs, iv)
+		}
+		for i := range w.frozenReds {
+			iv, err := addTask(w.frozenReds[i].task, &w.frozenReds[i])
+			if err != nil {
+				return nil, err
+			}
+			redIvs = append(redIvs, iv)
+		}
+
+		var terminals []*cp.Interval
+		if j.TaskPrecedence {
+			// Workflow generalization: user-specified task precedence
+			// instead of the two-phase barrier. Completed predecessors
+			// ended at or before now, which every new start respects, so
+			// only incomplete predecessors constrain.
+			incompleteSucc := make(map[*workload.Task]bool)
+			for _, ti := range jobTasks {
+				for _, p := range ti.task.Preds {
+					incompleteSucc[p] = true
+				}
+			}
+			for _, ti := range jobTasks {
+				var preds []*cp.Interval
+				for _, p := range ti.task.Preds {
+					if piv, ok := bm.byTask[p]; ok {
+						preds = append(preds, piv)
+					}
+				}
+				if len(preds) > 0 {
+					m.AddMaxEndBeforeStart(preds, ti.iv)
+				}
+				if !incompleteSucc[ti.task] {
+					terminals = append(terminals, ti.iv)
+				}
+			}
+		} else {
+			// Constraint 3: reduces start after the last map. Completed
+			// maps ended at or before now, which every new start already
+			// respects.
+			m.AddPhaseBarrier(mapIvs, redIvs)
+
+			// Constraint 4: N_j reification on the job's terminal phase.
+			terminals = redIvs
+			if len(terminals) == 0 {
+				terminals = mapIvs
+			}
+		}
+		if len(terminals) > 0 {
+			late := m.NewBool(fmt.Sprintf("late_%d", j.ID))
+			m.AddLateness(terminals, j.Deadline, late)
+			bm.lates[j] = late
+			lates = append(lates, late)
+		}
+	}
+
+	// Constraints 5/6: capacities.
+	switch mode {
+	case ModeCombined:
+		if len(mapTasks) > 0 {
+			m.AddCumulative("map", -1, cluster.TotalMapSlots(), mapTasks)
+		}
+		if len(redTasks) > 0 {
+			m.AddCumulative("reduce", -1, cluster.TotalReduceSlots(), redTasks)
+		}
+	case ModeDirect:
+		for r := 0; r < numRes; r++ {
+			if len(perResMap[r]) > 0 {
+				m.AddCumulative(fmt.Sprintf("map_r%d", r), r, cluster.MapSlots, perResMap[r])
+			}
+			if len(perResRed[r]) > 0 {
+				m.AddCumulative(fmt.Sprintf("red_r%d", r), r, cluster.ReduceSlots, perResRed[r])
+			}
+		}
+	}
+
+	// Objective: minimize Σ N_j.
+	m.Minimize(lates)
+	return bm, nil
+}
+
+// horizonFor returns a safe scheduling horizon: everything can run
+// serially after the latest release.
+func horizonFor(now int64, work []*jobWork) int64 {
+	h := now + 1
+	var total, maxDur int64
+	for _, w := range work {
+		if w.job.EarliestStart > h {
+			h = w.job.EarliestStart + 1
+		}
+		for _, t := range w.job.Tasks() {
+			total += t.Exec
+			if t.Exec > maxDur {
+				maxDur = t.Exec
+			}
+		}
+	}
+	return h + total + maxDur + 1
+}

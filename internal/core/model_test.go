@@ -1,0 +1,73 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"mrcprm/internal/sim"
+	"mrcprm/internal/workload"
+)
+
+func TestCombinedModeRejectsNonUnitDemand(t *testing.T) {
+	cluster := sim.Cluster{NumResources: 2, MapSlots: 2, ReduceSlots: 2}
+	j := mkJob(0, 0, 0, 100_000, []int64{5000}, nil)
+	j.MapTasks[0].Req = 2
+	w := &jobWork{job: j, pendingMaps: j.MapTasks}
+	_, err := buildModel(ModeCombined, 0, cluster, []*jobWork{w})
+	if err == nil || !strings.Contains(err.Error(), "unit demands") {
+		t.Fatalf("expected unit-demand error, got %v", err)
+	}
+}
+
+func TestDirectModeAcceptsWideDemand(t *testing.T) {
+	cluster := sim.Cluster{NumResources: 2, MapSlots: 3, ReduceSlots: 1}
+	j := mkJob(0, 0, 0, 1_000_000, []int64{5000, 5000}, nil)
+	j.MapTasks[0].Req = 2 // takes 2 of 3 map slots on its resource
+	cfg := deterministicConfig()
+	cfg.Mode = ModeDirect
+	sched, err := SolveBatch(cluster, []*workload.Job{j}, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sched.Validate(cluster); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBuildModelFrozenBeyondHorizonRejected(t *testing.T) {
+	cluster := sim.Cluster{NumResources: 1, MapSlots: 1, ReduceSlots: 1}
+	j := mkJob(0, 0, 0, 1_000, []int64{5000}, nil)
+	w := &jobWork{job: j, frozenMaps: []frozenTask{{task: j.MapTasks[0], res: 0, start: 1 << 50}}}
+	if _, err := buildModel(ModeCombined, 0, cluster, []*jobWork{w}); err == nil {
+		t.Fatal("frozen task beyond horizon accepted")
+	}
+}
+
+func TestBuildModelTerminalsWithoutReduces(t *testing.T) {
+	cluster := sim.Cluster{NumResources: 1, MapSlots: 1, ReduceSlots: 1}
+	j := mkJob(0, 0, 0, 4_000, []int64{5000}, nil) // impossible deadline
+	w := &jobWork{job: j, pendingMaps: j.MapTasks}
+	bm, err := buildModel(ModeCombined, 0, cluster, []*jobWork{w})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bm.lates[j] == nil {
+		t.Fatal("map-only job should still get a lateness indicator")
+	}
+}
+
+func TestBuildModelAdvancesStaleEarliestStarts(t *testing.T) {
+	// Table 2 lines 1-4: a job whose s_j has passed is schedulable from now.
+	cluster := sim.Cluster{NumResources: 1, MapSlots: 1, ReduceSlots: 1}
+	j := mkJob(0, 0, 1_000, 1_000_000, []int64{5000}, nil)
+	w := &jobWork{job: j, pendingMaps: j.MapTasks}
+	now := int64(50_000)
+	bm, err := buildModel(ModeCombined, now, cluster, []*jobWork{w})
+	if err != nil {
+		t.Fatal(err)
+	}
+	iv := bm.byTask[j.MapTasks[0]]
+	if got := bm.model.StartMin(iv); got != now {
+		t.Fatalf("startMin %d, want now=%d", got, now)
+	}
+}

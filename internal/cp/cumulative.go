@@ -1,0 +1,498 @@
+package cp
+
+import (
+	"math"
+	"sort"
+)
+
+// cumulative implements Constraints 5/6 via timetable propagation: the
+// profile of mandatory parts of tasks known to run on the resource must
+// never exceed capacity, and task start windows are pruned so that each
+// task fits somewhere on the residual profile. Tasks whose matchmaking
+// variable still allows several resources contribute no mandatory part but
+// lose this resource from their domain if they can no longer fit on it.
+//
+// For performance on models with thousands of tasks, the propagator keeps
+// its event list incrementally sorted and refilters only tasks that need
+// it: those whose own variables changed since the last run ("self
+// pending") and those whose windows intersect the region of the profile
+// that changed ("dirty region"). During forward search mandatory parts
+// only grow, so incremental maintenance is exact; any backtrack (detected
+// through the store's pop counter) invalidates the cache and forces a full
+// rebuild. Lazy filtering is sound: every decided start contributes a
+// mandatory part that the overload check validates, so no infeasible
+// assignment can survive to a solution.
+type cumulative struct {
+	name     string
+	resIndex int
+	capacity int64
+	tasks    []*Interval
+
+	taskPos map[int]int // interval ID -> position in tasks
+
+	// Incremental caches.
+	cacheValid bool
+	cachePops  int64
+	lastMA     []int64 // last contributed mandatory part per task position
+	lastMB     []int64 // (lastMA >= lastMB means no contribution)
+	events     []ttEvent
+	segs       []ttSeg
+
+	changed   []int  // positions with unprocessed variable changes
+	changedFl []bool //
+	self      []int  // positions awaiting a refilter
+	selfFl    []bool //
+	rawSpans  []span // profile regions that gained load since the last pass
+	fullDirty bool   // everything needs refiltering (after a rebuild)
+	minDemand int64  // smallest task demand, for the saturation test
+}
+
+type ttEvent struct {
+	at    int64
+	delta int64
+}
+
+// ttSeg is a maximal constant-load segment [from, to) of the profile.
+// Outside all segments the load is zero.
+type ttSeg struct {
+	from, to int64
+	load     int64
+}
+
+type onResState int
+
+const (
+	onResNo onResState = iota
+	onResMaybe
+	onResYes
+)
+
+func newCumulative(name string, resIndex int, capacity int64, tasks []*Interval) *cumulative {
+	c := &cumulative{
+		name:      name,
+		resIndex:  resIndex,
+		capacity:  capacity,
+		tasks:     tasks,
+		taskPos:   make(map[int]int, len(tasks)),
+		lastMA:    make([]int64, len(tasks)),
+		lastMB:    make([]int64, len(tasks)),
+		changedFl: make([]bool, len(tasks)),
+		selfFl:    make([]bool, len(tasks)),
+	}
+	for i, t := range tasks {
+		c.taskPos[t.id] = i
+	}
+	return c
+}
+
+func (c *cumulative) onRes(m *Model, t *Interval) onResState {
+	if t.resVar == nil || c.resIndex < 0 {
+		return onResYes
+	}
+	if !m.ResAllowed(t.resVar, c.resIndex) {
+		return onResNo
+	}
+	if m.ResDomainSize(t.resVar) == 1 {
+		return onResYes
+	}
+	return onResMaybe
+}
+
+// mandatoryOf returns the task's mandatory part on this resource; a >= b
+// means none.
+func (c *cumulative) mandatoryOf(m *Model, t *Interval) (int64, int64) {
+	if c.onRes(m, t) != onResYes {
+		return 0, 0
+	}
+	return m.StartMax(t), m.EndMin(t)
+}
+
+// noteChange records that a watched task's bounds or matchmaking domain
+// changed; the engine calls this on every wake.
+func (c *cumulative) noteChange(iv *Interval) {
+	pos, ok := c.taskPos[iv.id]
+	if !ok {
+		return
+	}
+	if !c.changedFl[pos] {
+		c.changedFl[pos] = true
+		c.changed = append(c.changed, pos)
+	}
+}
+
+func (c *cumulative) markRaw(lo, hi int64) {
+	if lo < hi {
+		c.rawSpans = append(c.rawSpans, span{lo, hi})
+	}
+}
+
+// saturatedDirty reduces the raw changed spans to the bounding box of the
+// sub-regions where the profile now blocks at least one task (load plus the
+// smallest demand exceeds capacity). Only such regions can move any task's
+// feasible window; mere load increases below saturation cannot.
+func (c *cumulative) saturatedDirty() (int64, int64) {
+	lo, hi := int64(math.MaxInt64), int64(math.MinInt64)
+	for _, sp := range c.rawSpans {
+		i := sort.Search(len(c.segs), func(i int) bool { return c.segs[i].to > sp.from })
+		for ; i < len(c.segs) && c.segs[i].from < sp.to; i++ {
+			seg := c.segs[i]
+			if seg.load+c.minDemand <= c.capacity {
+				continue
+			}
+			if f := max64(seg.from, sp.from); f < lo {
+				lo = f
+			}
+			if t := min64(seg.to, sp.to); t > hi {
+				hi = t
+			}
+		}
+	}
+	c.rawSpans = c.rawSpans[:0]
+	return lo, hi
+}
+
+func max64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func min64(a, b int64) int64 {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func (c *cumulative) insertEvent(ev ttEvent) {
+	i := sort.Search(len(c.events), func(i int) bool { return c.events[i].at >= ev.at })
+	c.events = append(c.events, ttEvent{})
+	copy(c.events[i+1:], c.events[i:])
+	c.events[i] = ev
+}
+
+func (c *cumulative) removeEvent(ev ttEvent) {
+	i := sort.Search(len(c.events), func(i int) bool { return c.events[i].at >= ev.at })
+	for ; i < len(c.events) && c.events[i].at == ev.at; i++ {
+		if c.events[i].delta == ev.delta {
+			c.events = append(c.events[:i], c.events[i+1:]...)
+			return
+		}
+	}
+	// The event must exist; reaching here means cache corruption.
+	panic("cp: cumulative cache lost an event")
+}
+
+// rebuildFull recomputes every contribution from scratch and marks
+// everything for refiltering.
+func (c *cumulative) rebuildFull(m *Model) {
+	c.events = c.events[:0]
+	c.minDemand = math.MaxInt64
+	for i, t := range c.tasks {
+		a, b := c.mandatoryOf(m, t)
+		c.lastMA[i], c.lastMB[i] = a, b
+		if a < b {
+			c.events = append(c.events, ttEvent{a, t.Demand}, ttEvent{b, -t.Demand})
+		}
+		if t.Demand < c.minDemand {
+			c.minDemand = t.Demand
+		}
+		c.changedFl[i] = false
+		c.selfFl[i] = false
+	}
+	c.changed = c.changed[:0]
+	c.self = c.self[:0]
+	c.rawSpans = c.rawSpans[:0]
+	sort.Slice(c.events, func(i, j int) bool { return c.events[i].at < c.events[j].at })
+	c.fullDirty = true
+	c.cacheValid = true
+	c.cachePops = m.store.pops
+}
+
+// applyIncremental folds the pending per-task changes into the sorted
+// event list, extends the dirty region, and moves the tasks onto the
+// self-refilter list.
+func (c *cumulative) applyIncremental(m *Model) {
+	for _, pos := range c.changed {
+		c.changedFl[pos] = false
+		if !c.selfFl[pos] {
+			c.selfFl[pos] = true
+			c.self = append(c.self, pos)
+		}
+		t := c.tasks[pos]
+		oldA, oldB := c.lastMA[pos], c.lastMB[pos]
+		newA, newB := c.mandatoryOf(m, t)
+		if oldA == newA && oldB == newB {
+			continue
+		}
+		if oldA < oldB {
+			c.removeEvent(ttEvent{oldA, t.Demand})
+			c.removeEvent(ttEvent{oldB, -t.Demand})
+			c.markRaw(oldA, oldB)
+		}
+		if newA < newB {
+			c.insertEvent(ttEvent{newA, t.Demand})
+			c.insertEvent(ttEvent{newB, -t.Demand})
+			c.markRaw(newA, newB)
+		}
+		c.lastMA[pos], c.lastMB[pos] = newA, newB
+	}
+	c.changed = c.changed[:0]
+}
+
+// buildSegs derives the constant-load segments from the sorted event list
+// and returns errFail if the profile exceeds capacity anywhere.
+func (c *cumulative) buildSegs() error {
+	c.segs = c.segs[:0]
+	var load int64
+	i := 0
+	for i < len(c.events) {
+		at := c.events[i].at
+		for i < len(c.events) && c.events[i].at == at {
+			load += c.events[i].delta
+			i++
+		}
+		if load > c.capacity {
+			return errFail
+		}
+		if n := len(c.segs); n > 0 {
+			c.segs[n-1].to = at
+		}
+		if i < len(c.events) {
+			c.segs = append(c.segs, ttSeg{from: at, load: load})
+		}
+	}
+	for len(c.segs) > 0 && c.segs[len(c.segs)-1].load == 0 {
+		c.segs = c.segs[:len(c.segs)-1]
+	}
+	return nil
+}
+
+// refresh brings the profile up to date with the store, returning errFail
+// on capacity overload.
+func (c *cumulative) refresh(m *Model) error {
+	if !c.cacheValid || c.cachePops != m.store.pops {
+		c.rebuildFull(m)
+	} else {
+		c.applyIncremental(m)
+	}
+	return c.buildSegs()
+}
+
+// earliestFit returns the smallest start >= from at which a window of
+// t.Dur time units of demand t.Demand fits under capacity on the current
+// profile. When withOwn is true, t's own mandatory part [mA, mB) is
+// discounted from the profile.
+func (c *cumulative) earliestFit(m *Model, t *Interval, from int64, withOwn bool) int64 {
+	var mA, mB int64
+	if withOwn {
+		mA, mB = m.StartMax(t), m.EndMin(t)
+	}
+	st := from
+	first := sort.Search(len(c.segs), func(i int) bool { return c.segs[i].to > st })
+	for i := first; i < len(c.segs); i++ {
+		seg := c.segs[i]
+		if seg.to <= st {
+			continue
+		}
+		if seg.from >= st+t.Dur {
+			break
+		}
+		if seg.load+t.Demand <= c.capacity {
+			continue
+		}
+		// The segment conflicts except where t's own mandatory part covers it.
+		for _, p := range subtract(seg.from, seg.to, mA, mB) {
+			if p.to > st && p.from < st+t.Dur {
+				st = p.to // jump past the conflict and rescan this segment window
+			}
+		}
+	}
+	return st
+}
+
+// latestFit returns the largest start <= from at which the task's window
+// fits on the profile; the result may fall below the task's start window,
+// which the caller detects through setStartMax failing.
+func (c *cumulative) latestFit(m *Model, t *Interval, from int64, withOwn bool) int64 {
+	var mA, mB int64
+	if withOwn {
+		mA, mB = m.StartMax(t), m.EndMin(t)
+	}
+	st := from
+	last := sort.Search(len(c.segs), func(i int) bool { return c.segs[i].from >= st+t.Dur }) - 1
+	for i := last; i >= 0; i-- {
+		seg := c.segs[i]
+		if seg.from >= st+t.Dur {
+			continue
+		}
+		if seg.to <= st {
+			break
+		}
+		if seg.load+t.Demand <= c.capacity {
+			continue
+		}
+		for _, p := range subtractRev(seg.from, seg.to, mA, mB) {
+			if p.to > st && p.from < st+t.Dur {
+				st = p.from - t.Dur // pull the window fully before the conflict
+			}
+		}
+	}
+	return st
+}
+
+type span struct{ from, to int64 }
+
+// subtract returns [a,b) minus [mA,mB) as up to two spans in increasing
+// order.
+func subtract(a, b, mA, mB int64) []span {
+	if mB <= a || mA >= b || mA >= mB {
+		return []span{{a, b}}
+	}
+	var out []span
+	if a < mA {
+		out = append(out, span{a, mA})
+	}
+	if mB < b {
+		out = append(out, span{mB, b})
+	}
+	return out
+}
+
+// subtractRev is subtract with the spans in decreasing order, for the
+// backward scan.
+func subtractRev(a, b, mA, mB int64) []span {
+	s := subtract(a, b, mA, mB)
+	if len(s) == 2 {
+		s[0], s[1] = s[1], s[0]
+	}
+	return s
+}
+
+func overlaps(aLo, aHi, bLo, bHi int64) bool {
+	return aLo < bHi && bLo < aHi
+}
+
+// filterTask prunes one task against the current profile. It reports
+// whether any domain changed. withMin selects whether the earliest-fit
+// bound is tightened too: a full pass maintains both bounds, while the
+// incremental passes skip the min side — the search computes each task's
+// true earliest fit lazily at placement time instead, which keeps the cost
+// of a decision independent of the number of pending tasks.
+func (c *cumulative) filterTask(e *engine, t *Interval, withMin bool) (bool, error) {
+	m := e.m
+	progressed := false
+	switch c.onRes(m, t) {
+	case onResYes:
+		if m.Fixed(t) {
+			return false, nil
+		}
+		if withMin {
+			if st := c.earliestFit(m, t, m.StartMin(t), true); st > m.StartMin(t) {
+				if err := e.setStartMin(t, st); err != nil {
+					return true, err
+				}
+				progressed = true
+			}
+		}
+		if st := c.latestFit(m, t, m.StartMax(t), true); st < m.StartMax(t) {
+			if err := e.setStartMax(t, st); err != nil {
+				return true, err
+			}
+			progressed = true
+		}
+	case onResMaybe:
+		// If the task can no longer fit anywhere on this resource, remove
+		// the resource from its matchmaking domain.
+		if st := c.earliestFit(m, t, m.StartMin(t), false); st > m.StartMax(t) {
+			if err := e.removeRes(t.resVar, c.resIndex); err != nil {
+				return true, err
+			}
+			progressed = true
+		}
+	}
+	return progressed, nil
+}
+
+func (c *cumulative) propagate(e *engine) error {
+	m := e.m
+	for {
+		if err := c.refresh(m); err != nil {
+			return err
+		}
+		fullPass := c.fullDirty
+		c.fullDirty = false
+		if fullPass {
+			// Energetic overload check (see energy.go): runs on root
+			// propagation and after backtracks, where deadline windows
+			// carry the information timetabling cannot see.
+			if err := c.energyCheck(m); err != nil {
+				return err
+			}
+		}
+		dLo, dHi := c.saturatedDirty()
+		dirty := dLo < dHi
+		if !fullPass && !dirty && len(c.self) == 0 {
+			return nil
+		}
+		progressed := false
+		if fullPass {
+			// After a (re)build: one bound-consistent sweep over all tasks.
+			for _, t := range c.tasks {
+				p, err := c.filterTask(e, t, true)
+				progressed = progressed || p
+				if err != nil {
+					return err
+				}
+			}
+		} else {
+			// Refilter self-pending tasks (their own variables changed).
+			for _, pos := range c.self {
+				c.selfFl[pos] = false
+				p, err := c.filterTask(e, c.tasks[pos], false)
+				progressed = progressed || p
+				if err != nil {
+					return err
+				}
+			}
+			c.self = c.self[:0]
+			if dirty {
+				// The profile gained a blocking region: prune deadline-side
+				// windows that touch it, and matchmaking domains of tasks
+				// that may lose their only spot on this resource.
+				for _, t := range c.tasks {
+					if m.Fixed(t) && t.resVar == nil {
+						continue
+					}
+					var need bool
+					if t.resVar != nil && c.resIndex >= 0 && c.onRes(m, t) == onResMaybe {
+						need = overlaps(m.StartMin(t), m.EndMax(t), dLo, dHi)
+					} else {
+						need = overlaps(m.StartMax(t), m.EndMax(t), dLo, dHi)
+					}
+					if !need {
+						continue
+					}
+					p, err := c.filterTask(e, t, false)
+					progressed = progressed || p
+					if err != nil {
+						return err
+					}
+				}
+			}
+		}
+		if !progressed && len(c.changed) == 0 {
+			return nil
+		}
+	}
+}
+
+// EarliestFit exposes the timetable earliest-fit computation for the search
+// heuristic that picks the most promising resource for a task.
+func (c *Cumulative) EarliestFit(m *Model, t *Interval) int64 {
+	if err := c.c.refresh(m); err != nil {
+		return m.Horizon()
+	}
+	return c.c.earliestFit(m, t, m.StartMin(t), false)
+}

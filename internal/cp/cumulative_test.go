@@ -1,0 +1,189 @@
+package cp
+
+import "testing"
+
+// profileOf builds the cumulative's profile and returns its segments.
+func profileOf(t *testing.T, m *Model, c *Cumulative) []ttSeg {
+	t.Helper()
+	if err := c.c.refresh(m); err != nil {
+		t.Fatalf("profile build failed: %v", err)
+	}
+	return append([]ttSeg(nil), c.c.segs...)
+}
+
+func TestProfileMandatoryParts(t *testing.T) {
+	m := NewModel(1000)
+	a := m.NewInterval("a", 10)
+	m.SetStartBounds(a, 5, 5) // mandatory [5,15)
+	b := m.NewInterval("b", 10)
+	m.SetStartBounds(b, 10, 12) // mandatory [12,20)
+	c := m.AddCumulative("r", -1, 2, []*Interval{a, b})
+	segs := profileOf(t, m, c)
+	// Expect load 1 on [5,12), 2 on [12,15), 1 on [15,20).
+	want := []ttSeg{{5, 12, 1}, {12, 15, 2}, {15, 20, 1}}
+	if len(segs) != len(want) {
+		t.Fatalf("segments %+v, want %+v", segs, want)
+	}
+	for i := range want {
+		if segs[i] != want[i] {
+			t.Fatalf("segment %d = %+v, want %+v", i, segs[i], want[i])
+		}
+	}
+}
+
+func TestProfileNoMandatoryPart(t *testing.T) {
+	m := NewModel(1000)
+	a := m.NewInterval("a", 10) // window [0,990]: no mandatory part
+	c := m.AddCumulative("r", -1, 1, []*Interval{a})
+	if segs := profileOf(t, m, c); len(segs) != 0 {
+		t.Fatalf("unexpected mandatory segments %+v", segs)
+	}
+}
+
+func TestProfileOverloadFails(t *testing.T) {
+	m := NewModel(1000)
+	a := m.NewInterval("a", 10)
+	m.FixStart(a, 0)
+	b := m.NewInterval("b", 10)
+	m.FixStart(b, 5)
+	cum := m.AddCumulative("r", -1, 1, []*Interval{a, b})
+	if err := cum.c.refresh(m); err != errFail {
+		t.Fatalf("overlapping fixed tasks on capacity 1 should fail, got %v", err)
+	}
+}
+
+func TestEarliestFitJumpsPastConflicts(t *testing.T) {
+	m := NewModel(1000)
+	a := m.NewInterval("a", 20)
+	m.FixStart(a, 10) // occupies [10,30) on capacity 1
+	b := m.NewInterval("b", 15)
+	cum := m.AddCumulative("r", -1, 1, []*Interval{a, b})
+	if err := cum.c.refresh(m); err != nil {
+		t.Fatal(err)
+	}
+	// b cannot start in (0,30): starting at 0 would end at 15 > 10.
+	if st := cum.c.earliestFit(m, b, 0, true); st != 30 {
+		t.Fatalf("earliestFit = %d, want 30", st)
+	}
+	// From 40 there is no conflict.
+	if st := cum.c.earliestFit(m, b, 40, true); st != 40 {
+		t.Fatalf("earliestFit = %d, want 40", st)
+	}
+}
+
+func TestEarliestFitDiscountsOwnMandatoryPart(t *testing.T) {
+	m := NewModel(1000)
+	a := m.NewInterval("a", 20)
+	m.SetStartBounds(a, 10, 15) // own mandatory part [15,30)
+	cum := m.AddCumulative("r", -1, 1, []*Interval{a})
+	if err := cum.c.refresh(m); err != nil {
+		t.Fatal(err)
+	}
+	// a itself can still start at 10: the only load is its own.
+	if st := cum.c.earliestFit(m, a, 10, true); st != 10 {
+		t.Fatalf("earliestFit = %d, want 10", st)
+	}
+	// A hypothetical other task of the same shape could not.
+	b := m.NewInterval("b", 20)
+	if st := cum.c.earliestFit(m, b, 10, false); st != 30 {
+		t.Fatalf("earliestFit = %d, want 30", st)
+	}
+}
+
+func TestLatestFitPullsBeforeConflicts(t *testing.T) {
+	m := NewModel(1000)
+	a := m.NewInterval("a", 20)
+	m.FixStart(a, 50) // occupies [50,70) on capacity 1
+	b := m.NewInterval("b", 15)
+	cum := m.AddCumulative("r", -1, 1, []*Interval{a, b})
+	if err := cum.c.refresh(m); err != nil {
+		t.Fatal(err)
+	}
+	// Latest start <= 60 that avoids [50,70) entirely: must end by 50.
+	if st := cum.c.latestFit(m, b, 60, true); st != 35 {
+		t.Fatalf("latestFit = %d, want 35", st)
+	}
+	// From 80 there is no conflict.
+	if st := cum.c.latestFit(m, b, 80, true); st != 80 {
+		t.Fatalf("latestFit = %d, want 80", st)
+	}
+}
+
+func TestCumulativePropagationSequencesTasks(t *testing.T) {
+	m := NewModel(1000)
+	a := m.NewInterval("a", 10)
+	m.FixStart(a, 0)
+	b := m.NewInterval("b", 10)
+	m.AddCumulative("r", -1, 1, []*Interval{a, b})
+	e := newEngine(m)
+	e.scheduleAll()
+	if err := e.propagate(); err != nil {
+		t.Fatal(err)
+	}
+	if got := m.StartMin(b); got != 10 {
+		t.Fatalf("b startMin = %d, want 10 (pushed past a)", got)
+	}
+}
+
+func TestCumulativeCapacityTwoAllowsOverlap(t *testing.T) {
+	m := NewModel(1000)
+	a := m.NewInterval("a", 10)
+	m.FixStart(a, 0)
+	b := m.NewInterval("b", 10)
+	m.AddCumulative("r", -1, 2, []*Interval{a, b})
+	e := newEngine(m)
+	e.scheduleAll()
+	if err := e.propagate(); err != nil {
+		t.Fatal(err)
+	}
+	if got := m.StartMin(b); got != 0 {
+		t.Fatalf("b startMin = %d, want 0 (capacity 2 allows overlap)", got)
+	}
+}
+
+func TestCumulativeRemovesInfeasibleResource(t *testing.T) {
+	m := NewModel(100)
+	blocker := m.NewInterval("blocker", 90)
+	m.FixStart(blocker, 0) // fills resource 0 almost entirely
+	task := m.NewInterval("task", 20)
+	rv := m.NewResVar(task, 2)
+	m.AddCumulative("r0", 0, 1, []*Interval{blocker, task})
+	m.AddCumulative("r1", 1, 1, []*Interval{task})
+	e := newEngine(m)
+	e.scheduleAll()
+	if err := e.propagate(); err != nil {
+		t.Fatal(err)
+	}
+	// task (dur 20, window [0,80]) cannot fit on r0: earliest fit is 90 > 80.
+	if m.ResAllowed(rv, 0) {
+		t.Fatal("resource 0 should have been removed from the domain")
+	}
+	if m.ResFixedValue(rv) != 1 {
+		t.Fatal("task should be forced onto resource 1")
+	}
+}
+
+func TestSubtractSpans(t *testing.T) {
+	cases := []struct {
+		a, b, mA, mB int64
+		want         []span
+	}{
+		{0, 10, 20, 30, []span{{0, 10}}},       // disjoint
+		{0, 10, 0, 10, nil},                    // fully covered
+		{0, 10, 3, 7, []span{{0, 3}, {7, 10}}}, // middle
+		{0, 10, 0, 4, []span{{4, 10}}},         // prefix
+		{0, 10, 6, 10, []span{{0, 6}}},         // suffix
+		{0, 10, 5, 5, []span{{0, 10}}},         // empty mandatory
+	}
+	for _, c := range cases {
+		got := subtract(c.a, c.b, c.mA, c.mB)
+		if len(got) != len(c.want) {
+			t.Fatalf("subtract(%d,%d,%d,%d) = %v, want %v", c.a, c.b, c.mA, c.mB, got, c.want)
+		}
+		for i := range got {
+			if got[i] != c.want[i] {
+				t.Fatalf("subtract(%d,%d,%d,%d) = %v, want %v", c.a, c.b, c.mA, c.mB, got, c.want)
+			}
+		}
+	}
+}

@@ -1,0 +1,89 @@
+package cp
+
+import "sort"
+
+// Energetic overload check for the cumulative constraint.
+//
+// Timetable propagation only sees mandatory parts; three tasks of duration
+// 10 that must all run inside a window of length 25 on one slot have no
+// mandatory parts at all, yet 30 > 25 units of work make the window
+// provably infeasible. The energetic check catches this: for window
+// candidates [a, b) built from the tasks' earliest starts and latest ends,
+// the total duration of tasks fully confined to the window must not exceed
+// capacity * (b - a).
+//
+// This is the classic O(n^2) energetic overload test restricted to
+// (startMin, endMax) pairs. It runs on full passes only (root propagation
+// and after backtracks — the branch-and-bound hot path, where deadline
+// windows are tight) and is skipped for very large task sets, where its
+// cost would dwarf its pruning value.
+
+// energyCheckMaxTasks bounds the task count for which the O(n^2) check runs.
+const energyCheckMaxTasks = 512
+
+// energyCheck returns errFail if some window is energetically overloaded.
+func (c *cumulative) energyCheck(m *Model) error {
+	n := 0
+	for _, t := range c.tasks {
+		if c.onRes(m, t) == onResYes {
+			n++
+		}
+	}
+	if n < 2 || n > energyCheckMaxTasks {
+		return nil
+	}
+	type item struct {
+		release int64 // startMin
+		due     int64 // endMax
+		energy  int64 // dur * demand
+	}
+	items := make([]item, 0, n)
+	for _, t := range c.tasks {
+		if c.onRes(m, t) != onResYes {
+			continue
+		}
+		items = append(items, item{
+			release: m.StartMin(t),
+			due:     m.EndMax(t),
+			energy:  t.Dur * t.Demand,
+		})
+	}
+	// Sort by due; sweep windows ending at each distinct due.
+	sort.Slice(items, func(i, j int) bool { return items[i].due < items[j].due })
+
+	// For each window end b (a distinct due), consider the tasks with
+	// due <= b; among those, for every candidate window start a (a distinct
+	// release), the energy of tasks with release >= a must fit in
+	// capacity * (b - a). Scanning releases in descending order with a
+	// running suffix sum makes each b-iteration O(k log k).
+	var confined []item // tasks with due <= current b, gathered incrementally
+	i := 0
+	for i < len(items) {
+		b := items[i].due
+		for i < len(items) && items[i].due == b {
+			confined = append(confined, items[i])
+			i++
+		}
+		// Releases descending.
+		sorted := append([]item(nil), confined...)
+		sort.Slice(sorted, func(x, y int) bool { return sorted[x].release > sorted[y].release })
+		var energy int64
+		k := 0
+		for k < len(sorted) {
+			a := sorted[k].release
+			for k < len(sorted) && sorted[k].release == a {
+				energy += sorted[k].energy
+				k++
+			}
+			if a >= b {
+				// Degenerate window; such a task would already have failed
+				// bounds checks elsewhere.
+				continue
+			}
+			if energy > c.capacity*(b-a) {
+				return errFail
+			}
+		}
+	}
+	return nil
+}

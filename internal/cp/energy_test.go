@@ -1,0 +1,136 @@
+package cp
+
+import "testing"
+
+// Three 10-unit tasks confined to a 25-unit window on one slot: no
+// mandatory parts (timetabling is blind), but 30 > 25 energy.
+func TestEnergyCheckCatchesOverloadedWindow(t *testing.T) {
+	m := NewModel(1000)
+	var ivs []*Interval
+	for i := 0; i < 3; i++ {
+		iv := m.NewInterval("t", 10)
+		m.SetStartBounds(iv, 0, 15) // endMax 25
+		ivs = append(ivs, iv)
+	}
+	cum := m.AddCumulative("r", -1, 1, ivs)
+	// Timetabling alone sees nothing: no mandatory parts.
+	if err := cum.c.refresh(m); err != nil {
+		t.Fatalf("timetable should not fail: %v", err)
+	}
+	if len(cum.c.segs) != 0 {
+		t.Fatal("unexpected mandatory parts")
+	}
+	// The energetic check must.
+	if err := cum.c.energyCheck(m); err != errFail {
+		t.Fatalf("energy check missed the overload: %v", err)
+	}
+	// And root propagation must therefore fail.
+	e := newEngine(m)
+	e.scheduleAll()
+	if err := e.propagate(); err != errFail {
+		t.Fatalf("propagation missed the overload: %v", err)
+	}
+}
+
+func TestEnergyCheckAcceptsFeasibleWindow(t *testing.T) {
+	m := NewModel(1000)
+	var ivs []*Interval
+	for i := 0; i < 3; i++ {
+		iv := m.NewInterval("t", 10)
+		m.SetStartBounds(iv, 0, 20) // endMax 30: exactly enough energy
+		ivs = append(ivs, iv)
+	}
+	cum := m.AddCumulative("r", -1, 1, ivs)
+	if err := cum.c.energyCheck(m); err != nil {
+		t.Fatalf("feasible window rejected: %v", err)
+	}
+}
+
+func TestEnergyCheckRespectsCapacity(t *testing.T) {
+	m := NewModel(1000)
+	var ivs []*Interval
+	for i := 0; i < 4; i++ {
+		iv := m.NewInterval("t", 10)
+		m.SetStartBounds(iv, 0, 10) // endMax 20
+		ivs = append(ivs, iv)
+	}
+	// 40 energy in a 20 window needs capacity 2.
+	cum2 := m.AddCumulative("r2", -1, 2, ivs)
+	if err := cum2.c.energyCheck(m); err != nil {
+		t.Fatalf("capacity-2 window rejected: %v", err)
+	}
+
+	m2 := NewModel(1000)
+	var ivs2 []*Interval
+	for i := 0; i < 5; i++ {
+		iv := m2.NewInterval("t", 10)
+		m2.SetStartBounds(iv, 0, 10)
+		ivs2 = append(ivs2, iv)
+	}
+	cum1 := m2.AddCumulative("r1", -1, 2, ivs2)
+	if err := cum1.c.energyCheck(m2); err != errFail {
+		t.Fatalf("50 > 40 energy accepted: %v", err)
+	}
+}
+
+func TestEnergyCheckMixedWindows(t *testing.T) {
+	// A nested tight window among loose tasks must still be detected.
+	m := NewModel(10_000)
+	loose := m.NewInterval("loose", 50) // whole horizon
+	var tight []*Interval
+	for i := 0; i < 2; i++ {
+		iv := m.NewInterval("tight", 30)
+		m.SetStartBounds(iv, 100, 120) // window [100,150): 60 > 50 energy
+		tight = append(tight, iv)
+	}
+	cum := m.AddCumulative("r", -1, 1, append(tight, loose))
+	if err := cum.c.energyCheck(m); err != errFail {
+		t.Fatalf("nested overload missed: %v", err)
+	}
+}
+
+// The check must strengthen branch-and-bound: a two-job instance where
+// meeting both deadlines is energetically impossible should be proven
+// 1-late without exhausting the node budget.
+func TestEnergyCheckProvesBnBBoundInfeasible(t *testing.T) {
+	m := NewModel(100_000)
+	var lates []*Bool
+	var ivs []*Interval
+	for j := 0; j < 2; j++ {
+		iv := m.NewInterval("t", 60)
+		iv.JobKey = j
+		iv.Due = 100
+		ivs = append(ivs, iv)
+		late := m.NewBool("late")
+		m.AddLateness([]*Interval{iv}, 100, late)
+		lates = append(lates, late)
+	}
+	m.AddCumulative("r", -1, 1, ivs)
+	m.Minimize(lates)
+	r := NewSolver(m, Params{NodeLimit: 100_000}).Solve()
+	if r.Objective != 1 || r.Status != StatusOptimal {
+		t.Fatalf("objective %d status %v, want 1/optimal", r.Objective, r.Status)
+	}
+	if err := m.VerifySolution(&r); err != nil {
+		t.Fatal(err)
+	}
+	// 120 energy in a 100 window: the bound-0 round dies at the root, so
+	// the node count stays tiny.
+	if r.Nodes > 20 {
+		t.Fatalf("%d nodes — energetic check did not prune the bound-0 round", r.Nodes)
+	}
+}
+
+func TestEnergyCheckSkipsHugeTaskSets(t *testing.T) {
+	m := NewModel(10_000_000)
+	var ivs []*Interval
+	for i := 0; i < energyCheckMaxTasks+1; i++ {
+		iv := m.NewInterval("t", 10)
+		m.SetStartBounds(iv, 0, 5) // wildly overloaded
+		ivs = append(ivs, iv)
+	}
+	cum := m.AddCumulative("r", -1, 1, ivs)
+	if err := cum.c.energyCheck(m); err != nil {
+		t.Fatal("check should be skipped above the size cap")
+	}
+}

@@ -1,0 +1,187 @@
+package cp
+
+import "errors"
+
+// errFail signals an inconsistent state; the search backtracks on it.
+var errFail = errors.New("cp: inconsistent")
+
+// propagator is a filtering algorithm over the variables it watches.
+type propagator interface {
+	// propagate prunes domains through the engine; it returns errFail on
+	// wipe-out and nil when a local fixpoint is reached.
+	propagate(e *engine) error
+}
+
+// engine owns the propagation queue and performs all domain mutations so
+// that watchers are woken consistently.
+type engine struct {
+	m       *Model
+	store   *Store
+	queue   []int
+	inQueue []bool
+	running int // index of the propagator currently executing, or -1
+}
+
+func newEngine(m *Model) *engine {
+	return &engine{m: m, store: m.store, inQueue: make([]bool, len(m.props)), running: -1}
+}
+
+// schedule enqueues a propagator unless it is already queued or currently
+// running (self-wakes within a run are handled by the propagator's own
+// internal fixpoint loops).
+func (e *engine) schedule(idx int) {
+	if idx == e.running || e.inQueue[idx] {
+		return
+	}
+	e.inQueue[idx] = true
+	e.queue = append(e.queue, idx)
+}
+
+func (e *engine) scheduleAll() {
+	for i := range e.m.props {
+		e.schedule(i)
+	}
+}
+
+// propagate runs queued propagators to a fixpoint. On failure the queue is
+// drained and errFail returned.
+func (e *engine) propagate() error {
+	for len(e.queue) > 0 {
+		idx := e.queue[0]
+		e.queue = e.queue[1:]
+		e.inQueue[idx] = false
+		e.running = idx
+		err := e.m.props[idx].propagate(e)
+		e.running = -1
+		if err != nil {
+			for _, q := range e.queue {
+				e.inQueue[q] = false
+			}
+			e.queue = e.queue[:0]
+			return err
+		}
+	}
+	return nil
+}
+
+func (e *engine) wakeInterval(iv *Interval) {
+	for _, p := range e.m.ivWatch[iv.id] {
+		if c, ok := e.m.props[p].(*cumulative); ok {
+			c.noteChange(iv)
+		}
+		e.schedule(p)
+	}
+}
+
+func (e *engine) wakeBool(b *Bool) {
+	for _, p := range e.m.boolWatch[b.id] {
+		e.schedule(p)
+	}
+}
+
+func (e *engine) wakeResVar(rv *ResVar) {
+	for _, p := range e.m.rvWatch[rv.id] {
+		if c, ok := e.m.props[p].(*cumulative); ok {
+			c.noteChange(rv.iv)
+		}
+		e.schedule(p)
+	}
+}
+
+// setStartMin raises an interval's start lower bound. Raising the bound
+// also clears the set-times postponement flag, since the task's situation
+// has changed (classic set-times rule).
+func (e *engine) setStartMin(iv *Interval, v int64) error {
+	cur := e.store.get(iv.base + 0)
+	if v <= cur {
+		return nil
+	}
+	if v > e.store.get(iv.base+1) {
+		return errFail
+	}
+	e.store.set(iv.base+0, v)
+	e.store.set(iv.base+2, 0)
+	e.wakeInterval(iv)
+	return nil
+}
+
+// setStartMax lowers an interval's start upper bound.
+func (e *engine) setStartMax(iv *Interval, v int64) error {
+	cur := e.store.get(iv.base + 1)
+	if v >= cur {
+		return nil
+	}
+	if v < e.store.get(iv.base+0) {
+		return errFail
+	}
+	e.store.set(iv.base+1, v)
+	e.wakeInterval(iv)
+	return nil
+}
+
+// fixStart decides an interval's start time.
+func (e *engine) fixStart(iv *Interval, v int64) error {
+	if err := e.setStartMin(iv, v); err != nil {
+		return err
+	}
+	return e.setStartMax(iv, v)
+}
+
+// postpone marks an interval postponed for the set-times search; the flag
+// is trailed, so backtracking clears it.
+func (e *engine) postpone(iv *Interval) {
+	e.store.set(iv.base+2, 1)
+}
+
+// setBool decides a boolean variable.
+func (e *engine) setBool(b *Bool, v int64) error {
+	min, max := e.store.get(b.base+0), e.store.get(b.base+1)
+	if min == max {
+		if min != v {
+			return errFail
+		}
+		return nil
+	}
+	e.store.set(b.base+0, v)
+	e.store.set(b.base+1, v)
+	e.wakeBool(b)
+	return nil
+}
+
+// removeRes removes resource r from a resvar's domain.
+func (e *engine) removeRes(rv *ResVar, r int) error {
+	w := rv.base + int32(r/64)
+	word := e.store.get(w)
+	bit := int64(1) << (r % 64)
+	if word&bit == 0 {
+		return nil
+	}
+	e.store.set(w, word&^bit)
+	if e.m.ResDomainSize(rv) == 0 {
+		return errFail
+	}
+	e.wakeResVar(rv)
+	return nil
+}
+
+// fixRes reduces a resvar's domain to the single resource r.
+func (e *engine) fixRes(rv *ResVar, r int) error {
+	if !e.m.ResAllowed(rv, r) {
+		return errFail
+	}
+	changed := false
+	for w := 0; w < rv.words; w++ {
+		var word int64
+		if w == r/64 {
+			word = 1 << (r % 64)
+		}
+		if e.store.get(rv.base+int32(w)) != word {
+			e.store.set(rv.base+int32(w), word)
+			changed = true
+		}
+	}
+	if changed {
+		e.wakeResVar(rv)
+	}
+	return nil
+}

@@ -1,0 +1,378 @@
+package cp
+
+import (
+	"fmt"
+	"math"
+	"math/bits"
+)
+
+// Interval is a task activity with a fixed duration whose start time is a
+// decision variable — the a_t variable of the paper's CP formulation. The
+// solver prunes the inclusive start-time window [StartMin, StartMax].
+type Interval struct {
+	Name   string
+	Dur    int64 // execution time e_t, in model time units (ms)
+	Demand int64 // resource capacity requirement q_t (1 in the paper)
+
+	// Due is the deadline of the owning job, used by the EDF and
+	// least-laxity search orderings. Not a constraint by itself.
+	Due int64
+	// JobKey identifies the owning job for the job-id search ordering.
+	JobKey int
+
+	id      int
+	base    int32 // store cells: +0 startMin, +1 startMax, +2 postponed
+	origMin int64
+	origMax int64
+	resVar  *ResVar // non-nil when matchmaking is part of the model
+}
+
+// ID returns the interval's dense model index.
+func (iv *Interval) ID() int { return iv.id }
+
+// ResVar returns the matchmaking variable attached to this interval, or nil
+// when the interval is pre-assigned (combined-resource mode or frozen task).
+func (iv *Interval) ResVar() *ResVar { return iv.resVar }
+
+// Bool is a 0/1 decision variable; the paper's N_j lateness indicators.
+type Bool struct {
+	Name string
+	id   int
+	base int32 // +0 min, +1 max
+}
+
+// ID returns the bool's dense model index.
+func (b *Bool) ID() int { return b.id }
+
+// ResVar is a finite-domain variable ranging over resource indices
+// [0, NumRes) — the x_tr matchmaking variables, represented as a bitset.
+type ResVar struct {
+	Name   string
+	NumRes int
+	id     int
+	base   int32 // bitset words
+	words  int
+	iv     *Interval
+}
+
+// ID returns the resvar's dense model index.
+func (rv *ResVar) ID() int { return rv.id }
+
+// Model is a constraint program under construction. Build it at the root
+// level (variables, bounds, constraints), then hand it to a Solver. A model
+// is intended for a single Solve call, matching the paper's regeneration of
+// the OPL model on every MRCP-RM invocation.
+type Model struct {
+	store     *Store
+	horizon   int64
+	intervals []*Interval
+	bools     []*Bool
+	resvars   []*ResVar
+	props     []propagator
+	cumuls    []*cumulative
+
+	// watchers[kind][varID] lists the propagators to wake on a change.
+	ivWatch   [][]int
+	boolWatch [][]int
+	rvWatch   [][]int
+
+	sumLE    *sumLE
+	objBools []*Bool
+	// lateJobKey maps a lateness Bool's ID to the owning job's key, for
+	// the solver's squeaky-wheel boost.
+	lateJobKey map[int]int
+}
+
+// NewModel creates an empty model. horizon is the exclusive upper bound on
+// any task end time; every interval's start window defaults to
+// [0, horizon-dur].
+func NewModel(horizon int64) *Model {
+	if horizon <= 0 {
+		panic("cp: model horizon must be positive")
+	}
+	return &Model{store: NewStore(), horizon: horizon}
+}
+
+// Horizon returns the model horizon.
+func (m *Model) Horizon() int64 { return m.horizon }
+
+// Intervals returns all intervals in creation order.
+func (m *Model) Intervals() []*Interval { return m.intervals }
+
+// Bools returns all boolean variables in creation order.
+func (m *Model) Bools() []*Bool { return m.bools }
+
+// NewInterval adds a task interval with the given duration and demand 1.
+// Its start window is [0, horizon-dur].
+func (m *Model) NewInterval(name string, dur int64) *Interval {
+	if dur <= 0 {
+		panic(fmt.Sprintf("cp: interval %q duration %d must be positive", name, dur))
+	}
+	if dur > m.horizon {
+		panic(fmt.Sprintf("cp: interval %q duration %d exceeds horizon %d", name, dur, m.horizon))
+	}
+	iv := &Interval{
+		Name:    name,
+		Dur:     dur,
+		Demand:  1,
+		Due:     math.MaxInt64,
+		id:      len(m.intervals),
+		origMin: 0,
+		origMax: m.horizon - dur,
+	}
+	iv.base = m.store.alloc(iv.origMin, iv.origMax, 0)
+	m.intervals = append(m.intervals, iv)
+	m.ivWatch = append(m.ivWatch, nil)
+	return iv
+}
+
+// SetStartBounds narrows an interval's start window at build time.
+func (m *Model) SetStartBounds(iv *Interval, min, max int64) {
+	if min > max {
+		panic(fmt.Sprintf("cp: interval %q start bounds [%d,%d] empty", iv.Name, min, max))
+	}
+	if min < 0 || max > m.horizon-iv.Dur {
+		panic(fmt.Sprintf("cp: interval %q start bounds [%d,%d] outside [0,%d]",
+			iv.Name, min, max, m.horizon-iv.Dur))
+	}
+	iv.origMin, iv.origMax = min, max
+	m.store.set(iv.base+0, min)
+	m.store.set(iv.base+1, max)
+}
+
+// FixStart pins an interval's start at build time; used for tasks that have
+// already started executing (Table 2, line 11).
+func (m *Model) FixStart(iv *Interval, start int64) {
+	m.SetStartBounds(iv, start, start)
+}
+
+// StartMin returns the current lower bound of the interval's start.
+func (m *Model) StartMin(iv *Interval) int64 { return m.store.get(iv.base + 0) }
+
+// StartMax returns the current upper bound of the interval's start.
+func (m *Model) StartMax(iv *Interval) int64 { return m.store.get(iv.base + 1) }
+
+// EndMin returns the current lower bound of the interval's end.
+func (m *Model) EndMin(iv *Interval) int64 { return m.StartMin(iv) + iv.Dur }
+
+// EndMax returns the current upper bound of the interval's end.
+func (m *Model) EndMax(iv *Interval) int64 { return m.StartMax(iv) + iv.Dur }
+
+// Fixed reports whether the interval's start is decided.
+func (m *Model) Fixed(iv *Interval) bool { return m.StartMin(iv) == m.StartMax(iv) }
+
+func (m *Model) postponed(iv *Interval) bool { return m.store.get(iv.base+2) != 0 }
+
+// NewBool adds a 0/1 variable.
+func (m *Model) NewBool(name string) *Bool {
+	b := &Bool{Name: name, id: len(m.bools)}
+	b.base = m.store.alloc(0, 1)
+	m.bools = append(m.bools, b)
+	m.boolWatch = append(m.boolWatch, nil)
+	return b
+}
+
+// BoolMin returns the current lower bound of the bool (1 means fixed true).
+func (m *Model) BoolMin(b *Bool) int64 { return m.store.get(b.base + 0) }
+
+// BoolMax returns the current upper bound of the bool (0 means fixed false).
+func (m *Model) BoolMax(b *Bool) int64 { return m.store.get(b.base + 1) }
+
+// BoolFixed reports whether the bool is decided.
+func (m *Model) BoolFixed(b *Bool) bool { return m.BoolMin(b) == m.BoolMax(b) }
+
+// NewResVar attaches a matchmaking variable over numRes resources to the
+// interval. Initially every resource is allowed.
+func (m *Model) NewResVar(iv *Interval, numRes int) *ResVar {
+	if numRes <= 0 {
+		panic("cp: resvar needs at least one resource")
+	}
+	if iv.resVar != nil {
+		panic(fmt.Sprintf("cp: interval %q already has a resvar", iv.Name))
+	}
+	words := (numRes + 63) / 64
+	rv := &ResVar{Name: iv.Name + ".res", NumRes: numRes, id: len(m.resvars), words: words, iv: iv}
+	vals := make([]int64, words)
+	for r := 0; r < numRes; r++ {
+		vals[r/64] |= 1 << (r % 64)
+	}
+	rv.base = m.store.alloc(vals...)
+	m.resvars = append(m.resvars, rv)
+	m.rvWatch = append(m.rvWatch, nil)
+	iv.resVar = rv
+	return rv
+}
+
+// ResAllowed reports whether resource r is still in the domain.
+func (m *Model) ResAllowed(rv *ResVar, r int) bool {
+	if r < 0 || r >= rv.NumRes {
+		return false
+	}
+	return m.store.get(rv.base+int32(r/64))&(1<<(r%64)) != 0
+}
+
+// ResDomainSize returns the number of resources still allowed.
+func (m *Model) ResDomainSize(rv *ResVar) int {
+	n := 0
+	for w := 0; w < rv.words; w++ {
+		n += bits.OnesCount64(uint64(m.store.get(rv.base + int32(w))))
+	}
+	return n
+}
+
+// ResFixedValue returns the assigned resource if the domain is a singleton,
+// else -1.
+func (m *Model) ResFixedValue(rv *ResVar) int {
+	found := -1
+	for w := 0; w < rv.words; w++ {
+		word := uint64(m.store.get(rv.base + int32(w)))
+		for word != 0 {
+			r := w*64 + bits.TrailingZeros64(word)
+			if found >= 0 {
+				return -1
+			}
+			found = r
+			word &= word - 1
+		}
+	}
+	return found
+}
+
+// ResDomain returns the allowed resources in increasing order.
+func (m *Model) ResDomain(rv *ResVar) []int {
+	var out []int
+	for w := 0; w < rv.words; w++ {
+		word := uint64(m.store.get(rv.base + int32(w)))
+		for word != 0 {
+			out = append(out, w*64+bits.TrailingZeros64(word))
+			word &= word - 1
+		}
+	}
+	return out
+}
+
+// FixRes pins a resvar at build time (frozen tasks keep their resource).
+func (m *Model) FixRes(rv *ResVar, r int) {
+	if r < 0 || r >= rv.NumRes {
+		panic(fmt.Sprintf("cp: resource %d out of range for %q", r, rv.Name))
+	}
+	for w := 0; w < rv.words; w++ {
+		var word int64
+		if w == r/64 {
+			word = 1 << (r % 64)
+		}
+		m.store.set(rv.base+int32(w), word)
+	}
+}
+
+// addProp registers a propagator and returns its index.
+func (m *Model) addProp(p propagator) int {
+	m.props = append(m.props, p)
+	return len(m.props) - 1
+}
+
+func (m *Model) watchInterval(iv *Interval, prop int) {
+	m.ivWatch[iv.id] = append(m.ivWatch[iv.id], prop)
+}
+
+func (m *Model) watchBool(b *Bool, prop int) {
+	m.boolWatch[b.id] = append(m.boolWatch[b.id], prop)
+}
+
+func (m *Model) watchResVar(rv *ResVar, prop int) {
+	m.rvWatch[rv.id] = append(m.rvWatch[rv.id], prop)
+}
+
+// AddPhaseBarrier posts Constraint 3 of the formulation for one job: every
+// succ (reduce task) may start only after every pred (map task) has ended.
+func (m *Model) AddPhaseBarrier(preds, succs []*Interval) {
+	if len(preds) == 0 || len(succs) == 0 {
+		return
+	}
+	p := &phaseBarrier{preds: preds, succs: succs}
+	idx := m.addProp(p)
+	for _, pr := range preds {
+		m.watchInterval(pr, idx)
+	}
+	for _, su := range succs {
+		m.watchInterval(su, idx)
+	}
+}
+
+// AddMaxEndBeforeStart posts Constraint 3 for a single successor; it is a
+// convenience wrapper over AddPhaseBarrier.
+func (m *Model) AddMaxEndBeforeStart(preds []*Interval, succ *Interval) {
+	m.AddPhaseBarrier(preds, []*Interval{succ})
+}
+
+// AddLateness posts Constraint 4: late is forced to 1 when the job's last
+// terminal task must finish after the deadline; conversely, deciding
+// late = 0 enforces the deadline on every terminal task.
+func (m *Model) AddLateness(terminals []*Interval, deadline int64, late *Bool) {
+	if len(terminals) == 0 {
+		panic("cp: lateness constraint needs at least one terminal task")
+	}
+	p := &lateness{terminals: terminals, deadline: deadline, late: late}
+	if m.lateJobKey == nil {
+		m.lateJobKey = make(map[int]int)
+	}
+	m.lateJobKey[late.id] = terminals[0].JobKey
+	idx := m.addProp(p)
+	for _, t := range terminals {
+		m.watchInterval(t, idx)
+	}
+	m.watchBool(late, idx)
+}
+
+// AddSumLE posts Σ bools <= bound, the branch-and-bound cut on the number of
+// late jobs. At most one such constraint may be posted per model; the solver
+// tightens the bound between branch-and-bound rounds.
+func (m *Model) AddSumLE(bools []*Bool, bound int) *SumLEHandle {
+	if m.sumLE != nil {
+		panic("cp: model already has a SumLE constraint")
+	}
+	p := &sumLE{bools: bools, bound: bound}
+	idx := m.addProp(p)
+	for _, b := range bools {
+		m.watchBool(b, idx)
+	}
+	m.sumLE = p
+	return &SumLEHandle{p: p}
+}
+
+// SumLEHandle lets the solver tighten the late-job bound between rounds.
+type SumLEHandle struct{ p *sumLE }
+
+// SetBound replaces the bound. Only valid at the root level.
+func (h *SumLEHandle) SetBound(b int) { h.p.bound = b }
+
+// Bound returns the current bound.
+func (h *SumLEHandle) Bound() int { return h.p.bound }
+
+// AddCumulative posts Constraints 5/6 for one resource: at every instant the
+// total demand of tasks executing on it is at most capacity. Tasks whose
+// resvar is nil (or which have no resvar) are always on this resource;
+// tasks with a resvar contribute only while this resource index remains in
+// their domain. resIndex identifies this resource in the resvar domains;
+// pass -1 for a combined resource that no resvar refers to.
+func (m *Model) AddCumulative(name string, resIndex int, capacity int64, tasks []*Interval) *Cumulative {
+	if capacity <= 0 {
+		panic(fmt.Sprintf("cp: cumulative %q capacity %d must be positive", name, capacity))
+	}
+	c := newCumulative(name, resIndex, capacity, tasks)
+	idx := m.addProp(c)
+	for _, t := range tasks {
+		m.watchInterval(t, idx)
+		if t.resVar != nil && resIndex >= 0 {
+			m.watchResVar(t.resVar, idx)
+		}
+	}
+	m.cumuls = append(m.cumuls, c)
+	return &Cumulative{c: c}
+}
+
+// Cumulative is a public handle over a posted cumulative constraint.
+type Cumulative struct{ c *cumulative }
+
+// Name returns the constraint's resource name.
+func (c *Cumulative) Name() string { return c.c.name }

@@ -1,0 +1,128 @@
+package cp
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+)
+
+// WriteOPL renders the model in OPL-like syntax, the language the paper
+// uses to express its formulation (Section IV). The output is meant for
+// inspection and debugging — seeing exactly which intervals, precedences,
+// capacities, and lateness reifications a given MRCP-RM invocation posted
+// — and mirrors the paper's own snippets (dvar interval declarations,
+// alternative(...) for matchmaking variables, pulse-based capacity sums).
+func (m *Model) WriteOPL(w io.Writer) error {
+	p := func(format string, args ...any) error {
+		_, err := fmt.Fprintf(w, format, args...)
+		return err
+	}
+	if err := p("// model: %d intervals, %d bools, %d resvars, %d constraints, horizon %d\n\n",
+		len(m.intervals), len(m.bools), len(m.resvars), len(m.props), m.horizon); err != nil {
+		return err
+	}
+	for _, iv := range m.intervals {
+		line := fmt.Sprintf("dvar interval %s size %d in %d..%d;",
+			oplName(iv.Name, iv.id), iv.Dur, m.StartMin(iv), m.EndMax(iv))
+		if iv.Due != math.MaxInt64 {
+			line += fmt.Sprintf(" // job %d, due %d", iv.JobKey, iv.Due)
+		}
+		if err := p("%s\n", line); err != nil {
+			return err
+		}
+	}
+	for _, b := range m.bools {
+		if err := p("dvar boolean %s;\n", oplName(b.Name, b.id)); err != nil {
+			return err
+		}
+	}
+	if len(m.objBools) > 0 {
+		names := make([]string, len(m.objBools))
+		for i, b := range m.objBools {
+			names[i] = oplName(b.Name, b.id)
+		}
+		if err := p("\nminimize %s;\n", joinPlus(names)); err != nil {
+			return err
+		}
+	}
+	if err := p("\nsubject to {\n"); err != nil {
+		return err
+	}
+	for _, rv := range m.resvars {
+		if err := p("  alternative(%s, resources 0..%d); // x_tr, domain %v\n",
+			oplName(rv.iv.Name, rv.iv.id), rv.NumRes-1, m.ResDomain(rv)); err != nil {
+			return err
+		}
+	}
+	for _, prop := range m.props {
+		var err error
+		switch c := prop.(type) {
+		case *phaseBarrier:
+			err = p("  forall r in {%s}: startOf(r) >= max over {%s} of endOf(m); // constraint 3\n",
+				ivNames(m, c.succs), ivNames(m, c.preds))
+		case *lateness:
+			err = p("  (max over {%s} of endOf(t)) > %d => %s == 1; // constraint 4\n",
+				ivNames(m, c.terminals), c.deadline, oplName(c.late.Name, c.late.id))
+		case *sumLE:
+			names := make([]string, len(c.bools))
+			for i, b := range c.bools {
+				names[i] = oplName(b.Name, b.id)
+			}
+			err = p("  %s <= %d; // branch-and-bound cut\n", joinPlus(names), c.bound)
+		case *cumulative:
+			err = p("  sum over {%s} of pulse(t, demand) <= %d; // cumulative %q\n",
+				ivNames(m, c.tasks), c.capacity, c.name)
+		}
+		if err != nil {
+			return err
+		}
+	}
+	return p("}\n")
+}
+
+// oplName builds a stable, unique identifier from a (possibly duplicated)
+// model name and the element's index.
+func oplName(name string, id int) string {
+	if name == "" {
+		return fmt.Sprintf("v%d", id)
+	}
+	out := make([]rune, 0, len(name))
+	for _, r := range name {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9', r == '_':
+			out = append(out, r)
+		default:
+			out = append(out, '_')
+		}
+	}
+	return fmt.Sprintf("%s_%d", string(out), id)
+}
+
+func ivNames(m *Model, ivs []*Interval) string {
+	names := make([]string, len(ivs))
+	for i, iv := range ivs {
+		names[i] = oplName(iv.Name, iv.id)
+	}
+	sort.Strings(names)
+	const maxShown = 8
+	if len(names) > maxShown {
+		return fmt.Sprintf("%s, ... (%d total)", joinComma(names[:maxShown]), len(names))
+	}
+	return joinComma(names)
+}
+
+func joinComma(names []string) string { return join(names, ", ") }
+
+func joinPlus(names []string) string { return join(names, " + ") }
+
+func join(names []string, sep string) string {
+	out := ""
+	for i, n := range names {
+		if i > 0 {
+			out += sep
+		}
+		out += n
+	}
+	return out
+}

@@ -1,0 +1,73 @@
+package cp
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestWriteOPLRendersAllConstraintKinds(t *testing.T) {
+	m := NewModel(10_000)
+	mp := m.NewInterval("t0_m1", 100)
+	mp.JobKey = 0
+	mp.Due = 5000
+	rd := m.NewInterval("t0_r1", 50)
+	rd.JobKey = 0
+	rd.Due = 5000
+	m.NewResVar(mp, 3)
+	m.AddPhaseBarrier([]*Interval{mp}, []*Interval{rd})
+	late := m.NewBool("late_0")
+	m.AddLateness([]*Interval{rd}, 5000, late)
+	m.AddCumulative("map", 0, 2, []*Interval{mp})
+	m.AddSumLE([]*Bool{late}, 1)
+	m.Minimize([]*Bool{late})
+
+	var buf bytes.Buffer
+	if err := m.WriteOPL(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"dvar interval t0_m1_0 size 100",
+		"dvar interval t0_r1_1 size 50",
+		"dvar boolean late_0_0;",
+		"minimize late_0_0;",
+		"alternative(t0_m1_0, resources 0..2)",
+		"constraint 3",
+		"constraint 4",
+		"branch-and-bound cut",
+		"cumulative \"map\"",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("OPL output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestWriteOPLTruncatesLongLists(t *testing.T) {
+	m := NewModel(1_000_000)
+	var ivs []*Interval
+	for i := 0; i < 20; i++ {
+		ivs = append(ivs, m.NewInterval("t", 10))
+	}
+	m.AddCumulative("r", -1, 4, ivs)
+	var buf bytes.Buffer
+	if err := m.WriteOPL(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "(20 total)") {
+		t.Fatalf("long task list not truncated:\n%s", buf.String())
+	}
+}
+
+func TestOplNameSanitizes(t *testing.T) {
+	if got := oplName("t3_m1", 7); got != "t3_m1_7" {
+		t.Fatalf("got %q", got)
+	}
+	if got := oplName("weird name-x", 1); got != "weird_name_x_1" {
+		t.Fatalf("got %q", got)
+	}
+	if got := oplName("", 4); got != "v4" {
+		t.Fatalf("got %q", got)
+	}
+}

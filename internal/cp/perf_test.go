@@ -1,0 +1,28 @@
+package cp
+
+import (
+	"testing"
+	"time"
+)
+
+func TestPerfLargeGreedy(t *testing.T) {
+	m := NewModel(100_000_000)
+	var ivs []*Interval
+	var lates []*Bool
+	for i := 0; i < 5000; i++ {
+		iv := m.NewInterval("t", int64(1000+i%50000))
+		iv.Due = 50_000_000
+		ivs = append(ivs, iv)
+		l := m.NewBool("late")
+		m.AddLateness([]*Interval{iv}, iv.Due, l)
+		lates = append(lates, l)
+	}
+	m.AddCumulative("map", -1, 64, ivs)
+	m.Minimize(lates)
+	t0 := time.Now()
+	r := NewSolver(m, Params{TimeLimit: 200 * time.Millisecond}).Solve()
+	t.Logf("status=%v obj=%d nodes=%d elapsed=%v", r.Status, r.Objective, r.Nodes, time.Since(t0))
+	if !r.HasSolution() {
+		t.Fatal("no solution")
+	}
+}

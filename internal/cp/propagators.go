@@ -1,0 +1,113 @@
+package cp
+
+// phaseBarrier implements Constraint 3 for a whole job at once: every
+// successor (reduce task) starts at or after the max completion time of
+// the predecessors (the job's map tasks). Grouping all successors into one
+// propagator keeps the cost per wake at O(|preds| + |succs|) instead of
+// O(|preds| * |succs|), which matters for jobs with thousands of tasks.
+type phaseBarrier struct {
+	preds []*Interval
+	succs []*Interval
+}
+
+func (p *phaseBarrier) propagate(e *engine) error {
+	m := e.m
+	// Latest finishing predecessor, by lower bound (the paper's LFMT).
+	var lb int64
+	for _, pr := range p.preds {
+		if end := m.EndMin(pr); end > lb {
+			lb = end
+		}
+	}
+	// Earliest latest-start among successors.
+	latest := int64(1<<63 - 1)
+	for _, su := range p.succs {
+		if err := e.setStartMin(su, lb); err != nil {
+			return err
+		}
+		if v := m.StartMax(su); v < latest {
+			latest = v
+		}
+	}
+	// Every pred must end by the time the tightest successor can still start.
+	for _, pr := range p.preds {
+		if err := e.setStartMax(pr, latest-pr.Dur); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// lateness implements Constraint 4 (reified): if the job's last terminal
+// task must end after the deadline, late = 1. Conversely, deciding late = 0
+// imposes the deadline on every terminal task. When the job provably meets
+// its deadline, late is fixed to 0, which is dominance-safe under the
+// minimization objective.
+type lateness struct {
+	terminals []*Interval
+	deadline  int64
+	late      *Bool
+}
+
+func (p *lateness) propagate(e *engine) error {
+	m := e.m
+	var lbComplete, ubComplete int64
+	for _, t := range p.terminals {
+		if v := m.EndMin(t); v > lbComplete {
+			lbComplete = v
+		}
+		if v := m.EndMax(t); v > ubComplete {
+			ubComplete = v
+		}
+	}
+	if lbComplete > p.deadline {
+		// The job cannot meet its deadline any more.
+		if err := e.setBool(p.late, 1); err != nil {
+			return err
+		}
+	} else if ubComplete <= p.deadline {
+		// The job is guaranteed on time.
+		if err := e.setBool(p.late, 0); err != nil {
+			return err
+		}
+	}
+	if m.BoolMax(p.late) == 0 {
+		// late is decided 0: enforce the deadline on all terminals.
+		for _, t := range p.terminals {
+			if err := e.setStartMax(t, p.deadline-t.Dur); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// sumLE implements the branch-and-bound cut Σ late_j <= bound.
+type sumLE struct {
+	bools []*Bool
+	bound int
+}
+
+func (p *sumLE) propagate(e *engine) error {
+	m := e.m
+	forced := 0
+	for _, b := range p.bools {
+		if m.BoolMin(b) == 1 {
+			forced++
+		}
+	}
+	if forced > p.bound {
+		return errFail
+	}
+	if forced == p.bound {
+		// No remaining job may be late.
+		for _, b := range p.bools {
+			if !m.BoolFixed(b) {
+				if err := e.setBool(b, 0); err != nil {
+					return err
+				}
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,501 @@
+package cp
+
+import (
+	"math"
+	"time"
+)
+
+// OrderingStrategy selects the tie-breaking rule used when several tasks
+// are schedulable at the same earliest time — the paper's three job
+// ordering strategies (Section VI.B).
+type OrderingStrategy int
+
+const (
+	// OrderEDF prefers tasks of the job with the earliest deadline. This is
+	// the strategy the paper reports results for.
+	OrderEDF OrderingStrategy = iota
+	// OrderJobID prefers tasks of the job with the smallest id.
+	OrderJobID
+	// OrderLeastLaxity prefers tasks with the least slack to their job's
+	// deadline.
+	OrderLeastLaxity
+)
+
+// Params configures a solve.
+type Params struct {
+	// TimeLimit bounds wall-clock solve time; zero means no time limit.
+	TimeLimit time.Duration
+	// NodeLimit bounds the number of search nodes; zero means the default
+	// of 200000.
+	NodeLimit int64
+	// Ordering is the search tie-breaking strategy.
+	Ordering OrderingStrategy
+}
+
+// Status reports how a solve ended.
+type Status int
+
+const (
+	// StatusOptimal: a solution with zero late jobs was found, or the
+	// branch-and-bound proved no better solution exists within the
+	// set-times search space.
+	StatusOptimal Status = iota
+	// StatusFeasible: a solution was found but a limit stopped the
+	// improvement loop.
+	StatusFeasible
+	// StatusInfeasible: the search space contains no solution (for models
+	// with the lateness objective this cannot normally happen, since being
+	// late is always allowed unless a SumLE bound forbids it).
+	StatusInfeasible
+	// StatusUnknown: a limit was hit before any solution was found.
+	StatusUnknown
+)
+
+func (s Status) String() string {
+	switch s {
+	case StatusOptimal:
+		return "optimal"
+	case StatusFeasible:
+		return "feasible"
+	case StatusInfeasible:
+		return "infeasible"
+	default:
+		return "unknown"
+	}
+}
+
+// Result is the outcome of a solve.
+type Result struct {
+	Status    Status
+	Objective int
+	// Starts[i] is the assigned start of interval with ID i.
+	Starts []int64
+	// Res[i] is the assigned resource of interval i, or -1 when the
+	// interval has no matchmaking variable.
+	Res []int
+	// Lates[j] is the value of bool j (by Bool ID).
+	Lates []bool
+	// Nodes is the number of search nodes explored, Rounds the number of
+	// branch-and-bound rounds, and SolveTime the wall-clock duration.
+	Nodes     int64
+	Rounds    int
+	SolveTime time.Duration
+}
+
+// HasSolution reports whether the result carries an assignment.
+func (r *Result) HasSolution() bool {
+	return r.Status == StatusOptimal || r.Status == StatusFeasible
+}
+
+// Minimize declares the objective min Σ bools; the solver runs
+// branch-and-bound over it.
+func (m *Model) Minimize(bools []*Bool) {
+	m.objBools = bools
+}
+
+// Solver runs the set-times branch-and-bound search over a model. A solver
+// (and its model) is single-use: build, solve once, discard — mirroring the
+// paper's regeneration of the OPL model on every MRCP-RM invocation.
+type Solver struct {
+	m      *Model
+	e      *engine
+	params Params
+
+	resCum   map[int]*cumulative
+	taskCums [][]*cumulative // cumulatives containing each interval, by ID
+
+	deadline  time.Time
+	hasDL     bool
+	nodeLimit int64
+	nodes     int64
+	limitHit  bool
+	// ignoreLimits lets one guaranteed improvement descent run even after
+	// the limits fired; descents without a branch-and-bound cut are
+	// backtrack-free, so this stays bounded.
+	ignoreLimits bool
+
+	// boost marks jobs whose tasks are scheduled ahead of others at equal
+	// earliest starts — the "squeaky wheel" improvement loop re-descends
+	// with the incumbent's late jobs boosted.
+	boost map[int]bool
+
+	incumbent *Result
+}
+
+// NewSolver prepares a solver for the model.
+func NewSolver(m *Model, params Params) *Solver {
+	if params.NodeLimit == 0 {
+		params.NodeLimit = 200000
+	}
+	s := &Solver{m: m, params: params, nodeLimit: params.NodeLimit}
+	s.resCum = make(map[int]*cumulative)
+	s.taskCums = make([][]*cumulative, len(m.intervals))
+	for _, c := range m.cumuls {
+		if c.resIndex >= 0 {
+			s.resCum[c.resIndex] = c
+		}
+		for _, t := range c.tasks {
+			s.taskCums[t.id] = append(s.taskCums[t.id], c)
+		}
+	}
+	return s
+}
+
+// Solve runs the search and returns the best solution found.
+func (s *Solver) Solve() Result {
+	start := time.Now()
+	if s.params.TimeLimit > 0 {
+		s.deadline = start.Add(s.params.TimeLimit)
+		s.hasDL = true
+	}
+	m := s.m
+	var handle *SumLEHandle
+	if len(m.objBools) > 0 && m.sumLE == nil {
+		handle = m.AddSumLE(m.objBools, len(m.objBools))
+	} else if m.sumLE != nil {
+		handle = &SumLEHandle{p: m.sumLE}
+	}
+	s.e = newEngine(m)
+	s.e.scheduleAll()
+	if s.e.propagate() != nil {
+		return Result{Status: StatusInfeasible, SolveTime: time.Since(start)}
+	}
+	// Jobs already proven late at the root cannot be rescued; boosting
+	// them would only let their tasks crowd out salvageable jobs.
+	rootForced := make(map[int]bool)
+	for _, b := range m.objBools {
+		if m.BoolMin(b) == 1 {
+			rootForced[m.lateJobKey[b.id]] = true
+		}
+	}
+
+	// Phase A: first descent — a greedy, backtrack-free schedule.
+	rounds := 1
+	found, exhausted := s.dfs()
+	s.e.store.PopAll()
+	if !found {
+		if exhausted {
+			return Result{Status: StatusInfeasible, Nodes: s.nodes, Rounds: rounds, SolveTime: time.Since(start)}
+		}
+		return Result{Status: StatusUnknown, Nodes: s.nodes, Rounds: rounds, SolveTime: time.Since(start)}
+	}
+	if s.incumbent.Objective == 0 || len(m.objBools) == 0 || handle == nil {
+		return s.finish(StatusOptimal, rounds, start)
+	}
+
+	// Phase B: squeaky-wheel improvement — re-descend with the incumbent's
+	// late jobs boosted to the front of the ordering. Each pass is one
+	// cheap greedy descent, which makes this effective even on models far
+	// too large for exact search.
+	s.boost = make(map[int]bool)
+	noImprove := 0
+	for pass := 0; noImprove < 2 && s.incumbent.Objective > 0; pass++ {
+		if pass == 0 {
+			// The first squeaky pass always runs in full, like the first
+			// descent: on models so large that Phase A alone consumes the
+			// time budget, one improvement attempt is still worth its cost.
+			s.ignoreLimits = true
+		} else if s.checkLimit() {
+			break
+		}
+		rounds++
+		prev := s.incumbent.Objective
+		for _, b := range m.objBools {
+			if s.incumbent.Lates[b.id] && !rootForced[m.lateJobKey[b.id]] {
+				s.boost[m.lateJobKey[b.id]] = true
+			}
+		}
+		found, _ := s.dfs()
+		s.e.store.PopAll()
+		s.ignoreLimits = false
+		if !found || s.incumbent.Objective >= prev {
+			noImprove++
+		} else {
+			noImprove = 0
+		}
+	}
+	s.boost = nil
+	if s.incumbent.Objective == 0 {
+		return s.finish(StatusOptimal, rounds, start)
+	}
+
+	// Phase C: branch and bound on Σ N_j, exact within the set-times
+	// search space, bounded by the node and time limits.
+	for {
+		rounds++
+		handle.SetBound(s.incumbent.Objective - 1)
+		s.e.scheduleAll()
+		if s.e.propagate() != nil {
+			return s.finish(StatusOptimal, rounds, start)
+		}
+		found, exhausted := s.dfs()
+		s.e.store.PopAll()
+		if found {
+			if s.incumbent.Objective == 0 {
+				return s.finish(StatusOptimal, rounds, start)
+			}
+			continue
+		}
+		if exhausted {
+			return s.finish(StatusOptimal, rounds, start)
+		}
+		return s.finish(StatusFeasible, rounds, start)
+	}
+}
+
+func (s *Solver) finish(st Status, rounds int, start time.Time) Result {
+	r := *s.incumbent
+	r.Status = st
+	r.Nodes = s.nodes
+	r.Rounds = rounds
+	r.SolveTime = time.Since(start)
+	return r
+}
+
+// checkLimit reports whether search must stop now. Limits apply only to the
+// improvement phase: until a first incumbent exists the search runs to its
+// first solution (the set-times first descent is backtrack-free on these
+// models, so this terminates after one decision per task), mirroring a CP
+// engine that always emits at least its greedy solution under a time limit.
+func (s *Solver) checkLimit() bool {
+	if s.incumbent == nil || s.ignoreLimits {
+		return false
+	}
+	if s.limitHit {
+		return true
+	}
+	if s.nodes >= s.nodeLimit {
+		s.limitHit = true
+		return true
+	}
+	if s.hasDL && s.nodes%256 == 0 && time.Now().After(s.deadline) {
+		s.limitHit = true
+		return true
+	}
+	return false
+}
+
+type pickStatus int
+
+const (
+	pickFound pickStatus = iota
+	pickAllDone
+	pickDeadEnd
+)
+
+type decision struct {
+	iv  *Interval
+	res int // >= 0: resource decision; -1: time decision
+}
+
+// pick selects the next decision following the set-times rule: among
+// non-postponed undecided tasks, take the one with the smallest earliest
+// start, breaking ties with the configured ordering strategy.
+func (s *Solver) pick() (decision, pickStatus) {
+	m := s.m
+	var best *Interval
+	var bestKey [4]int64
+	undecided := false
+	for _, iv := range m.intervals {
+		needRes := iv.resVar != nil && m.ResFixedValue(iv.resVar) < 0
+		needTime := !m.Fixed(iv)
+		if !needRes && !needTime {
+			continue
+		}
+		undecided = true
+		if m.postponed(iv) {
+			continue
+		}
+		var boosted int64 = 1
+		if s.boost[iv.JobKey] {
+			boosted = 0
+		}
+		// The final tie-break is creation order, NOT a duration-derived
+		// quantity: breaking ties by startMax would start a job's longest
+		// tasks first (smaller startMax), leaving every slot busy with
+		// long work at random arrival instants and killing the system's
+		// responsiveness to tight new jobs.
+		key := [4]int64{m.StartMin(iv), boosted, s.orderKey(iv), int64(iv.id)}
+		if best == nil || lessKey(key, bestKey) {
+			best, bestKey = iv, key
+		}
+	}
+	if best == nil {
+		if undecided {
+			return decision{}, pickDeadEnd
+		}
+		return decision{}, pickAllDone
+	}
+	if best.resVar != nil && m.ResFixedValue(best.resVar) < 0 {
+		return decision{iv: best, res: s.pickResource(best)}, pickFound
+	}
+	return decision{iv: best, res: -1}, pickFound
+}
+
+// orderKey computes the tie-breaking rank of a schedulable task.
+func (s *Solver) orderKey(iv *Interval) int64 {
+	switch s.params.Ordering {
+	case OrderJobID:
+		return int64(iv.JobKey)
+	case OrderLeastLaxity:
+		if iv.Due == math.MaxInt64 {
+			return math.MaxInt64
+		}
+		return iv.Due - s.m.EndMin(iv)
+	default:
+		return iv.Due
+	}
+}
+
+func lessKey(a, b [4]int64) bool {
+	for i := range a {
+		if a[i] != b[i] {
+			return a[i] < b[i]
+		}
+	}
+	return false
+}
+
+// pickResource chooses the domain value where the task can start earliest
+// on the current timetable, preferring lower indices on ties.
+func (s *Solver) pickResource(iv *Interval) int {
+	m := s.m
+	bestRes := -1
+	bestFit := int64(math.MaxInt64)
+	for _, r := range m.ResDomain(iv.resVar) {
+		fit := m.StartMin(iv)
+		if c, ok := s.resCum[r]; ok {
+			if err := c.refresh(m); err == nil {
+				fit = c.earliestFit(m, iv, m.StartMin(iv), false)
+			} else {
+				fit = math.MaxInt64
+			}
+		}
+		if fit < bestFit {
+			bestFit, bestRes = fit, r
+		}
+	}
+	if bestRes < 0 {
+		bestRes = m.ResDomain(iv.resVar)[0]
+	}
+	return bestRes
+}
+
+// dfs explores the subtree below the current store state. It returns
+// (true, _) as soon as a solution satisfying the current bound is found
+// (captured into s.incumbent), or (false, exhausted) otherwise, where
+// exhausted means the subtree was fully explored rather than cut by a
+// limit.
+func (s *Solver) dfs() (bool, bool) {
+	if s.checkLimit() {
+		return false, false
+	}
+	dec, st := s.pick()
+	switch st {
+	case pickAllDone:
+		s.capture()
+		return true, true
+	case pickDeadEnd:
+		return false, true
+	}
+	s.nodes++
+
+	// Left branch.
+	s.e.store.Push()
+	if s.applyLeft(dec) == nil && s.e.propagate() == nil {
+		if found, _ := s.dfs(); found {
+			return true, true
+		}
+	}
+	s.e.store.Pop()
+	if s.limitHit {
+		return false, false
+	}
+
+	// Right branch.
+	s.e.store.Push()
+	if s.applyRight(dec) == nil && s.e.propagate() == nil {
+		if found, _ := s.dfs(); found {
+			return true, true
+		}
+	}
+	s.e.store.Pop()
+	return false, !s.limitHit
+}
+
+func (s *Solver) applyLeft(d decision) error {
+	if d.res >= 0 {
+		return s.e.fixRes(d.iv.resVar, d.res)
+	}
+	return s.e.fixStart(d.iv, s.placementStart(d.iv))
+}
+
+// placementStart computes the task's true earliest feasible start on the
+// current timetables. StartMin is a valid but possibly stale lower bound
+// (the incremental cumulative passes skip min-side tightening); placing at
+// the computed fit keeps the set-times descent equivalent to eager
+// filtering at a fraction of the cost. The result is validated by the
+// overload check after fixing, so an optimistic value can only cause a
+// backtrack, never an invalid solution.
+func (s *Solver) placementStart(iv *Interval) int64 {
+	m := s.m
+	st := m.StartMin(iv)
+	cums := s.taskCums[iv.id]
+	// Two rounds reach a fixpoint when the task sits on several timetables
+	// (it never does in the models built by this repository, but the
+	// general case is cheap to honor).
+	for range [2]struct{}{} {
+		for _, c := range cums {
+			if c.onRes(m, iv) != onResYes {
+				continue
+			}
+			if err := c.refresh(m); err != nil {
+				return st
+			}
+			st = c.earliestFit(m, iv, st, true)
+		}
+		if len(cums) < 2 {
+			break
+		}
+	}
+	return st
+}
+
+func (s *Solver) applyRight(d decision) error {
+	if d.res >= 0 {
+		return s.e.removeRes(d.iv.resVar, d.res)
+	}
+	s.e.postpone(d.iv)
+	return nil
+}
+
+// capture snapshots the current (fully decided) state as the incumbent if
+// it improves on (or first establishes) the best objective.
+func (s *Solver) capture() {
+	m := s.m
+	r := &Result{
+		Starts: make([]int64, len(m.intervals)),
+		Res:    make([]int, len(m.intervals)),
+		Lates:  make([]bool, len(m.bools)),
+	}
+	for i, iv := range m.intervals {
+		r.Starts[i] = m.StartMin(iv)
+		r.Res[i] = -1
+		if iv.resVar != nil {
+			r.Res[i] = m.ResFixedValue(iv.resVar)
+		}
+	}
+	for i, b := range m.bools {
+		r.Lates[i] = m.BoolMin(b) == 1
+	}
+	obj := 0
+	for _, b := range m.objBools {
+		if m.BoolMin(b) == 1 {
+			obj++
+		}
+	}
+	r.Objective = obj
+	if s.incumbent == nil || obj < s.incumbent.Objective {
+		s.incumbent = r
+	}
+}

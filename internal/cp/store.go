@@ -1,0 +1,98 @@
+// Package cp implements the constraint programming substrate that replaces
+// IBM ILOG CPLEX CP Optimizer in this reproduction. It provides exactly the
+// modelling primitives the paper's Table 1 formulation needs:
+//
+//   - interval variables with fixed durations and pruned start-time bounds
+//     (the a_t decision variables),
+//   - resource-assignment variables with finite set domains (the x_tr
+//     matchmaking variables, in the "alternative" style of OPL),
+//   - cumulative resource constraints with timetable propagation
+//     (constraints 5 and 6),
+//   - max-end precedence between a job's map and reduce phases
+//     (constraint 3),
+//   - reified lateness indicators (constraint 4) and a sum bound over them
+//     used for branch-and-bound on the objective min Σ N_j.
+//
+// The search is a set-times depth-first search with task postponement and
+// EDF-flavoured tie-breaking, wrapped in a branch-and-bound loop on the
+// number of late jobs, with node and wall-clock limits. This mirrors how a
+// commercial CP engine behaves on the paper's models: a good first solution
+// is found greedily and then improved within a time budget.
+package cp
+
+// The Store is the backtrackable state shared by all variables: a flat
+// array of int64 cells plus a trail recording old values so that the search
+// can undo decisions. Variables are views over ranges of cells.
+
+type trailEntry struct {
+	idx int32
+	old int64
+}
+
+// Store holds all trailed solver state.
+type Store struct {
+	cells []int64
+	trail []trailEntry
+	marks []int // trail length at the start of each level
+	pops  int64 // number of Pop calls, for cache invalidation
+}
+
+// NewStore returns an empty store at level 0.
+func NewStore() *Store {
+	return &Store{}
+}
+
+// alloc reserves n cells initialized to the given values and returns the
+// index of the first.
+func (s *Store) alloc(vals ...int64) int32 {
+	idx := int32(len(s.cells))
+	s.cells = append(s.cells, vals...)
+	return idx
+}
+
+// get reads a cell.
+func (s *Store) get(idx int32) int64 { return s.cells[idx] }
+
+// set writes a cell, trailing the previous value if the store is inside at
+// least one level and the value actually changes.
+func (s *Store) set(idx int32, v int64) {
+	old := s.cells[idx]
+	if old == v {
+		return
+	}
+	if len(s.marks) > 0 {
+		s.trail = append(s.trail, trailEntry{idx: idx, old: old})
+	}
+	s.cells[idx] = v
+}
+
+// Level returns the current decision level (0 at the root).
+func (s *Store) Level() int { return len(s.marks) }
+
+// Push opens a new decision level.
+func (s *Store) Push() {
+	s.marks = append(s.marks, len(s.trail))
+}
+
+// Pop closes the current decision level, undoing all changes made in it.
+// It panics at level 0.
+func (s *Store) Pop() {
+	if len(s.marks) == 0 {
+		panic("cp: Pop at root level")
+	}
+	mark := s.marks[len(s.marks)-1]
+	s.marks = s.marks[:len(s.marks)-1]
+	s.pops++
+	for i := len(s.trail) - 1; i >= mark; i-- {
+		e := s.trail[i]
+		s.cells[e.idx] = e.old
+	}
+	s.trail = s.trail[:mark]
+}
+
+// PopAll unwinds every open level, returning the store to its root state.
+func (s *Store) PopAll() {
+	for len(s.marks) > 0 {
+		s.Pop()
+	}
+}

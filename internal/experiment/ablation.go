@@ -1,0 +1,178 @@
+package experiment
+
+import (
+	"fmt"
+	"time"
+
+	"mrcprm/internal/core"
+	"mrcprm/internal/cp"
+	"mrcprm/internal/sim"
+	"mrcprm/internal/stats"
+	"mrcprm/internal/workload"
+)
+
+// runAblationMatchmaking quantifies the Section V.D claim: solving on a
+// single combined resource followed by gap-based matchmaking is much
+// cheaper than modelling matchmaking inside the CP program. Run on a small
+// system so the direct mode stays tractable.
+func runAblationMatchmaking(opts Options) (Result, error) {
+	started := time.Now()
+	r := Result{ID: "ablation-matchmaking", Title: "Combined + matchmaking vs direct CP matchmaking"}
+	cfg := workload.DefaultSynthetic()
+	cfg.NumResources = 8
+	cfg.NumMapHi = 20
+	cfg.NumReduceHi = 10
+	cfg.Lambda = 0.02
+	cluster := sim.Cluster{NumResources: cfg.NumResources,
+		MapSlots: cfg.MapSlotsPerResource, ReduceSlots: cfg.ReduceSlotsPerResource}
+
+	jobsPerRep := min(opts.Jobs, 60) // direct mode is the expensive arm
+	for _, mode := range []core.SolveMode{core.ModeCombined, core.ModeDirect} {
+		mcfg := opts.ManagerConfig
+		mcfg.Mode = mode
+		point, err := runReplications(opts, func(rep int, rng *stats.Stream) (*sim.Metrics, error) {
+			jobs, err := cfg.Generate(jobsPerRep, rng)
+			if err != nil {
+				return nil, err
+			}
+			s, err := sim.New(cluster, core.New(cluster, mcfg), jobs)
+			if err != nil {
+				return nil, err
+			}
+			return s.Run()
+		})
+		if err != nil {
+			return r, err
+		}
+		point.Factor = "mode=" + mode.String()
+		point.Manager = "MRCP-RM"
+		r.Points = append(r.Points, point)
+	}
+	r.Elapsed = time.Since(started)
+	return r, nil
+}
+
+// runAblationDeferral quantifies the Section V.E claim: with many
+// far-future advance reservations (high p, large smax), deferring jobs
+// until their earliest start time approaches reduces the model size and
+// hence the overhead O.
+func runAblationDeferral(opts Options) (Result, error) {
+	started := time.Now()
+	r := Result{ID: "ablation-deferral", Title: "Far-future job deferral on vs off"}
+	cfg := workload.DefaultSynthetic()
+	cfg.P = 0.9
+	cfg.SmaxSec = 250000
+	cluster := sim.Cluster{NumResources: cfg.NumResources,
+		MapSlots: cfg.MapSlotsPerResource, ReduceSlots: cfg.ReduceSlotsPerResource}
+
+	// The no-deferral arm re-schedules every parked job on every solve —
+	// the very overhead this ablation measures — so its cost grows
+	// superlinearly in the job count; cap the replication size.
+	jobsPerRep := min(opts.Jobs, 100)
+	for _, deferral := range []bool{true, false} {
+		mcfg := opts.ManagerConfig
+		if !deferral {
+			mcfg.DeferralLead = 0
+		}
+		point, err := runReplications(opts, func(rep int, rng *stats.Stream) (*sim.Metrics, error) {
+			jobs, err := cfg.Generate(jobsPerRep, rng)
+			if err != nil {
+				return nil, err
+			}
+			s, err := sim.New(cluster, core.New(cluster, mcfg), jobs)
+			if err != nil {
+				return nil, err
+			}
+			return s.Run()
+		})
+		if err != nil {
+			return r, err
+		}
+		point.Factor = fmt.Sprintf("deferral=%v", deferral)
+		point.Manager = "MRCP-RM"
+		r.Points = append(r.Points, point)
+	}
+	r.Elapsed = time.Since(started)
+	return r, nil
+}
+
+// runAblationBatching quantifies the paper's future-work direction for
+// high arrival rates: accumulating arrivals for a small window and solving
+// once per batch cuts the number of solves (and hence O) at the price of a
+// small scheduling latency.
+func runAblationBatching(opts Options) (Result, error) {
+	started := time.Now()
+	r := Result{ID: "ablation-batching", Title: "Arrival batching window at high lambda"}
+	cfg := workload.DefaultSynthetic()
+	cfg.Lambda = 0.02 // the paper's highest rate
+	cluster := sim.Cluster{NumResources: cfg.NumResources,
+		MapSlots: cfg.MapSlotsPerResource, ReduceSlots: cfg.ReduceSlotsPerResource}
+
+	for _, window := range []time.Duration{0, 10 * time.Second, 60 * time.Second} {
+		mcfg := opts.ManagerConfig
+		mcfg.BatchWindow = window
+		point, err := runReplications(opts, func(rep int, rng *stats.Stream) (*sim.Metrics, error) {
+			jobs, err := cfg.Generate(opts.Jobs, rng)
+			if err != nil {
+				return nil, err
+			}
+			s, err := sim.New(cluster, core.New(cluster, mcfg), jobs)
+			if err != nil {
+				return nil, err
+			}
+			return s.Run()
+		})
+		if err != nil {
+			return r, err
+		}
+		point.Factor = fmt.Sprintf("window=%gs", window.Seconds())
+		point.Manager = "MRCP-RM"
+		r.Points = append(r.Points, point)
+	}
+	r.Elapsed = time.Since(started)
+	return r, nil
+}
+
+// runAblationOrdering compares the three job ordering strategies of
+// Section VI.B under the tight-deadline configuration (dUL = 2) where
+// ordering matters most. The paper reports no significant difference.
+func runAblationOrdering(opts Options) (Result, error) {
+	started := time.Now()
+	r := Result{ID: "ablation-ordering", Title: "Job ordering strategies under tight deadlines"}
+	cfg := workload.DefaultSynthetic()
+	cfg.DeadlineUL = 2
+	cluster := sim.Cluster{NumResources: cfg.NumResources,
+		MapSlots: cfg.MapSlotsPerResource, ReduceSlots: cfg.ReduceSlotsPerResource}
+
+	orderings := []struct {
+		name string
+		ord  cp.OrderingStrategy
+	}{
+		{"edf", cp.OrderEDF},
+		{"job-id", cp.OrderJobID},
+		{"least-laxity", cp.OrderLeastLaxity},
+	}
+	for _, o := range orderings {
+		mcfg := opts.ManagerConfig
+		mcfg.Ordering = o.ord
+		point, err := runReplications(opts, func(rep int, rng *stats.Stream) (*sim.Metrics, error) {
+			jobs, err := cfg.Generate(opts.Jobs, rng)
+			if err != nil {
+				return nil, err
+			}
+			s, err := sim.New(cluster, core.New(cluster, mcfg), jobs)
+			if err != nil {
+				return nil, err
+			}
+			return s.Run()
+		})
+		if err != nil {
+			return r, err
+		}
+		point.Factor = "ordering=" + o.name
+		point.Manager = "MRCP-RM"
+		r.Points = append(r.Points, point)
+	}
+	r.Elapsed = time.Since(started)
+	return r, nil
+}

@@ -1,0 +1,161 @@
+package experiment
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"mrcprm/internal/stats"
+)
+
+// tinyOptions keeps harness tests fast: these tests validate wiring and
+// qualitative shape, not statistical precision.
+func tinyOptions() Options {
+	o := FastOptions()
+	o.Jobs = 25
+	o.FacebookJobs = 25
+	o.Policy = stats.ReplicationPolicy{MinReps: 1, MaxReps: 1, Level: 0.95, RelTol: 1}
+	return o
+}
+
+func TestRegistryComplete(t *testing.T) {
+	want := []string{"fig2", "fig3", "fig4", "fig5", "fig6", "fig7", "fig8", "fig9",
+		"ablation-matchmaking", "ablation-deferral", "ablation-ordering"}
+	for _, id := range want {
+		if _, ok := ByID(id); !ok {
+			t.Errorf("experiment %q missing from registry", id)
+		}
+	}
+	if _, ok := ByID("fig99"); ok {
+		t.Error("unknown id resolved")
+	}
+}
+
+func TestFig7DeadlineSweepShape(t *testing.T) {
+	spec, _ := ByID("fig7")
+	r, err := spec.Run(tinyOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Points) != 3 {
+		t.Fatalf("%d points, want 3", len(r.Points))
+	}
+	// Looser deadlines can only help: P(dUL=10) <= P(dUL=2) (weak check on
+	// one small replication).
+	if r.Points[2].P.Mean > r.Points[0].P.Mean {
+		t.Errorf("P rose with looser deadlines: %v vs %v", r.Points[2].P.Mean, r.Points[0].P.Mean)
+	}
+	table := r.Table()
+	if !strings.Contains(table, "dUL=2") || !strings.Contains(table, "MRCP-RM") {
+		t.Errorf("table rendering incomplete:\n%s", table)
+	}
+}
+
+func TestFig9ResourceSweepShape(t *testing.T) {
+	spec, _ := ByID("fig9")
+	r, err := spec.Run(tinyOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// More resources => lower (or equal) turnaround.
+	if r.Points[2].T.Mean > r.Points[0].T.Mean*1.05 {
+		t.Errorf("T did not fall with more resources: m=25 %.1fs vs m=100 %.1fs",
+			r.Points[0].T.Mean, r.Points[2].T.Mean)
+	}
+}
+
+func TestFacebookComparisonRuns(t *testing.T) {
+	if testing.Short() {
+		t.Skip("facebook comparison is slow")
+	}
+	opts := tinyOptions()
+	r, err := runFacebookComparison(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Points) != 2*len(FacebookRates) {
+		t.Fatalf("%d points, want %d", len(r.Points), 2*len(FacebookRates))
+	}
+	// Aggregate check across rates: MRCP-RM should not lose to MinEDF-WC
+	// on late jobs overall (the paper's headline result).
+	var mrcp, minedf float64
+	for _, p := range r.Points {
+		if p.Manager == "MRCP-RM" {
+			mrcp += p.P.Mean
+		} else {
+			minedf += p.P.Mean
+		}
+	}
+	if mrcp > minedf {
+		t.Errorf("MRCP-RM aggregate P %.3f worse than MinEDF-WC %.3f", mrcp, minedf)
+	}
+}
+
+func TestAblationDeferralRuns(t *testing.T) {
+	spec, _ := ByID("ablation-deferral")
+	r, err := spec.Run(tinyOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Points) != 2 {
+		t.Fatalf("%d points", len(r.Points))
+	}
+}
+
+func TestAblationMatchmakingRuns(t *testing.T) {
+	spec, _ := ByID("ablation-matchmaking")
+	r, err := spec.Run(tinyOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Points) != 2 {
+		t.Fatalf("%d points", len(r.Points))
+	}
+	if r.Points[0].Factor != "mode=combined" || r.Points[1].Factor != "mode=direct" {
+		t.Fatalf("unexpected factors %q/%q", r.Points[0].Factor, r.Points[1].Factor)
+	}
+}
+
+func TestAblationOrderingRuns(t *testing.T) {
+	spec, _ := ByID("ablation-ordering")
+	r, err := spec.Run(tinyOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Points) != 3 {
+		t.Fatalf("%d points", len(r.Points))
+	}
+}
+
+func TestOptionsDefaults(t *testing.T) {
+	d := DefaultOptions()
+	if d.Jobs <= 0 || d.FacebookJobs <= 0 || d.Policy.MaxReps < d.Policy.MinReps {
+		t.Fatalf("bad defaults %+v", d)
+	}
+	f := FastOptions()
+	if f.Jobs >= d.Jobs {
+		t.Fatal("fast options should be smaller")
+	}
+}
+
+func TestResultWriteCSV(t *testing.T) {
+	spec, _ := ByID("fig7")
+	r, err := spec.Run(tinyOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := r.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 1+len(r.Points) {
+		t.Fatalf("%d CSV lines for %d points", len(lines), len(r.Points))
+	}
+	if !strings.HasPrefix(lines[0], "experiment,factor,factor_value,manager") {
+		t.Fatalf("header %q", lines[0])
+	}
+	if !strings.Contains(lines[1], "fig7,dUL=2") {
+		t.Fatalf("row %q", lines[1])
+	}
+}

@@ -1,0 +1,60 @@
+package experiment
+
+import (
+	"fmt"
+	"time"
+
+	"mrcprm/internal/core"
+	"mrcprm/internal/minedf"
+	"mrcprm/internal/sim"
+	"mrcprm/internal/stats"
+	"mrcprm/internal/workload"
+)
+
+// FacebookRates are the arrival rates compared in Figs 2 and 3.
+var FacebookRates = []float64{0.0001, 0.0002, 0.0003, 0.0004, 0.0005}
+
+// runFacebookComparison regenerates Figs 2 and 3 in one sweep: both
+// managers over the Table 4 workload at each arrival rate. Fig 2 reads the
+// P column, Fig 3 the T column.
+func runFacebookComparison(opts Options) (Result, error) {
+	started := time.Now()
+	r := Result{ID: "fig2+fig3", Title: "MRCP-RM vs MinEDF-WC on the Facebook workload"}
+	for _, lambda := range FacebookRates {
+		fb := workload.FacebookConfig{
+			NumJobs:      opts.FacebookJobs,
+			Lambda:       lambda,
+			DeadlineUL:   2,
+			NumResources: 64,
+		}
+		cluster := sim.Cluster{NumResources: fb.NumResources, MapSlots: 1, ReduceSlots: 1}
+		for _, mgrName := range []string{"MRCP-RM", "MinEDF-WC"} {
+			point, err := runReplications(opts, func(rep int, rng *stats.Stream) (*sim.Metrics, error) {
+				jobs, err := fb.Generate(rng)
+				if err != nil {
+					return nil, err
+				}
+				var rm sim.ResourceManager
+				if mgrName == "MRCP-RM" {
+					rm = core.New(cluster, opts.ManagerConfig)
+				} else {
+					rm = minedf.New(cluster)
+				}
+				s, err := sim.New(cluster, rm, jobs)
+				if err != nil {
+					return nil, err
+				}
+				return s.Run()
+			})
+			if err != nil {
+				return r, err
+			}
+			point.Factor = fmt.Sprintf("lambda=%g", lambda)
+			point.FactorValue = lambda
+			point.Manager = mgrName
+			r.Points = append(r.Points, point)
+		}
+	}
+	r.Elapsed = time.Since(started)
+	return r, nil
+}

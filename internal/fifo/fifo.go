@@ -1,0 +1,183 @@
+// Package fifo implements a best-effort FIFO resource manager: the
+// deadline-blind dispatcher the paper's introduction contrasts SLA-aware
+// resource management against ("on-demand requests that are to be executed
+// on a best-effort basis"). Jobs are served strictly in arrival order,
+// work-conservingly, with the standard MapReduce rules (reduce tasks only
+// after all of the job's maps, earliest start times respected).
+//
+// It exists as a second baseline: comparing MRCP-RM or MinEDF-WC against
+// FIFO shows how much of their SLA performance comes from deadline
+// awareness rather than from mere work conservation.
+package fifo
+
+import (
+	"sort"
+	"time"
+
+	"mrcprm/internal/sim"
+	"mrcprm/internal/workload"
+)
+
+type jobState struct {
+	job         *workload.Job
+	pendingMaps []*workload.Task
+	pendingReds []*workload.Task
+	mapsLeft    int
+	tasksLeft   int
+}
+
+// Manager is the FIFO best-effort scheduler; it implements
+// sim.ResourceManager.
+type Manager struct {
+	cluster  sim.Cluster
+	active   []*jobState // arrival order
+	byTask   map[*workload.Task]*jobState
+	deferred []*workload.Job
+
+	freeMap []int64
+	freeRed []int64
+}
+
+// New creates a FIFO manager for the cluster.
+func New(cluster sim.Cluster) *Manager {
+	m := &Manager{
+		cluster: cluster,
+		byTask:  make(map[*workload.Task]*jobState),
+		freeMap: make([]int64, cluster.NumResources),
+		freeRed: make([]int64, cluster.NumResources),
+	}
+	for r := 0; r < cluster.NumResources; r++ {
+		m.freeMap[r] = cluster.MapSlots
+		m.freeRed[r] = cluster.ReduceSlots
+	}
+	return m
+}
+
+// Name implements sim.ResourceManager.
+func (m *Manager) Name() string { return "FIFO" }
+
+// OnJobArrival implements sim.ResourceManager.
+func (m *Manager) OnJobArrival(ctx sim.Context, j *workload.Job) error {
+	started := time.Now()
+	if j.EarliestStart > ctx.Now() {
+		m.deferred = append(m.deferred, j)
+		ctx.SetTimer(j.EarliestStart)
+	} else {
+		m.admit(j)
+	}
+	err := m.dispatch(ctx)
+	ctx.AddOverhead(time.Since(started))
+	return err
+}
+
+// OnTimer implements sim.ResourceManager.
+func (m *Manager) OnTimer(ctx sim.Context) error {
+	started := time.Now()
+	rest := m.deferred[:0]
+	for _, j := range m.deferred {
+		if j.EarliestStart <= ctx.Now() {
+			m.admit(j)
+		} else {
+			rest = append(rest, j)
+		}
+	}
+	m.deferred = rest
+	err := m.dispatch(ctx)
+	ctx.AddOverhead(time.Since(started))
+	return err
+}
+
+// OnTaskComplete implements sim.ResourceManager.
+func (m *Manager) OnTaskComplete(ctx sim.Context, t *workload.Task) error {
+	started := time.Now()
+	js := m.byTask[t]
+	res, _, _ := ctx.Placement(t)
+	if t.Type == workload.MapTask {
+		js.mapsLeft--
+		m.freeMap[res]++
+	} else {
+		m.freeRed[res]++
+	}
+	js.tasksLeft--
+	if js.tasksLeft == 0 {
+		m.remove(js)
+	}
+	err := m.dispatch(ctx)
+	ctx.AddOverhead(time.Since(started))
+	return err
+}
+
+func (m *Manager) admit(j *workload.Job) {
+	js := &jobState{
+		job:         j,
+		pendingMaps: append([]*workload.Task(nil), j.MapTasks...),
+		pendingReds: append([]*workload.Task(nil), j.ReduceTasks...),
+		mapsLeft:    len(j.MapTasks),
+		tasksLeft:   j.NumTasks(),
+	}
+	for _, t := range j.Tasks() {
+		m.byTask[t] = js
+	}
+	// Arrival order; admissions from the deferred queue slot in by
+	// arrival time for determinism.
+	pos := sort.Search(len(m.active), func(i int) bool {
+		return m.active[i].job.Arrival > j.Arrival
+	})
+	m.active = append(m.active, nil)
+	copy(m.active[pos+1:], m.active[pos:])
+	m.active[pos] = js
+}
+
+func (m *Manager) remove(js *jobState) {
+	for i, other := range m.active {
+		if other == js {
+			m.active = append(m.active[:i], m.active[i+1:]...)
+			break
+		}
+	}
+	for _, t := range js.job.Tasks() {
+		delete(m.byTask, t)
+	}
+}
+
+// dispatch fills free slots in strict arrival order.
+func (m *Manager) dispatch(ctx sim.Context) error {
+	for _, js := range m.active {
+		for len(js.pendingMaps) > 0 {
+			r := firstFree(m.freeMap)
+			if r < 0 {
+				break
+			}
+			t := js.pendingMaps[0]
+			js.pendingMaps = js.pendingMaps[1:]
+			m.freeMap[r]--
+			if err := ctx.Schedule(t, r, ctx.Now()); err != nil {
+				return err
+			}
+		}
+		if js.mapsLeft == 0 {
+			for len(js.pendingReds) > 0 {
+				r := firstFree(m.freeRed)
+				if r < 0 {
+					break
+				}
+				t := js.pendingReds[0]
+				js.pendingReds = js.pendingReds[1:]
+				m.freeRed[r]--
+				if err := ctx.Schedule(t, r, ctx.Now()); err != nil {
+					return err
+				}
+			}
+		}
+	}
+	return nil
+}
+
+func firstFree(free []int64) int {
+	for r, f := range free {
+		if f > 0 {
+			return r
+		}
+	}
+	return -1
+}

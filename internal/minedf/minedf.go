@@ -1,0 +1,333 @@
+// Package minedf implements the MinEDF-WC baseline of Verma et al. that
+// the paper compares MRCP-RM against (Section VI.B.1, reference [8]).
+//
+// MinEDF-WC is a slot-based Hadoop-style scheduler:
+//
+//   - Jobs are ordered by earliest deadline first (EDF).
+//   - Each job receives the minimum number of map and reduce slots that its
+//     ARIA performance model predicts it needs to finish by its deadline.
+//   - Spare slots are allocated work-conservingly to active jobs in EDF
+//     order, and are de-allocated (returned at the next task boundary) when
+//     a newly arriving job needs them for its minimum allocation.
+//
+// The completion-time model is the ARIA bound pair: with n tasks of mean
+// duration avg and maximum max on k slots, the phase duration lies between
+// n*avg/k (lower) and (n-1)*avg/k + max (upper); the model uses the average
+// of the bounds. The minimum allocation is the smallest (s_m, s_r) pair,
+// by total slots, whose estimate meets the deadline.
+package minedf
+
+import (
+	"sort"
+	"time"
+
+	"mrcprm/internal/sim"
+	"mrcprm/internal/workload"
+)
+
+// phaseProfile summarizes one phase (map or reduce) of a job.
+type phaseProfile struct {
+	n   int64 // remaining tasks
+	avg float64
+	max float64
+}
+
+// duration estimates the phase duration on k slots using the ARIA
+// average-of-bounds model; k must be positive when n > 0.
+func (p phaseProfile) duration(k int64) float64 {
+	if p.n == 0 {
+		return 0
+	}
+	lower := float64(p.n) * p.avg / float64(k)
+	upper := float64(p.n-1)*p.avg/float64(k) + p.max
+	return (lower + upper) / 2
+}
+
+func profileOf(tasks []*workload.Task) phaseProfile {
+	p := phaseProfile{n: int64(len(tasks))}
+	if p.n == 0 {
+		return p
+	}
+	var sum int64
+	for _, t := range tasks {
+		sum += t.Exec
+		if f := float64(t.Exec); f > p.max {
+			p.max = f
+		}
+	}
+	p.avg = float64(sum) / float64(p.n)
+	return p
+}
+
+// jobState tracks one active job.
+type jobState struct {
+	job *workload.Job
+
+	pendingMaps []*workload.Task // not yet dispatched, longest first
+	pendingReds []*workload.Task
+	runningMaps int64
+	runningReds int64
+	mapsLeft    int // running or pending map tasks
+	tasksLeft   int
+
+	minMap int64 // current minimum slot allocation
+	minRed int64
+}
+
+func (js *jobState) mapsDone() bool { return js.mapsLeft == 0 }
+
+// Manager is the MinEDF-WC resource manager; it implements sim.ResourceManager.
+type Manager struct {
+	cluster  sim.Cluster
+	active   []*jobState // EDF order maintained on insert
+	byTask   map[*workload.Task]*jobState
+	deferred []*workload.Job // arrived, earliest start in the future
+
+	// Per-resource slot availability mirrors, maintained synchronously so
+	// the dispatch loop can fill several slots in one invocation.
+	freeMap []int64
+	freeRed []int64
+}
+
+// New creates a MinEDF-WC manager for the given cluster.
+func New(cluster sim.Cluster) *Manager {
+	m := &Manager{
+		cluster: cluster,
+		byTask:  make(map[*workload.Task]*jobState),
+		freeMap: make([]int64, cluster.NumResources),
+		freeRed: make([]int64, cluster.NumResources),
+	}
+	for r := 0; r < cluster.NumResources; r++ {
+		m.freeMap[r] = cluster.MapSlots
+		m.freeRed[r] = cluster.ReduceSlots
+	}
+	return m
+}
+
+// Name implements sim.ResourceManager.
+func (m *Manager) Name() string { return "MinEDF-WC" }
+
+// OnJobArrival implements sim.ResourceManager.
+func (m *Manager) OnJobArrival(ctx sim.Context, j *workload.Job) error {
+	started := time.Now()
+	if j.EarliestStart > ctx.Now() {
+		m.deferred = append(m.deferred, j)
+		ctx.SetTimer(j.EarliestStart)
+	} else {
+		m.admit(j)
+	}
+	err := m.dispatch(ctx)
+	ctx.AddOverhead(time.Since(started))
+	return err
+}
+
+// OnTimer implements sim.ResourceManager: it admits deferred jobs whose
+// earliest start time has arrived.
+func (m *Manager) OnTimer(ctx sim.Context) error {
+	started := time.Now()
+	rest := m.deferred[:0]
+	for _, j := range m.deferred {
+		if j.EarliestStart <= ctx.Now() {
+			m.admit(j)
+		} else {
+			rest = append(rest, j)
+		}
+	}
+	m.deferred = rest
+	err := m.dispatch(ctx)
+	ctx.AddOverhead(time.Since(started))
+	return err
+}
+
+// OnTaskComplete implements sim.ResourceManager.
+func (m *Manager) OnTaskComplete(ctx sim.Context, t *workload.Task) error {
+	started := time.Now()
+	js := m.byTask[t]
+	res, _, _ := ctx.Placement(t)
+	if t.Type == workload.MapTask {
+		js.runningMaps--
+		js.mapsLeft--
+		m.freeMap[res]++
+	} else {
+		js.runningReds--
+		m.freeRed[res]++
+	}
+	js.tasksLeft--
+	if js.tasksLeft == 0 {
+		m.remove(js)
+	}
+	err := m.dispatch(ctx)
+	ctx.AddOverhead(time.Since(started))
+	return err
+}
+
+// admit registers a job as active, in EDF position.
+func (m *Manager) admit(j *workload.Job) {
+	js := &jobState{
+		job:         j,
+		pendingMaps: append([]*workload.Task(nil), j.MapTasks...),
+		pendingReds: append([]*workload.Task(nil), j.ReduceTasks...),
+		mapsLeft:    len(j.MapTasks),
+		tasksLeft:   j.NumTasks(),
+	}
+	// Tasks dispatch in their natural order: like Hadoop, MinEDF-WC does
+	// not know task durations at dispatch time (the ARIA profile only
+	// feeds the allocation model), so it cannot run longest-first.
+	for _, t := range j.Tasks() {
+		m.byTask[t] = js
+	}
+	pos := sort.Search(len(m.active), func(i int) bool {
+		return m.active[i].job.Deadline > j.Deadline
+	})
+	m.active = append(m.active, nil)
+	copy(m.active[pos+1:], m.active[pos:])
+	m.active[pos] = js
+}
+
+func (m *Manager) remove(js *jobState) {
+	for i, other := range m.active {
+		if other == js {
+			m.active = append(m.active[:i], m.active[i+1:]...)
+			break
+		}
+	}
+	for _, t := range js.job.Tasks() {
+		delete(m.byTask, t)
+	}
+}
+
+// updateAllocations recomputes each active job's minimum slot allocation
+// from its remaining work and time to deadline.
+func (m *Manager) updateAllocations(now int64) {
+	for _, js := range m.active {
+		js.minMap, js.minRed = m.minAllocation(js, now)
+	}
+}
+
+// minAllocation finds the smallest (s_m, s_r) meeting the deadline under
+// the ARIA model; if the deadline is unreachable even with the whole
+// cluster, it returns the maximum allocation (the job is served best
+// effort, matching MinEDF-WC's behavior for infeasible jobs).
+func (m *Manager) minAllocation(js *jobState, now int64) (int64, int64) {
+	mapsP := profileOf(js.pendingMaps)
+	redsP := profileOf(js.pendingReds)
+	totalMap := m.cluster.TotalMapSlots()
+	totalRed := m.cluster.TotalReduceSlots()
+	budget := float64(js.job.Deadline - now)
+	if js.mapsLeft > 0 && len(js.pendingMaps) < js.mapsLeft {
+		// Maps still running contribute to the barrier; approximate their
+		// remainder with one average map duration.
+		budget -= mapsP.avg
+	}
+
+	bestM, bestR := int64(-1), int64(-1)
+	bestTotal := int64(1<<63 - 1)
+	maxM := min64(totalMap, max64(mapsP.n, 1))
+	for sm := int64(1); sm <= maxM; sm++ {
+		remain := budget - mapsP.duration(sm)
+		if remain < 0 {
+			continue
+		}
+		var sr int64
+		if redsP.n > 0 {
+			sr = -1
+			maxR := min64(totalRed, redsP.n)
+			for k := int64(1); k <= maxR; k++ {
+				if redsP.duration(k) <= remain {
+					sr = k
+					break
+				}
+			}
+			if sr < 0 {
+				continue
+			}
+		}
+		if sm+sr < bestTotal {
+			bestM, bestR, bestTotal = sm, sr, sm+sr
+		}
+	}
+	if bestM < 0 {
+		// Infeasible: run wide open.
+		bestM = min64(totalMap, max64(mapsP.n, 1))
+		bestR = min64(totalRed, redsP.n)
+	}
+	return bestM, bestR
+}
+
+// dispatch fills free slots: a first pass honors minimum allocations in
+// EDF order, a second pass is work-conserving.
+func (m *Manager) dispatch(ctx sim.Context) error {
+	now := ctx.Now()
+	m.updateAllocations(now)
+	for _, workConserving := range []bool{false, true} {
+		for _, js := range m.active {
+			if err := m.dispatchJob(ctx, js, workConserving); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+func (m *Manager) dispatchJob(ctx sim.Context, js *jobState, wc bool) error {
+	// Map tasks.
+	for len(js.pendingMaps) > 0 {
+		if !wc && js.runningMaps >= js.minMap {
+			break
+		}
+		r := firstFree(m.freeMap)
+		if r < 0 {
+			break
+		}
+		t := js.pendingMaps[0]
+		js.pendingMaps = js.pendingMaps[1:]
+		js.runningMaps++
+		m.freeMap[r]--
+		if err := ctx.Schedule(t, r, ctx.Now()); err != nil {
+			return err
+		}
+	}
+	// Reduce tasks start only after all of the job's maps completed.
+	if js.mapsDone() {
+		for len(js.pendingReds) > 0 {
+			if !wc && js.runningReds >= js.minRed {
+				break
+			}
+			r := firstFree(m.freeRed)
+			if r < 0 {
+				break
+			}
+			t := js.pendingReds[0]
+			js.pendingReds = js.pendingReds[1:]
+			js.runningReds++
+			m.freeRed[r]--
+			if err := ctx.Schedule(t, r, ctx.Now()); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+func firstFree(free []int64) int {
+	for r, f := range free {
+		if f > 0 {
+			return r
+		}
+	}
+	return -1
+}
+
+func min64(a, b int64) int64 {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func max64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}

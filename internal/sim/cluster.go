@@ -1,0 +1,85 @@
+package sim
+
+import (
+	"fmt"
+
+	"mrcprm/internal/workload"
+)
+
+// Cluster describes the simulated system component (Section III.A): m
+// resources, each with a map task capacity c^mp and a reduce task capacity
+// c^rd.
+type Cluster struct {
+	NumResources int
+	MapSlots     int64 // c^mp per resource
+	ReduceSlots  int64 // c^rd per resource
+}
+
+// TotalMapSlots returns m * c^mp.
+func (c Cluster) TotalMapSlots() int64 { return int64(c.NumResources) * c.MapSlots }
+
+// TotalReduceSlots returns m * c^rd.
+func (c Cluster) TotalReduceSlots() int64 { return int64(c.NumResources) * c.ReduceSlots }
+
+// Validate checks the cluster shape.
+func (c Cluster) Validate() error {
+	if c.NumResources < 1 || c.MapSlots < 0 || c.ReduceSlots < 0 ||
+		c.MapSlots+c.ReduceSlots == 0 {
+		return fmt.Errorf("sim: bad cluster shape m=%d c_mp=%d c_rd=%d",
+			c.NumResources, c.MapSlots, c.ReduceSlots)
+	}
+	return nil
+}
+
+// slotLedger tracks per-resource slot occupancy and enforces capacities.
+type slotLedger struct {
+	cluster Cluster
+	mapUse  []int64
+	redUse  []int64
+}
+
+func newSlotLedger(c Cluster) *slotLedger {
+	return &slotLedger{
+		cluster: c,
+		mapUse:  make([]int64, c.NumResources),
+		redUse:  make([]int64, c.NumResources),
+	}
+}
+
+func (l *slotLedger) acquire(res int, t *workload.Task) error {
+	if res < 0 || res >= l.cluster.NumResources {
+		return fmt.Errorf("sim: task %s assigned to invalid resource %d", t.ID, res)
+	}
+	if t.Type == workload.MapTask {
+		if l.mapUse[res]+t.Req > l.cluster.MapSlots {
+			return fmt.Errorf("sim: map capacity of resource %d exceeded by task %s", res, t.ID)
+		}
+		l.mapUse[res] += t.Req
+		return nil
+	}
+	if l.redUse[res]+t.Req > l.cluster.ReduceSlots {
+		return fmt.Errorf("sim: reduce capacity of resource %d exceeded by task %s", res, t.ID)
+	}
+	l.redUse[res] += t.Req
+	return nil
+}
+
+func (l *slotLedger) release(res int, t *workload.Task) {
+	if t.Type == workload.MapTask {
+		l.mapUse[res] -= t.Req
+		if l.mapUse[res] < 0 {
+			panic("sim: map slot ledger went negative")
+		}
+		return
+	}
+	l.redUse[res] -= t.Req
+	if l.redUse[res] < 0 {
+		panic("sim: reduce slot ledger went negative")
+	}
+}
+
+// freeMapSlots returns the number of idle map slots on the resource.
+func (l *slotLedger) freeMapSlots(res int) int64 { return l.cluster.MapSlots - l.mapUse[res] }
+
+// freeReduceSlots returns the number of idle reduce slots on the resource.
+func (l *slotLedger) freeReduceSlots(res int) int64 { return l.cluster.ReduceSlots - l.redUse[res] }

@@ -1,0 +1,82 @@
+// Package sim is the discrete event simulation engine used for the paper's
+// performance evaluation (Section VI). It executes a finite stream of
+// MapReduce jobs against a simulated cluster under a pluggable resource
+// manager, enforcing the problem's validity rules (slot capacities, earliest
+// start times, reduce-after-map precedence) and collecting the paper's
+// performance metrics O, N, T, and P.
+//
+// Simulated time is int64 milliseconds. Solver wall-clock time is recorded
+// as the overhead metric O but does not advance simulated time, matching
+// the paper's setup where MRCP-RM runs on a dedicated CPU and O/T stays
+// below 0.1%.
+package sim
+
+import "container/heap"
+
+type eventKind int
+
+// Priorities at equal timestamps: finishes free slots first, then the
+// resource manager reacts (timers, arrivals), and only then do new tasks
+// start, so a manager invoked at time T can still reschedule a task that
+// was planned to start at T.
+const (
+	evTaskFinish eventKind = iota
+	evTimer
+	evJobArrival
+	evTaskStart
+)
+
+type event struct {
+	at      int64
+	kind    eventKind
+	seq     int64 // tie-break for determinism
+	jobIdx  int   // evJobArrival
+	taskKey int   // evTaskFinish / evTaskStart
+	version int64 // evTaskStart: stale-event detection
+}
+
+type eventHeap []event
+
+func (h eventHeap) Len() int { return len(h) }
+
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	if h[i].kind != h[j].kind {
+		return h[i].kind < h[j].kind
+	}
+	return h[i].seq < h[j].seq
+}
+
+func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+
+func (h *eventHeap) Push(x any) { *h = append(*h, x.(event)) }
+
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	*h = old[:n-1]
+	return e
+}
+
+type eventQueue struct {
+	h   eventHeap
+	seq int64
+}
+
+func (q *eventQueue) push(e event) {
+	q.seq++
+	e.seq = q.seq
+	heap.Push(&q.h, e)
+}
+
+func (q *eventQueue) pop() (event, bool) {
+	if len(q.h) == 0 {
+		return event{}, false
+	}
+	return heap.Pop(&q.h).(event), true
+}
+
+func (q *eventQueue) empty() bool { return len(q.h) == 0 }

@@ -1,0 +1,68 @@
+package sim
+
+import "testing"
+
+func TestEventQueueTimeOrder(t *testing.T) {
+	var q eventQueue
+	q.push(event{at: 30, kind: evJobArrival})
+	q.push(event{at: 10, kind: evJobArrival})
+	q.push(event{at: 20, kind: evJobArrival})
+	var got []int64
+	for {
+		e, ok := q.pop()
+		if !ok {
+			break
+		}
+		got = append(got, e.at)
+	}
+	want := []int64{10, 20, 30}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("order %v", got)
+		}
+	}
+}
+
+func TestEventQueueKindPriorityAtSameTime(t *testing.T) {
+	var q eventQueue
+	// Insert in the wrong order; pops must honor the kind priority:
+	// finish < timer < arrival < start.
+	q.push(event{at: 5, kind: evTaskStart})
+	q.push(event{at: 5, kind: evJobArrival})
+	q.push(event{at: 5, kind: evTimer})
+	q.push(event{at: 5, kind: evTaskFinish})
+	want := []eventKind{evTaskFinish, evTimer, evJobArrival, evTaskStart}
+	for i, k := range want {
+		e, ok := q.pop()
+		if !ok || e.kind != k {
+			t.Fatalf("pop %d: kind %v, want %v", i, e.kind, k)
+		}
+	}
+}
+
+func TestEventQueueStableWithinKind(t *testing.T) {
+	var q eventQueue
+	for i := 0; i < 5; i++ {
+		q.push(event{at: 7, kind: evTaskFinish, taskKey: i})
+	}
+	for i := 0; i < 5; i++ {
+		e, _ := q.pop()
+		if e.taskKey != i {
+			t.Fatalf("insertion order not preserved: got key %d at pop %d", e.taskKey, i)
+		}
+	}
+}
+
+func TestEventQueueEmpty(t *testing.T) {
+	var q eventQueue
+	if !q.empty() {
+		t.Fatal("fresh queue not empty")
+	}
+	if _, ok := q.pop(); ok {
+		t.Fatal("pop on empty queue succeeded")
+	}
+	q.push(event{at: 1})
+	if q.empty() {
+		t.Fatal("queue with one event reports empty")
+	}
+}

@@ -1,0 +1,116 @@
+package sim
+
+import (
+	"time"
+
+	"mrcprm/internal/workload"
+)
+
+// JobRecord is the per-job outcome of a simulation run.
+type JobRecord struct {
+	Job        *workload.Job
+	Completion int64 // completion time CT_j (ms); 0 until completed
+	Done       bool
+}
+
+// Late reports whether the job finished after its deadline.
+func (r JobRecord) Late() bool { return r.Done && r.Completion > r.Job.Deadline }
+
+// TurnaroundMS returns CT_j - s_j, the paper's per-job turnaround.
+func (r JobRecord) TurnaroundMS() int64 { return r.Completion - r.Job.EarliestStart }
+
+// Metrics aggregates the paper's performance metrics over one run.
+type Metrics struct {
+	JobsArrived   int
+	JobsCompleted int
+	// N: number of jobs that missed their deadlines.
+	LateJobs int
+	// Sum of CT_j - s_j over completed jobs, for T.
+	totalTurnaroundMS int64
+	// Total matchmaking and scheduling wall time, for O.
+	totalOverhead time.Duration
+	// Invocations counts resource manager scheduling rounds.
+	Invocations int
+	// MakespanMS is the completion time of the last job.
+	MakespanMS int64
+	// BusySlotMS accumulates slot-milliseconds of executed work, split by
+	// slot kind; together with MakespanMS it yields utilization figures.
+	BusyMapSlotMS    int64
+	BusyReduceSlotMS int64
+	// ResourceActiveMS accumulates resource-milliseconds during which a
+	// resource had at least one task running — the quantity a pay-per-use
+	// cloud bills for (the paper's future-work cost direction).
+	ResourceActiveMS int64
+	// TotalLatenessMS and MaxLatenessMS quantify how badly the late jobs
+	// missed (the paper's N counts them; these add magnitude).
+	TotalLatenessMS int64
+	MaxLatenessMS   int64
+
+	Records []JobRecord
+}
+
+// MeanLatenessSec returns the average lateness among late jobs in seconds
+// (0 when no job is late).
+func (m *Metrics) MeanLatenessSec() float64 {
+	if m.LateJobs == 0 {
+		return 0
+	}
+	return float64(m.TotalLatenessMS) / float64(m.LateJobs) / 1000
+}
+
+// MapUtilization returns the fraction of map slot capacity used over the
+// run's makespan, in [0, 1].
+func (m *Metrics) MapUtilization(cluster Cluster) float64 {
+	den := float64(cluster.TotalMapSlots()) * float64(m.MakespanMS)
+	if den == 0 {
+		return 0
+	}
+	return float64(m.BusyMapSlotMS) / den
+}
+
+// ReduceUtilization returns the fraction of reduce slot capacity used over
+// the run's makespan, in [0, 1].
+func (m *Metrics) ReduceUtilization(cluster Cluster) float64 {
+	den := float64(cluster.TotalReduceSlots()) * float64(m.MakespanMS)
+	if den == 0 {
+		return 0
+	}
+	return float64(m.BusyReduceSlotMS) / den
+}
+
+// Cost converts resource-active time into money at the given price per
+// resource-hour.
+func (m *Metrics) Cost(pricePerResourceHour float64) float64 {
+	return float64(m.ResourceActiveMS) / 3_600_000 * pricePerResourceHour
+}
+
+// P returns the proportion of late jobs N / arrived, in [0, 1].
+func (m *Metrics) P() float64 {
+	if m.JobsArrived == 0 {
+		return 0
+	}
+	return float64(m.LateJobs) / float64(m.JobsArrived)
+}
+
+// T returns the average job turnaround time in seconds.
+func (m *Metrics) T() float64 {
+	if m.JobsCompleted == 0 {
+		return 0
+	}
+	return float64(m.totalTurnaroundMS) / float64(m.JobsCompleted) / 1000
+}
+
+// O returns the average matchmaking and scheduling time per job in seconds
+// (total overhead divided by the number of jobs mapped and scheduled).
+func (m *Metrics) O() float64 {
+	if m.JobsCompleted == 0 {
+		return 0
+	}
+	return m.totalOverhead.Seconds() / float64(m.JobsCompleted)
+}
+
+// N returns the number of late jobs.
+func (m *Metrics) N() int { return m.LateJobs }
+
+// TotalOverhead returns the accumulated scheduling wall time.
+func (m *Metrics) TotalOverhead() time.Duration { return m.totalOverhead }

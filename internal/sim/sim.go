@@ -1,0 +1,360 @@
+package sim
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"mrcprm/internal/workload"
+)
+
+// ResourceManager is the pluggable matchmaking-and-scheduling policy. Both
+// MRCP-RM (internal/core) and the MinEDF-WC baseline (internal/minedf)
+// implement it. Callbacks receive the simulation Context through which the
+// manager inspects state and installs placements.
+type ResourceManager interface {
+	// Name identifies the manager in reports.
+	Name() string
+	// OnJobArrival fires when a job enters the system at ctx.Now().
+	OnJobArrival(ctx Context, j *workload.Job) error
+	// OnTaskComplete fires when a running task finishes.
+	OnTaskComplete(ctx Context, t *workload.Task) error
+	// OnTimer fires when a timer set through ctx.SetTimer expires.
+	OnTimer(ctx Context) error
+}
+
+// Context is the view of the simulation a resource manager operates
+// through.
+type Context interface {
+	// Now returns the current simulated time (ms).
+	Now() int64
+	// Cluster returns the simulated system shape.
+	Cluster() Cluster
+	// Schedule installs (or replaces) the placement of a not-yet-started
+	// task: it will start on resource res at time start >= Now().
+	Schedule(t *workload.Task, res int, start int64) error
+	// Unschedule removes a pending placement. It is an error to unschedule
+	// a started task.
+	Unschedule(t *workload.Task) error
+	// Placement returns a task's planned or actual placement.
+	Placement(t *workload.Task) (res int, start int64, ok bool)
+	// Started reports whether the task has begun executing.
+	Started(t *workload.Task) bool
+	// Completed reports whether the task has finished.
+	Completed(t *workload.Task) bool
+	// FreeMapSlots and FreeReduceSlots report instantaneous idle capacity.
+	FreeMapSlots(res int) int64
+	FreeReduceSlots(res int) int64
+	// SetTimer schedules an OnTimer callback at the given time (> Now).
+	SetTimer(at int64)
+	// AddOverhead accrues matchmaking-and-scheduling wall time into the O
+	// metric and counts one invocation.
+	AddOverhead(d time.Duration)
+}
+
+type taskState struct {
+	task      *workload.Task
+	job       *workload.Job
+	key       int // index into Simulator.byKey, used by events
+	res       int
+	start     int64
+	version   int64
+	scheduled bool
+	started   bool
+	completed bool
+}
+
+// Simulator drives one run: a fixed job list (with arrival times) against a
+// cluster under a resource manager.
+type Simulator struct {
+	cluster Cluster
+	rm      ResourceManager
+	jobs    []*workload.Job
+
+	queue   eventQueue
+	clock   int64
+	ledger  *slotLedger
+	tasks   map[*workload.Task]*taskState
+	byKey   []*taskState
+	pending map[*workload.Job]int // uncompleted task count
+	metrics Metrics
+	timers  map[int64]bool
+	// activeSince[r] is the instant resource r last became non-idle, or -1.
+	activeSince []int64
+	observer    Observer
+}
+
+// Observer receives task lifecycle notifications; see internal/trace for a
+// ready-made recorder. Nil observers are fine.
+type Observer interface {
+	// TaskStarted fires when a task begins executing.
+	TaskStarted(now int64, t *workload.Task, j *workload.Job, res int)
+	// TaskFinished fires when a task completes.
+	TaskFinished(now int64, t *workload.Task, j *workload.Job, res int)
+}
+
+// SetObserver attaches a lifecycle observer; call before Run.
+func (s *Simulator) SetObserver(o Observer) { s.observer = o }
+
+// New prepares a simulation of the given jobs. The job list is sorted by
+// arrival time internally; it is not modified.
+func New(cluster Cluster, rm ResourceManager, jobs []*workload.Job) (*Simulator, error) {
+	if err := cluster.Validate(); err != nil {
+		return nil, err
+	}
+	sorted := append([]*workload.Job(nil), jobs...)
+	sort.SliceStable(sorted, func(i, j int) bool { return sorted[i].Arrival < sorted[j].Arrival })
+	s := &Simulator{
+		cluster:     cluster,
+		rm:          rm,
+		jobs:        sorted,
+		ledger:      newSlotLedger(cluster),
+		tasks:       make(map[*workload.Task]*taskState),
+		pending:     make(map[*workload.Job]int),
+		timers:      make(map[int64]bool),
+		activeSince: make([]int64, cluster.NumResources),
+	}
+	for r := range s.activeSince {
+		s.activeSince[r] = -1
+	}
+	for idx, j := range sorted {
+		if err := j.Validate(); err != nil {
+			return nil, err
+		}
+		for _, t := range j.Tasks() {
+			if t.Type == workload.MapTask && t.Req > cluster.MapSlots {
+				return nil, fmt.Errorf("sim: task %s demand %d exceeds per-resource map capacity %d",
+					t.ID, t.Req, cluster.MapSlots)
+			}
+			if t.Type == workload.ReduceTask && t.Req > cluster.ReduceSlots {
+				return nil, fmt.Errorf("sim: task %s demand %d exceeds per-resource reduce capacity %d",
+					t.ID, t.Req, cluster.ReduceSlots)
+			}
+			st := &taskState{task: t, job: j, key: len(s.byKey), res: -1}
+			s.tasks[t] = st
+			s.byKey = append(s.byKey, st)
+		}
+		s.pending[j] = j.NumTasks()
+		s.queue.push(event{at: j.Arrival, kind: evJobArrival, jobIdx: idx})
+	}
+	return s, nil
+}
+
+// Run executes the simulation to completion and returns the metrics.
+func (s *Simulator) Run() (*Metrics, error) {
+	for {
+		ev, ok := s.queue.pop()
+		if !ok {
+			break
+		}
+		if ev.at < s.clock {
+			return nil, fmt.Errorf("sim: time ran backwards (%d -> %d)", s.clock, ev.at)
+		}
+		s.clock = ev.at
+		var err error
+		switch ev.kind {
+		case evJobArrival:
+			j := s.jobs[ev.jobIdx]
+			s.metrics.JobsArrived++
+			err = s.rm.OnJobArrival(s, j)
+		case evTimer:
+			if s.timers[ev.at] {
+				delete(s.timers, ev.at)
+				err = s.rm.OnTimer(s)
+			}
+		case evTaskStart:
+			err = s.handleTaskStart(ev)
+		case evTaskFinish:
+			err = s.handleTaskFinish(ev)
+		}
+		if err != nil {
+			return nil, err
+		}
+	}
+	for j, n := range s.pending {
+		if n > 0 {
+			return nil, fmt.Errorf("sim: run ended with job %d incomplete (%d tasks left)", j.ID, n)
+		}
+	}
+	return &s.metrics, nil
+}
+
+func (s *Simulator) stateOf(t *workload.Task) (*taskState, error) {
+	st, ok := s.tasks[t]
+	if !ok {
+		return nil, fmt.Errorf("sim: unknown task %s", t.ID)
+	}
+	return st, nil
+}
+
+func (s *Simulator) handleTaskStart(ev event) error {
+	// Locate by key: the event stores the task through its state pointer
+	// index; we keep it simple by embedding the pointer lookup in version
+	// checks below.
+	st := s.byKey[ev.taskKey]
+	if st.version != ev.version || st.started || !st.scheduled {
+		return nil // superseded by a reschedule
+	}
+	t, j := st.task, st.job
+	if st.start != s.clock {
+		return fmt.Errorf("sim: task %s start event at %d but placement says %d", t.ID, s.clock, st.start)
+	}
+	if s.clock < j.EarliestStart {
+		return fmt.Errorf("sim: task %s of job %d started at %d before earliest start %d",
+			t.ID, j.ID, s.clock, j.EarliestStart)
+	}
+	if j.TaskPrecedence {
+		for _, p := range t.Preds {
+			if !s.tasks[p].completed {
+				return fmt.Errorf("sim: task %s started before predecessor %s completed", t.ID, p.ID)
+			}
+		}
+	} else if t.Type == workload.ReduceTask {
+		for _, mt := range j.MapTasks {
+			if !s.tasks[mt].completed {
+				return fmt.Errorf("sim: reduce task %s started before map task %s completed", t.ID, mt.ID)
+			}
+		}
+	}
+	if err := s.ledger.acquire(st.res, t); err != nil {
+		return err
+	}
+	if s.activeSince[st.res] < 0 {
+		s.activeSince[st.res] = s.clock
+	}
+	st.started = true
+	if s.observer != nil {
+		s.observer.TaskStarted(s.clock, t, j, st.res)
+	}
+	s.queue.push(event{at: s.clock + t.Exec, kind: evTaskFinish, taskKey: ev.taskKey})
+	return nil
+}
+
+func (s *Simulator) handleTaskFinish(ev event) error {
+	st := s.byKey[ev.taskKey]
+	t, j := st.task, st.job
+	s.ledger.release(st.res, t)
+	if t.Type == workload.MapTask {
+		s.metrics.BusyMapSlotMS += t.Exec * t.Req
+	} else {
+		s.metrics.BusyReduceSlotMS += t.Exec * t.Req
+	}
+	if s.ledger.mapUse[st.res] == 0 && s.ledger.redUse[st.res] == 0 {
+		s.metrics.ResourceActiveMS += s.clock - s.activeSince[st.res]
+		s.activeSince[st.res] = -1
+	}
+	st.completed = true
+	if s.observer != nil {
+		s.observer.TaskFinished(s.clock, t, j, st.res)
+	}
+	s.pending[j]--
+	if s.pending[j] == 0 {
+		s.completeJob(j)
+	}
+	return s.rm.OnTaskComplete(s, t)
+}
+
+func (s *Simulator) completeJob(j *workload.Job) {
+	s.metrics.JobsCompleted++
+	rec := JobRecord{Job: j, Completion: s.clock, Done: true}
+	if rec.Late() {
+		s.metrics.LateJobs++
+		lateBy := s.clock - j.Deadline
+		s.metrics.TotalLatenessMS += lateBy
+		if lateBy > s.metrics.MaxLatenessMS {
+			s.metrics.MaxLatenessMS = lateBy
+		}
+	}
+	s.metrics.totalTurnaroundMS += rec.TurnaroundMS()
+	if s.clock > s.metrics.MakespanMS {
+		s.metrics.MakespanMS = s.clock
+	}
+	s.metrics.Records = append(s.metrics.Records, rec)
+}
+
+// --- Context implementation ---
+
+// Now returns the current simulated time.
+func (s *Simulator) Now() int64 { return s.clock }
+
+// Cluster returns the simulated cluster shape.
+func (s *Simulator) Cluster() Cluster { return s.cluster }
+
+// Schedule installs or replaces the placement of a not-yet-started task.
+func (s *Simulator) Schedule(t *workload.Task, res int, start int64) error {
+	st, err := s.stateOf(t)
+	if err != nil {
+		return err
+	}
+	if st.started {
+		return fmt.Errorf("sim: cannot reschedule started task %s", t.ID)
+	}
+	if start < s.clock {
+		return fmt.Errorf("sim: task %s scheduled in the past (%d < %d)", t.ID, start, s.clock)
+	}
+	if res < 0 || res >= s.cluster.NumResources {
+		return fmt.Errorf("sim: task %s scheduled on invalid resource %d", t.ID, res)
+	}
+	st.res, st.start = res, start
+	st.scheduled = true
+	st.version++
+	s.queue.push(event{at: start, kind: evTaskStart, taskKey: st.key, version: st.version})
+	return nil
+}
+
+// Unschedule removes a pending placement.
+func (s *Simulator) Unschedule(t *workload.Task) error {
+	st, err := s.stateOf(t)
+	if err != nil {
+		return err
+	}
+	if st.started {
+		return fmt.Errorf("sim: cannot unschedule started task %s", t.ID)
+	}
+	st.scheduled = false
+	st.version++ // existing start events become stale
+	return nil
+}
+
+// Placement returns the planned or actual placement of the task.
+func (s *Simulator) Placement(t *workload.Task) (int, int64, bool) {
+	st, ok := s.tasks[t]
+	if !ok || !st.scheduled {
+		return -1, 0, false
+	}
+	return st.res, st.start, true
+}
+
+// Started reports whether the task has begun executing.
+func (s *Simulator) Started(t *workload.Task) bool {
+	st, ok := s.tasks[t]
+	return ok && st.started
+}
+
+// Completed reports whether the task has finished.
+func (s *Simulator) Completed(t *workload.Task) bool {
+	st, ok := s.tasks[t]
+	return ok && st.completed
+}
+
+// FreeMapSlots returns idle map slots on the resource.
+func (s *Simulator) FreeMapSlots(res int) int64 { return s.ledger.freeMapSlots(res) }
+
+// FreeReduceSlots returns idle reduce slots on the resource.
+func (s *Simulator) FreeReduceSlots(res int) int64 { return s.ledger.freeReduceSlots(res) }
+
+// SetTimer schedules an OnTimer callback; duplicate timers at the same
+// instant coalesce and timers in the past are ignored.
+func (s *Simulator) SetTimer(at int64) {
+	if at < s.clock || s.timers[at] {
+		return
+	}
+	s.timers[at] = true
+	s.queue.push(event{at: at, kind: evTimer})
+}
+
+// AddOverhead accrues scheduling wall time into the O metric.
+func (s *Simulator) AddOverhead(d time.Duration) {
+	s.metrics.totalOverhead += d
+	s.metrics.Invocations++
+}

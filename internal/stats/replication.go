@@ -1,0 +1,52 @@
+package stats
+
+import "math"
+
+// ReplicationPolicy implements the paper's stopping rule for simulation
+// replications (Section VI.A): repeat each experiment until the 95%
+// confidence interval of the primary metric is within a relative tolerance
+// of its mean, bounded by a minimum and maximum number of replications.
+type ReplicationPolicy struct {
+	// MinReps is the minimum number of replications to run before the
+	// stopping rule is evaluated. Must be at least 2 for a CI to exist.
+	MinReps int
+	// MaxReps caps the number of replications regardless of CI width.
+	MaxReps int
+	// Level is the confidence level, e.g. 0.95.
+	Level float64
+	// RelTol is the target relative half-width, e.g. 0.01 for ±1%.
+	RelTol float64
+}
+
+// DefaultReplicationPolicy mirrors the paper: 95% confidence, ±1% relative
+// half-width on the primary metric.
+func DefaultReplicationPolicy() ReplicationPolicy {
+	return ReplicationPolicy{MinReps: 5, MaxReps: 50, Level: 0.95, RelTol: 0.01}
+}
+
+// Done reports whether the sample collected so far satisfies the policy.
+func (p ReplicationPolicy) Done(primary []float64) bool {
+	n := len(primary)
+	if n >= p.MaxReps {
+		return true
+	}
+	if n < p.MinReps || n < 2 {
+		return false
+	}
+	s := Summarize(primary)
+	rel := s.RelCI(p.Level)
+	return !math.IsInf(rel, 1) && rel <= p.RelTol
+}
+
+// Run drives replications of a simulation. The body callback receives the
+// replication index and returns the primary metric value for that run; Run
+// stops according to the policy and returns all collected values.
+func (p ReplicationPolicy) Run(body func(rep int) float64) []float64 {
+	var primary []float64
+	for rep := 0; ; rep++ {
+		primary = append(primary, body(rep))
+		if p.Done(primary) {
+			return primary
+		}
+	}
+}

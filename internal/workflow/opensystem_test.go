@@ -1,0 +1,204 @@
+package workflow
+
+import (
+	"testing"
+
+	"mrcprm/internal/core"
+	"mrcprm/internal/sim"
+	"mrcprm/internal/stats"
+	"mrcprm/internal/workload"
+)
+
+// Open-system workflow scheduling: workflows converted to precedence jobs
+// flow through the simulator under MRCP-RM like any other arrival; the
+// simulator independently enforces every task-level precedence edge.
+
+func runOpen(t *testing.T, cluster sim.Cluster, jobs []*workload.Job) *sim.Metrics {
+	t.Helper()
+	mgr := core.New(cluster, cfg())
+	s, err := sim.New(cluster, mgr, jobs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := s.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.JobsCompleted != len(jobs) {
+		t.Fatalf("completed %d of %d", m.JobsCompleted, len(jobs))
+	}
+	return m
+}
+
+func TestToJobConversion(t *testing.T) {
+	w := New(3, 1000, 500_000)
+	a := w.AddTask("a", workload.MapTask, 10_000)
+	b := w.AddTask("b", workload.ReduceTask, 5_000)
+	if err := w.AddDep(a, b); err != nil {
+		t.Fatal(err)
+	}
+	j, err := w.ToJob(500)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !j.TaskPrecedence || j.ID != 3 || j.Arrival != 500 || j.EarliestStart != 1000 {
+		t.Fatalf("job %+v", j)
+	}
+	if len(j.MapTasks) != 1 || len(j.ReduceTasks) != 1 {
+		t.Fatalf("pools %d/%d", len(j.MapTasks), len(j.ReduceTasks))
+	}
+	if len(j.ReduceTasks[0].Preds) != 1 || j.ReduceTasks[0].Preds[0] != j.MapTasks[0] {
+		t.Fatal("precedence not converted")
+	}
+}
+
+func TestToJobRejectsReduceOnly(t *testing.T) {
+	w := New(0, 0, 1000)
+	w.AddTask("r", workload.ReduceTask, 100)
+	if _, err := w.ToJob(0); err == nil {
+		t.Fatal("reduce-only workflow accepted as open-system job")
+	}
+}
+
+func TestOpenSystemChainWorkflow(t *testing.T) {
+	w := New(0, 0, 300_000)
+	a := w.AddTask("a", workload.MapTask, 10_000)
+	b := w.AddTask("b", workload.MapTask, 20_000)
+	c := w.AddTask("c", workload.ReduceTask, 5_000)
+	if err := w.Chain(a, b, c); err != nil {
+		t.Fatal(err)
+	}
+	j, err := w.ToJob(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cluster := sim.Cluster{NumResources: 4, MapSlots: 2, ReduceSlots: 2}
+	m := runOpen(t, cluster, []*workload.Job{j})
+	// Chain: 10 + 20 + 5 seconds.
+	if m.MakespanMS != 35_000 {
+		t.Fatalf("makespan %d, want 35000", m.MakespanMS)
+	}
+	if m.LateJobs != 0 {
+		t.Fatal("late")
+	}
+}
+
+func TestOpenSystemDiamondUnderContention(t *testing.T) {
+	// Two diamond workflows arriving 5s apart on a small cluster.
+	mkDiamond := func(id int, arrival int64) *workload.Job {
+		w := New(id, arrival, arrival+400_000)
+		src := w.AddTask("src", workload.MapTask, 5_000)
+		l := w.AddTask("l", workload.MapTask, 20_000)
+		r := w.AddTask("r", workload.MapTask, 30_000)
+		join := w.AddTask("join", workload.ReduceTask, 10_000)
+		for _, d := range []struct{ p, s *Task }{{src, l}, {src, r}, {l, join}, {r, join}} {
+			if err := w.AddDep(d.p, d.s); err != nil {
+				t.Fatal(err)
+			}
+		}
+		j, err := w.ToJob(arrival)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return j
+	}
+	cluster := sim.Cluster{NumResources: 2, MapSlots: 1, ReduceSlots: 1}
+	m := runOpen(t, cluster, []*workload.Job{mkDiamond(0, 0), mkDiamond(1, 5_000)})
+	if m.LateJobs != 0 {
+		t.Fatalf("%d late despite generous deadlines", m.LateJobs)
+	}
+}
+
+func TestOpenSystemMixedClassicAndWorkflowJobs(t *testing.T) {
+	// A workflow job and classic MapReduce jobs share the cluster.
+	w := New(100, 0, 500_000)
+	a := w.AddTask("a", workload.MapTask, 8_000)
+	b := w.AddTask("b", workload.ReduceTask, 4_000)
+	if err := w.AddDep(a, b); err != nil {
+		t.Fatal(err)
+	}
+	wfJob, err := w.ToJob(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	gen := workload.DefaultSynthetic()
+	gen.NumResources = 4
+	gen.NumMapHi = 6
+	gen.NumReduceHi = 3
+	gen.Lambda = 0.05
+	classic, err := gen.Generate(8, stats.NewStream(81, 82))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cluster := sim.Cluster{NumResources: 4, MapSlots: 2, ReduceSlots: 2}
+	jobs := append([]*workload.Job{wfJob}, classic...)
+	m := runOpen(t, cluster, jobs)
+	if m.JobsCompleted != len(jobs) {
+		t.Fatal("jobs lost")
+	}
+}
+
+// Task-level precedence must also work under the direct (per-resource)
+// formulation, where matchmaking lives inside the CP model.
+func TestOpenSystemWorkflowDirectMode(t *testing.T) {
+	w := New(0, 0, 300_000)
+	a := w.AddTask("a", workload.MapTask, 10_000)
+	b := w.AddTask("b", workload.MapTask, 20_000)
+	c := w.AddTask("c", workload.ReduceTask, 5_000)
+	if err := w.Chain(a, b, c); err != nil {
+		t.Fatal(err)
+	}
+	j, err := w.ToJob(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cluster := sim.Cluster{NumResources: 2, MapSlots: 1, ReduceSlots: 1}
+	dcfg := cfg()
+	dcfg.Mode = core.ModeDirect
+	mgr := core.New(cluster, dcfg)
+	s, err := sim.New(cluster, mgr, []*workload.Job{j})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := s.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.MakespanMS != 35_000 || m.LateJobs != 0 {
+		t.Fatalf("makespan %d late %d", m.MakespanMS, m.LateJobs)
+	}
+}
+
+// The incremental path: a second workflow arrives while the first runs;
+// started tasks freeze, pending ones re-plan, and the simulator verifies
+// every precedence edge at execution time.
+func TestOpenSystemIncrementalRescheduleWithPrecedence(t *testing.T) {
+	mkChain := func(id int, arrival, deadline int64, execs ...int64) *workload.Job {
+		w := New(id, arrival, deadline)
+		var prev *Task
+		for i, e := range execs {
+			task := w.AddTask(taskName(i), workload.MapTask, e)
+			if prev != nil {
+				if err := w.AddDep(prev, task); err != nil {
+					t.Fatal(err)
+				}
+			}
+			prev = task
+		}
+		j, err := w.ToJob(arrival)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return j
+	}
+	cluster := sim.Cluster{NumResources: 1, MapSlots: 1, ReduceSlots: 1}
+	long := mkChain(0, 0, 1_000_000, 30_000, 30_000)
+	tight := mkChain(1, 5_000, 45_000, 8_000) // must preempt the queue
+	m := runOpen(t, cluster, []*workload.Job{long, tight})
+	for _, r := range m.Records {
+		if r.Job.ID == 1 && r.Late() {
+			t.Fatalf("tight workflow completed at %d, deadline %d", r.Completion, r.Job.Deadline)
+		}
+	}
+}

@@ -1,0 +1,216 @@
+// Package mrcprm is the public API of this repository: a reproduction of
+// "A Constraint Programming-Based Resource Management Technique for
+// Processing MapReduce Jobs with SLAs on Clouds" (Lim, Majumdar,
+// Ashwood-Smith; ICPP 2014).
+//
+// The package re-exports the stable surface of the internal packages:
+//
+//   - the MapReduce job/SLA model and the paper's two workload generators
+//     (Table 3 synthetic, Table 4 Facebook-derived),
+//   - MRCP-RM itself (the CP-based resource manager of Sections III-V) and
+//     the MinEDF-WC baseline it is evaluated against,
+//   - the discrete event simulator and its metrics (O, N, T, P),
+//   - the closed-system batch solver, and
+//   - the experiment harness that regenerates Figs 2-9.
+//
+// # Quick start
+//
+//	cfg := mrcprm.DefaultSyntheticWorkload()
+//	jobs, _ := cfg.Generate(100, mrcprm.NewStream(1, 2))
+//	cluster := mrcprm.Cluster{NumResources: 50, MapSlots: 2, ReduceSlots: 2}
+//	metrics, _ := mrcprm.Simulate(cluster, mrcprm.NewManager(cluster, mrcprm.DefaultConfig()), jobs)
+//	fmt.Printf("P=%.2f%% T=%.1fs O=%.4fs\n", 100*metrics.P(), metrics.T(), metrics.O())
+//
+// See examples/ for runnable programs and DESIGN.md for the system
+// inventory and paper-to-module mapping.
+package mrcprm
+
+import (
+	"io"
+	"mrcprm/internal/core"
+	"mrcprm/internal/cp"
+	"mrcprm/internal/experiment"
+	"mrcprm/internal/fifo"
+	"mrcprm/internal/minedf"
+	"mrcprm/internal/sim"
+	"mrcprm/internal/stats"
+	"mrcprm/internal/trace"
+	"mrcprm/internal/workflow"
+	"mrcprm/internal/workload"
+)
+
+// Workload model (Section III.A).
+type (
+	// Job is a MapReduce job with its SLA (earliest start time, task
+	// execution times, end-to-end deadline).
+	Job = workload.Job
+	// Task is one map or reduce task.
+	Task = workload.Task
+	// TaskType distinguishes map from reduce tasks.
+	TaskType = workload.TaskType
+	// SyntheticWorkload parameterizes the Table 3 generator.
+	SyntheticWorkload = workload.SyntheticConfig
+	// FacebookWorkload parameterizes the Table 4 generator.
+	FacebookWorkload = workload.FacebookConfig
+)
+
+// Task types.
+const (
+	MapTask    = workload.MapTask
+	ReduceTask = workload.ReduceTask
+)
+
+// Simulation substrate (Section VI).
+type (
+	// Cluster is the simulated system component.
+	Cluster = sim.Cluster
+	// Metrics carries the paper's O, N, T, P metrics for one run.
+	Metrics = sim.Metrics
+	// JobRecord is a per-job outcome.
+	JobRecord = sim.JobRecord
+	// ResourceManager is the pluggable matchmaking-and-scheduling policy.
+	ResourceManager = sim.ResourceManager
+	// Context is the view managers operate through.
+	Context = sim.Context
+)
+
+// MRCP-RM (Sections III-V).
+type (
+	// Config tunes MRCP-RM.
+	Config = core.Config
+	// Manager is the CP-based resource manager.
+	Manager = core.Manager
+	// ManagerStats carries MRCP-RM's internal counters.
+	ManagerStats = core.Stats
+	// Schedule is a closed-system batch solve result.
+	Schedule = core.Schedule
+	// Assignment is one task placement in a batch schedule.
+	Assignment = core.Assignment
+	// SolveMode selects combined (two-phase) or direct matchmaking.
+	SolveMode = core.SolveMode
+	// OrderingStrategy selects the search's job ordering heuristic.
+	OrderingStrategy = cp.OrderingStrategy
+)
+
+// Solve modes and ordering strategies.
+const (
+	ModeCombined = core.ModeCombined
+	ModeDirect   = core.ModeDirect
+
+	OrderEDF         = cp.OrderEDF
+	OrderJobID       = cp.OrderJobID
+	OrderLeastLaxity = cp.OrderLeastLaxity
+)
+
+// Experiments (Section VI).
+type (
+	// Experiment is one registered evaluation experiment.
+	Experiment = experiment.Spec
+	// ExperimentOptions sizes an experiment run.
+	ExperimentOptions = experiment.Options
+	// ExperimentResult is a regenerated figure.
+	ExperimentResult = experiment.Result
+)
+
+// Workflows with user-specified precedence (the paper's future-work
+// generalization beyond two-phase MapReduce).
+type (
+	// Workflow is a DAG of tasks with an end-to-end SLA.
+	Workflow = workflow.Workflow
+	// WorkflowTask is one node of a workflow DAG.
+	WorkflowTask = workflow.Task
+	// WorkflowSchedule is a solved batch of workflows.
+	WorkflowSchedule = workflow.Schedule
+	// WorkflowAssignment is one task placement in a workflow schedule.
+	WorkflowAssignment = workflow.Assignment
+)
+
+// NewWorkflow creates an empty workflow with the given SLA.
+func NewWorkflow(id int, earliestStart, deadline int64) *Workflow {
+	return workflow.New(id, earliestStart, deadline)
+}
+
+// WorkflowFromJob converts a two-phase MapReduce job into the equivalent
+// workflow DAG.
+func WorkflowFromJob(j *Job) *Workflow { return workflow.FromMapReduceJob(j) }
+
+// SolveWorkflows maps and schedules a batch of workflows, minimizing the
+// number that miss their deadlines.
+func SolveWorkflows(cluster Cluster, wfs []*Workflow, cfg Config) (*WorkflowSchedule, error) {
+	return workflow.Solve(cluster, wfs, cfg)
+}
+
+// Stream is a deterministic random number stream.
+type Stream = stats.Stream
+
+// NewStream returns a deterministic random stream for the given seed.
+func NewStream(seed1, seed2 uint64) *Stream { return stats.NewStream(seed1, seed2) }
+
+// DefaultSyntheticWorkload returns Table 3 with every factor at its
+// default (boldface) value.
+func DefaultSyntheticWorkload() SyntheticWorkload { return workload.DefaultSynthetic() }
+
+// DefaultFacebookWorkload returns the Section VI.B.1 comparison workload.
+func DefaultFacebookWorkload() FacebookWorkload { return workload.DefaultFacebook() }
+
+// DefaultConfig returns the MRCP-RM configuration used by the experiments.
+func DefaultConfig() Config { return core.DefaultConfig() }
+
+// NewManager creates an MRCP-RM resource manager for the cluster.
+func NewManager(cluster Cluster, cfg Config) *Manager { return core.New(cluster, cfg) }
+
+// NewMinEDF creates the MinEDF-WC baseline resource manager.
+func NewMinEDF(cluster Cluster) ResourceManager { return minedf.New(cluster) }
+
+// NewFIFO creates the deadline-blind best-effort baseline.
+func NewFIFO(cluster Cluster) ResourceManager { return fifo.New(cluster) }
+
+// Simulate runs the job stream against the cluster under the manager and
+// returns the collected metrics.
+func Simulate(cluster Cluster, rm ResourceManager, jobs []*Job) (*Metrics, error) {
+	s, err := sim.New(cluster, rm, jobs)
+	if err != nil {
+		return nil, err
+	}
+	return s.Run()
+}
+
+// SolveBatch maps and schedules a fixed batch of jobs in one shot (the
+// closed-system scenario), minimizing the number of late jobs.
+func SolveBatch(cluster Cluster, jobs []*Job, cfg Config) (*Schedule, error) {
+	return core.SolveBatch(cluster, jobs, cfg)
+}
+
+// WriteBatchModelOPL renders the CP model a batch solve would use in
+// OPL-like syntax (the paper's Section IV notation) without solving it.
+func WriteBatchModelOPL(cluster Cluster, jobs []*Job, cfg Config, w io.Writer) error {
+	return core.WriteBatchModelOPL(cluster, jobs, cfg, w)
+}
+
+// TraceRecorder records every task start/finish of a run; it exports CSV
+// or JSON and digests slot-occupancy profiles.
+type TraceRecorder = trace.Recorder
+
+// SimulateTraced is Simulate with schedule tracing attached.
+func SimulateTraced(cluster Cluster, rm ResourceManager, jobs []*Job) (*Metrics, *TraceRecorder, error) {
+	s, err := sim.New(cluster, rm, jobs)
+	if err != nil {
+		return nil, nil, err
+	}
+	rec := trace.NewRecorder()
+	s.SetObserver(rec)
+	m, err := s.Run()
+	return m, rec, err
+}
+
+// Experiments lists every registered experiment in paper order.
+func Experiments() []Experiment { return experiment.Registry }
+
+// ExperimentByID looks up one experiment ("fig2".."fig9", "ablation-...").
+func ExperimentByID(id string) (Experiment, bool) { return experiment.ByID(id) }
+
+// DefaultExperimentOptions sizes a full-quality experiment run.
+func DefaultExperimentOptions() ExperimentOptions { return experiment.DefaultOptions() }
+
+// FastExperimentOptions sizes a quick (benchmark/CI) experiment run.
+func FastExperimentOptions() ExperimentOptions { return experiment.FastOptions() }
