@@ -6,6 +6,7 @@
 //	experiments -fig all                # every experiment at default size
 //	experiments -fig 7                  # one figure
 //	experiments -fig ablation-deferral  # one ablation
+//	experiments -fig faults             # failure-rate robustness sweep
 //	experiments -fig all -fast          # benchmark-sized quick pass
 //	experiments -fig 2 -fbjobs 1000 -maxreps 10   # closer to paper scale
 package main
@@ -22,7 +23,7 @@ import (
 
 func main() {
 	var (
-		fig     = flag.String("fig", "all", "experiment id: all, 2..9, fig2..fig9, or ablation-*")
+		fig     = flag.String("fig", "all", "experiment id: all, 2..9, fig2..fig9, ablation-*, or faults")
 		fast    = flag.Bool("fast", false, "use benchmark-sized options")
 		jobs    = flag.Int("jobs", 0, "jobs per replication for synthetic experiments (0 = default)")
 		fbjobs  = flag.Int("fbjobs", 0, "jobs for the Facebook workload (1000 = paper scale; 0 = default)")
@@ -115,7 +116,8 @@ func resolveIDs(arg string) []string {
 	var out []string
 	for _, part := range strings.Split(arg, ",") {
 		part = strings.TrimSpace(part)
-		if !strings.HasPrefix(part, "fig") && !strings.HasPrefix(part, "ablation") {
+		if _, ok := experiment.ByID(part); !ok &&
+			!strings.HasPrefix(part, "fig") && !strings.HasPrefix(part, "ablation") {
 			part = "fig" + part
 		}
 		if _, ok := experiment.ByID(part); ok {

@@ -8,6 +8,7 @@
 //	mrcpsim -rm minedf                   # same workload, baseline manager
 //	mrcpsim -workload facebook -fbjobs 200 -lambda 0.0003
 //	mrcpsim -emax 100 -dul 2 -jobs 500 -v
+//	mrcpsim -failrate 0.05 -straggler 0.02 -mtbf 20000 -mttr 120
 package main
 
 import (
@@ -38,6 +39,12 @@ func main() {
 		verb     = flag.Bool("v", false, "print per-job outcomes")
 		traceOut = flag.String("trace", "", "write the executed schedule to this file (.csv or .json)")
 		gantt    = flag.Bool("gantt", false, "print an ASCII gantt of the executed schedule")
+
+		failRate  = flag.Float64("failrate", 0, "probability a task attempt fails mid-execution")
+		straggler = flag.Float64("straggler", 0, "probability a task attempt runs 1.5-3x slow")
+		mtbf      = flag.Float64("mtbf", 0, "mean time between resource outages (s, 0 = no outages)")
+		mttr      = flag.Float64("mttr", 60, "mean time to repair a down resource (s)")
+		faultSeed = flag.Uint64("faultseed", 0, "fault plan seed (0 = derive from -seed)")
 	)
 	flag.Parse()
 
@@ -102,7 +109,41 @@ func main() {
 		os.Exit(2)
 	}
 
-	metrics, rec, err := mrcprm.SimulateTraced(cluster, rm, jl)
+	var injector mrcprm.FaultInjector
+	faulty := *failRate > 0 || *straggler > 0 || *mtbf > 0
+	if faulty {
+		fseed := *faultSeed
+		if fseed == 0 {
+			fseed = *seed1 ^ 0xfa170000
+		}
+		fcfg := mrcprm.FaultConfig{
+			TaskFailureProb: *failRate,
+			StragglerProb:   *straggler,
+			Seed1:           fseed,
+			Seed2:           0xfa17,
+		}
+		if *mtbf > 0 {
+			// Cover the whole run: outages can strike until well past the
+			// last deadline in the workload.
+			var horizon int64
+			for _, j := range jl {
+				if j.Deadline > horizon {
+					horizon = j.Deadline
+				}
+			}
+			fcfg.MTBFMs = *mtbf * 1000
+			fcfg.MTTRMs = *mttr * 1000
+			fcfg.OutageHorizonMs = 2 * horizon
+			fcfg.NumResources = cluster.NumResources
+		}
+		injector, err = mrcprm.NewFaultPlan(fcfg)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+	}
+
+	metrics, rec, err := mrcprm.SimulateTracedWithFaults(cluster, rm, jl, injector)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
@@ -118,10 +159,21 @@ func main() {
 	fmt.Printf("O          : %.4f s/job (%d scheduling rounds)\n", metrics.O(), metrics.Invocations)
 	fmt.Printf("makespan   : %.1f s\n", float64(metrics.MakespanMS)/1000)
 
+	if faulty {
+		fmt.Printf("faults     : %d failed, %d killed, %d retried, %d jobs abandoned\n",
+			metrics.TasksFailed, metrics.TasksKilled, metrics.TasksRetried, metrics.JobsAbandoned)
+		fmt.Printf("outages    : %d (%.1f s downtime), %.1f slot-s wasted\n",
+			metrics.Outages, float64(metrics.DowntimeMS)/1000, float64(metrics.WastedSlotMS)/1000)
+	}
+
 	if mgr, ok := rm.(*mrcprm.Manager); ok {
 		st := mgr.Stats()
 		fmt.Printf("mrcp-rm    : %d solves, %d nodes, %d deferred, %d slips (%.1fs total slip)\n",
 			st.Rounds, st.SolverNodes, st.Deferred, st.Slips, float64(st.SlipMS)/1000)
+		if faulty {
+			fmt.Printf("recovery   : %d fallback rounds, %d task retries, %d jobs abandoned\n",
+				st.FallbackRounds, st.TaskRetries, st.JobsAbandoned)
+		}
 	}
 
 	fmt.Printf("map util   : %.1f%%  reduce util: %.1f%%  active: %.1f resource-hours\n",

@@ -57,7 +57,7 @@ func SolveBatch(cluster sim.Cluster, jobs []*workload.Job, cfg Config) (*Schedul
 			pendingReds: j.ReduceTasks,
 		})
 	}
-	bm, err := buildModel(cfg.Mode, 0, cluster, work)
+	bm, err := buildModel(cfg.Mode, 0, cluster, work, nil)
 	if err != nil {
 		return nil, err
 	}
@@ -153,7 +153,7 @@ func WriteBatchModelOPL(cluster sim.Cluster, jobs []*workload.Job, cfg Config, w
 	for _, j := range jobs {
 		work = append(work, &jobWork{job: j, pendingMaps: j.MapTasks, pendingReds: j.ReduceTasks})
 	}
-	bm, err := buildModel(cfg.Mode, 0, cluster, work)
+	bm, err := buildModel(cfg.Mode, 0, cluster, work, nil)
 	if err != nil {
 		return err
 	}

@@ -65,6 +65,17 @@ type Config struct {
 	// simulated time) and scheduled in one solve. Zero (the default)
 	// solves on every arrival, as the paper's evaluation does.
 	BatchWindow time.Duration
+	// MaxTaskRetries caps the failed execution attempts of a single task;
+	// one more failure abandons the task's job. Zero means unlimited.
+	MaxTaskRetries int
+	// JobRetryBudget caps the total failed attempts across all tasks of one
+	// job before the job is abandoned. Zero means unlimited.
+	JobRetryBudget int
+	// StrictSolveLimits forwards cp.Params.StrictLimits: the solver may
+	// then return no solution when its budget expires before the first
+	// descent completes, exercising the greedy fallback path. The default
+	// (false) lets every solve finish its first greedy solution.
+	StrictSolveLimits bool
 }
 
 // DefaultConfig returns the configuration used by the experiments: combined
@@ -76,6 +87,7 @@ func DefaultConfig() Config {
 		NodeLimit:      100_000,
 		Ordering:       cp.OrderEDF,
 		DeferralLead:   30 * time.Second,
+		MaxTaskRetries: 4,
 	}
 }
 
@@ -97,4 +109,13 @@ type Stats struct {
 	// LateBound sums the solver's reported objective (expected late jobs)
 	// over rounds; a diagnostic only.
 	LateBound int
+	// FallbackRounds counts scheduling invocations in which the CP solver
+	// produced no usable solution (timeout, exhausted node budget, panic)
+	// and the greedy earliest-deadline-first fallback installed the
+	// schedule instead.
+	FallbackRounds int
+	// TaskRetries counts failed task attempts charged against retry
+	// budgets; JobsAbandoned counts jobs given up after exhausting theirs.
+	TaskRetries   int
+	JobsAbandoned int
 }

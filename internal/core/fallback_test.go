@@ -1,0 +1,53 @@
+package core
+
+import (
+	"testing"
+
+	"mrcprm/internal/sim"
+	"mrcprm/internal/workload"
+)
+
+// A CP solver failure must never terminate a run: the manager falls back to
+// the greedy EDF placer and the simulation completes every job. StrictLimits
+// plus a one-node budget guarantees every solve returns no solution.
+func TestSolverFailureFallsBackToGreedy(t *testing.T) {
+	cluster := sim.Cluster{NumResources: 2, MapSlots: 2, ReduceSlots: 2}
+	cfg := deterministicConfig()
+	cfg.StrictSolveLimits = true
+	cfg.NodeLimit = 1
+	var jobs []*workload.Job
+	for i := 0; i < 6; i++ {
+		jobs = append(jobs, mkJob(i, int64(i)*1000, int64(i)*1000, 400_000,
+			[]int64{4000, 3000}, []int64{5000}))
+	}
+	m, mgr := runJobs(t, cluster, cfg, jobs)
+	st := mgr.Stats()
+	if st.FallbackRounds == 0 {
+		t.Fatal("expected greedy fallback rounds, solver succeeded under a 1-node strict budget")
+	}
+	if m.JobsCompleted != len(jobs) {
+		t.Fatalf("completed %d of %d jobs under fallback", m.JobsCompleted, len(jobs))
+	}
+}
+
+// Same property for the direct formulation, whose fallback path places on
+// per-resource demand profiles rather than the unit-slot matchmaker.
+func TestSolverFailureFallbackDirectMode(t *testing.T) {
+	cluster := sim.Cluster{NumResources: 2, MapSlots: 2, ReduceSlots: 2}
+	cfg := deterministicConfig()
+	cfg.Mode = ModeDirect
+	cfg.StrictSolveLimits = true
+	cfg.NodeLimit = 1
+	var jobs []*workload.Job
+	for i := 0; i < 4; i++ {
+		jobs = append(jobs, mkJob(i, int64(i)*2000, int64(i)*2000, 400_000,
+			[]int64{4000}, []int64{3000}))
+	}
+	m, mgr := runJobs(t, cluster, cfg, jobs)
+	if mgr.Stats().FallbackRounds == 0 {
+		t.Fatal("expected greedy fallback rounds in direct mode")
+	}
+	if m.JobsCompleted != len(jobs) {
+		t.Fatalf("completed %d of %d jobs", m.JobsCompleted, len(jobs))
+	}
+}

@@ -1,0 +1,203 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"mrcprm/internal/sim"
+	"mrcprm/internal/workload"
+)
+
+// The greedy degradation path: when the CP solver produces no usable
+// solution (budget expired under strict limits, or a recovered panic), the
+// manager must still install a valid schedule so the simulation makes
+// progress. Jobs are taken in earliest-deadline-first order and their
+// tasks placed at the earliest feasible instants, honoring frozen
+// (running) attempts, reduce-after-map precedence, and down resources.
+// The result is typically worse than the CP schedule — that is the point:
+// degraded, not dead.
+
+// greedyFallback installs an EDF schedule for all pending work.
+func (m *Manager) greedyFallback(ctx sim.Context, now int64, work []*jobWork, down []bool) error {
+	ordered := append([]*jobWork(nil), work...)
+	sort.SliceStable(ordered, func(a, b int) bool {
+		if ordered[a].job.Deadline != ordered[b].job.Deadline {
+			return ordered[a].job.Deadline < ordered[b].job.Deadline
+		}
+		return ordered[a].job.ID < ordered[b].job.ID
+	})
+	if m.cfg.Mode == ModeCombined {
+		return m.greedyCombined(ctx, now, ordered, down)
+	}
+	return m.greedyDirect(ctx, now, ordered, down)
+}
+
+// greedyCombined reuses the matchmaking slot timelines: frozen tasks stay
+// pinned on their remembered unit slots, then pending tasks go wherever
+// they fit first.
+func (m *Manager) greedyCombined(ctx sim.Context, now int64, ordered []*jobWork, down []bool) error {
+	mk := newMatchmaker(m.cluster.NumResources, m.cluster.MapSlots, m.cluster.ReduceSlots, &m.stats)
+	for r, d := range down {
+		if d {
+			mk.blockResource(r, now)
+		}
+	}
+	for _, w := range ordered {
+		for _, f := range append(append([]frozenTask(nil), w.frozenMaps...), w.frozenReds...) {
+			slot, ok := m.unitSlot[f.task]
+			if !ok {
+				return fmt.Errorf("core: started task %s has no remembered unit slot", f.task.ID)
+			}
+			mk.pin(f.task, slot, f.start, f.exec)
+		}
+	}
+	for _, w := range ordered {
+		est := w.job.EarliestStart
+		if est < now {
+			est = now
+		}
+		for _, t := range append(append([]*workload.Task(nil), w.pendingMaps...), w.pendingReds...) {
+			a := mk.place(t, est)
+			m.unitSlot[t] = a.slot
+			if err := ctx.Schedule(t, a.res, a.start); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// capProfile is one resource's committed demand over time for one slot
+// kind; queries are linear scans — acceptable for the rarely-taken
+// fallback path.
+type capProfile struct {
+	spans []capSpan
+}
+
+type capSpan struct {
+	from, to int64
+	req      int64
+}
+
+func (p *capProfile) add(from, to, req int64) {
+	p.spans = append(p.spans, capSpan{from, to, req})
+}
+
+func (p *capProfile) useAt(t int64) int64 {
+	var u int64
+	for _, s := range p.spans {
+		if s.from <= t && t < s.to {
+			u += s.req
+		}
+	}
+	return u
+}
+
+// maxUse returns the peak committed demand over [start, end).
+func (p *capProfile) maxUse(start, end int64) int64 {
+	peak := p.useAt(start)
+	for _, s := range p.spans {
+		if s.from > start && s.from < end {
+			if u := p.useAt(s.from); u > peak {
+				peak = u
+			}
+		}
+	}
+	return peak
+}
+
+// earliestFit returns the smallest start >= from where req units fit under
+// cap for dur; candidate starts are from and every span end after it.
+func (p *capProfile) earliestFit(from, dur, req, cap int64) int64 {
+	cands := []int64{from}
+	for _, s := range p.spans {
+		if s.to > from {
+			cands = append(cands, s.to)
+		}
+	}
+	sort.Slice(cands, func(i, j int) bool { return cands[i] < cands[j] })
+	for _, c := range cands {
+		if p.maxUse(c, c+dur)+req <= cap {
+			return c
+		}
+	}
+	// Unreachable: past the last span end the profile is empty and the
+	// simulator guarantees req <= cap.
+	return cands[len(cands)-1]
+}
+
+// greedyDirect places tasks on per-resource capacity profiles (direct mode
+// allows multi-slot demands, which the unit-slot matchmaker cannot model).
+func (m *Manager) greedyDirect(ctx sim.Context, now int64, ordered []*jobWork, down []bool) error {
+	n := m.cluster.NumResources
+	mapProf := make([]capProfile, n)
+	redProf := make([]capProfile, n)
+	taskEnd := make(map[*workload.Task]int64)
+	mapEnd := make(map[int]int64) // per job: latest placed/frozen map end
+
+	profile := func(t *workload.Task, r int) *capProfile {
+		if t.Type == workload.MapTask {
+			return &mapProf[r]
+		}
+		return &redProf[r]
+	}
+	for _, w := range ordered {
+		for _, f := range append(append([]frozenTask(nil), w.frozenMaps...), w.frozenReds...) {
+			profile(f.task, f.res).add(f.start, f.start+f.exec, f.task.Req)
+			taskEnd[f.task] = f.start + f.exec
+			if f.task.Type == workload.MapTask {
+				if end := f.start + f.exec; end > mapEnd[w.job.ID] {
+					mapEnd[w.job.ID] = end
+				}
+			}
+		}
+	}
+	for _, w := range ordered {
+		est := w.job.EarliestStart
+		if est < now {
+			est = now
+		}
+		for _, t := range append(append([]*workload.Task(nil), w.pendingMaps...), w.pendingReds...) {
+			lb := est
+			if len(t.Preds) > 0 {
+				for _, p := range t.Preds {
+					if end := taskEnd[p]; end > lb {
+						lb = end
+					}
+				}
+			} else if t.Type == workload.ReduceTask {
+				if end := mapEnd[w.job.ID]; end > lb {
+					lb = end
+				}
+			}
+			cap := m.cluster.MapSlots
+			if t.Type == workload.ReduceTask {
+				cap = m.cluster.ReduceSlots
+			}
+			bestRes, bestAt := -1, int64(0)
+			for r := 0; r < n; r++ {
+				if r < len(down) && down[r] {
+					continue
+				}
+				at := profile(t, r).earliestFit(lb, t.Exec, t.Req, cap)
+				if bestRes < 0 || at < bestAt {
+					bestRes, bestAt = r, at
+				}
+			}
+			if bestRes < 0 {
+				return fmt.Errorf("core: greedy fallback found no up resource for task %s", t.ID)
+			}
+			profile(t, bestRes).add(bestAt, bestAt+t.Exec, t.Req)
+			taskEnd[t] = bestAt + t.Exec
+			if t.Type == workload.MapTask {
+				if end := bestAt + t.Exec; end > mapEnd[w.job.ID] {
+					mapEnd[w.job.ID] = end
+				}
+			}
+			if err := ctx.Schedule(t, bestRes, bestAt); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}

@@ -17,10 +17,11 @@ type Manager struct {
 	cluster sim.Cluster
 
 	active   map[*workload.Job]*jobTracker
-	order    []*workload.Job // active jobs in arrival order (deterministic iteration)
-	deferred []*workload.Job // Section V.E parking lot
-	batch    []*workload.Job // arrivals awaiting the batch-window flush
-	batchAt  int64           // when the pending batch flushes; 0 = none
+	byID     map[int]*workload.Job // JobID -> active job, for O(1) completion lookup
+	order    []*workload.Job       // active jobs in arrival order (deterministic iteration)
+	deferred []*workload.Job       // Section V.E parking lot
+	batch    []*workload.Job       // arrivals awaiting the batch-window flush
+	batchAt  int64                 // when the pending batch flushes; 0 = none
 
 	// unitSlot remembers each scheduled task's unit slot so that, once the
 	// task starts, later rounds pin it to the same slot.
@@ -32,6 +33,11 @@ type Manager struct {
 type jobTracker struct {
 	job       *workload.Job
 	tasksLeft int
+	// retries counts failed attempts charged against the job's budget;
+	// abandoned marks a job given up on (it stays tracked while attempts
+	// are still draining on the cluster, so their capacity stays modeled).
+	retries   int
+	abandoned bool
 }
 
 // New creates an MRCP-RM manager for the cluster.
@@ -40,6 +46,7 @@ func New(cluster sim.Cluster, cfg Config) *Manager {
 		cfg:      cfg,
 		cluster:  cluster,
 		active:   make(map[*workload.Job]*jobTracker),
+		byID:     make(map[int]*workload.Job),
 		unitSlot: make(map[*workload.Task]int),
 	}
 }
@@ -115,28 +122,133 @@ func (m *Manager) OnTimer(ctx sim.Context) error {
 // OnTaskComplete implements sim.ResourceManager. MRCP-RM does not re-solve
 // on completions (the installed timetable already accounts for them); it
 // only maintains its bookkeeping.
-func (m *Manager) OnTaskComplete(_ sim.Context, t *workload.Task) error {
+func (m *Manager) OnTaskComplete(ctx sim.Context, t *workload.Task) error {
 	delete(m.unitSlot, t)
-	for _, j := range m.order {
-		if j.ID == t.JobID {
-			tr := m.active[j]
-			tr.tasksLeft--
-			if tr.tasksLeft == 0 {
-				m.retire(j)
-			}
-			return nil
+	j, ok := m.byID[t.JobID]
+	if !ok {
+		return fmt.Errorf("core: completion for unknown task %s", t.ID)
+	}
+	tr := m.active[j]
+	if tr.abandoned {
+		// Discarded output of a draining attempt; retire the ghost once
+		// nothing of the job remains on the cluster.
+		if !anyRunning(ctx, j) {
+			m.retire(j)
+		}
+		return nil
+	}
+	tr.tasksLeft--
+	if tr.tasksLeft == 0 {
+		m.retire(j)
+	}
+	return nil
+}
+
+// OnTaskFailed implements sim.FaultHooks: the failed task is schedulable
+// again and re-enters the next Table-2 reschedule, unless its job has
+// exhausted its retry budget and is abandoned.
+func (m *Manager) OnTaskFailed(ctx sim.Context, t *workload.Task, _ int) error {
+	started := time.Now()
+	j, ok := m.byID[t.JobID]
+	if !ok {
+		return fmt.Errorf("core: failure for unknown task %s", t.ID)
+	}
+	if err := m.chargeRetry(ctx, m.active[j], t); err != nil {
+		return err
+	}
+	err := m.reschedule(ctx)
+	ctx.AddOverhead(time.Since(started))
+	return err
+}
+
+// OnResourceDown implements sim.FaultHooks: killed attempts are charged
+// against retry budgets, then one reschedule replans everything away from
+// the down resource.
+func (m *Manager) OnResourceDown(ctx sim.Context, _ int, killed, _ []*workload.Task) error {
+	started := time.Now()
+	for _, t := range killed {
+		j, ok := m.byID[t.JobID]
+		if !ok {
+			return fmt.Errorf("core: outage kill for unknown task %s", t.ID)
+		}
+		if err := m.chargeRetry(ctx, m.active[j], t); err != nil {
+			return err
 		}
 	}
-	return fmt.Errorf("core: completion for unknown task %s", t.ID)
+	err := m.reschedule(ctx)
+	ctx.AddOverhead(time.Since(started))
+	return err
+}
+
+// OnResourceUp implements sim.FaultHooks: replan to expand back onto the
+// repaired resource.
+func (m *Manager) OnResourceUp(ctx sim.Context, _ int) error {
+	started := time.Now()
+	err := m.reschedule(ctx)
+	ctx.AddOverhead(time.Since(started))
+	return err
+}
+
+// OnTaskSlowdown implements sim.FaultHooks: a straggler attempt will
+// overrun its planned window, so replan with its true duration (the
+// reschedule freezes it at ctx.RunningExec) before later starts collide.
+func (m *Manager) OnTaskSlowdown(ctx sim.Context, _ *workload.Task) error {
+	started := time.Now()
+	err := m.reschedule(ctx)
+	ctx.AddOverhead(time.Since(started))
+	return err
+}
+
+// chargeRetry books one failed attempt and abandons the job when it
+// exhausts the per-task retry cap or the per-job budget.
+func (m *Manager) chargeRetry(ctx sim.Context, tr *jobTracker, t *workload.Task) error {
+	if tr.abandoned {
+		return nil
+	}
+	tr.retries++
+	m.stats.TaskRetries++
+	over := (m.cfg.MaxTaskRetries > 0 && ctx.Attempts(t) > m.cfg.MaxTaskRetries) ||
+		(m.cfg.JobRetryBudget > 0 && tr.retries > m.cfg.JobRetryBudget)
+	if !over {
+		return nil
+	}
+	if err := ctx.AbandonJob(tr.job); err != nil {
+		return err
+	}
+	tr.abandoned = true
+	m.stats.JobsAbandoned++
+	for _, jt := range tr.job.Tasks() {
+		// Keep the unit slots of still-draining attempts (combined-mode
+		// rounds pin them until they finish); drop the rest.
+		if !ctx.Started(jt) || ctx.Completed(jt) {
+			delete(m.unitSlot, jt)
+		}
+	}
+	if !anyRunning(ctx, tr.job) {
+		m.retire(tr.job)
+	}
+	return nil
+}
+
+// anyRunning reports whether any of the job's tasks is mid-execution.
+func anyRunning(ctx sim.Context, j *workload.Job) bool {
+	for _, t := range j.Tasks() {
+		if ctx.Started(t) && !ctx.Completed(t) {
+			return true
+		}
+	}
+	return false
 }
 
 func (m *Manager) admit(j *workload.Job) {
 	m.active[j] = &jobTracker{job: j, tasksLeft: j.NumTasks()}
+	m.byID[j.ID] = j
 	m.order = append(m.order, j)
 }
 
 func (m *Manager) retire(j *workload.Job) {
 	delete(m.active, j)
+	delete(m.byID, j.ID)
 	for i, other := range m.order {
 		if other == j {
 			m.order = append(m.order[:i], m.order[i+1:]...)
@@ -147,29 +259,40 @@ func (m *Manager) retire(j *workload.Job) {
 
 // reschedule is the Table 2 algorithm: classify every incomplete task of
 // every active job as frozen (started) or schedulable, regenerate the CP
-// model, solve, and install the new timetable.
+// model, solve, and install the new timetable. When the solver yields no
+// usable solution (expired budget under strict limits, or a panic) the
+// greedy earliest-deadline-first fallback installs a schedule instead, so
+// a solve failure never terminates the run.
 func (m *Manager) reschedule(ctx sim.Context) error {
 	now := ctx.Now()
+	down := make([]bool, m.cluster.NumResources)
+	allDown := true
+	for r := range down {
+		down[r] = ctx.ResourceDown(r)
+		if !down[r] {
+			allDown = false
+		}
+	}
+	if allDown {
+		// Nothing can be placed anywhere; OnResourceUp replans.
+		return nil
+	}
 	work := m.collectWork(ctx)
 	if len(work) == 0 {
 		return nil
 	}
-	bm, err := buildModel(m.cfg.Mode, now, m.cluster, work)
+	bm, err := buildModel(m.cfg.Mode, now, m.cluster, work, down)
 	if err != nil {
 		return err
 	}
-	solver := cp.NewSolver(bm.model, cp.Params{
-		TimeLimit: m.cfg.SolveTimeLimit,
-		NodeLimit: m.cfg.NodeLimit,
-		Ordering:  m.cfg.Ordering,
-	})
-	res := solver.Solve()
+	res, solveErr := m.solve(bm)
 	m.stats.Rounds++
 	m.stats.SolverNodes += res.Nodes
-	if !res.HasSolution() {
-		// Table 2 line 24. With the lateness-relaxed model a solution always
-		// exists; reaching this indicates a bug upstream.
-		return fmt.Errorf("core: CP solve failed with status %v", res.Status)
+	if solveErr != nil || !res.HasSolution() {
+		// Table 2 line 24 would reject the job; a production manager must
+		// keep placing work instead, so degrade to the greedy fallback.
+		m.stats.FallbackRounds++
+		return m.greedyFallback(ctx, now, work, down)
 	}
 	m.stats.LateBound += res.Objective
 
@@ -181,18 +304,50 @@ func (m *Manager) reschedule(ctx sim.Context) error {
 	}
 }
 
-// collectWork snapshots the incomplete tasks of all active jobs.
+// solve runs the CP search, converting a solver panic into an error so the
+// caller can degrade gracefully.
+func (m *Manager) solve(bm *builtModel) (res cp.Result, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("core: CP solver panicked: %v", r)
+		}
+	}()
+	solver := cp.NewSolver(bm.model, cp.Params{
+		TimeLimit:    m.cfg.SolveTimeLimit,
+		NodeLimit:    m.cfg.NodeLimit,
+		Ordering:     m.cfg.Ordering,
+		StrictLimits: m.cfg.StrictSolveLimits,
+	})
+	return solver.Solve(), nil
+}
+
+// collectWork snapshots the incomplete tasks of all active jobs. Abandoned
+// jobs contribute only their still-draining attempts (as capacity-holding
+// ghosts); ones with nothing left on the cluster are retired here.
 func (m *Manager) collectWork(ctx sim.Context) []*jobWork {
+	var gone []*workload.Job
+	for _, j := range m.order {
+		if m.active[j].abandoned && !anyRunning(ctx, j) {
+			gone = append(gone, j)
+		}
+	}
+	for _, j := range gone {
+		m.retire(j)
+	}
+
 	var work []*jobWork
 	for _, j := range m.order {
-		w := &jobWork{job: j}
+		ghost := m.active[j].abandoned
+		w := &jobWork{job: j, ghost: ghost}
 		for _, t := range j.MapTasks {
 			switch {
 			case ctx.Completed(t):
 				w.completedMaps++
 			case ctx.Started(t):
 				res, start, _ := ctx.Placement(t)
-				w.frozenMaps = append(w.frozenMaps, frozenTask{task: t, res: res, start: start})
+				w.frozenMaps = append(w.frozenMaps, frozenTask{task: t, res: res, start: start, exec: ctx.RunningExec(t)})
+			case ghost:
+				// dead work: never scheduled again
 			default:
 				w.pendingMaps = append(w.pendingMaps, t)
 			}
@@ -202,7 +357,8 @@ func (m *Manager) collectWork(ctx sim.Context) []*jobWork {
 			case ctx.Completed(t):
 			case ctx.Started(t):
 				res, start, _ := ctx.Placement(t)
-				w.frozenReds = append(w.frozenReds, frozenTask{task: t, res: res, start: start})
+				w.frozenReds = append(w.frozenReds, frozenTask{task: t, res: res, start: start, exec: ctx.RunningExec(t)})
+			case ghost:
 			default:
 				w.pendingReds = append(w.pendingReds, t)
 			}
@@ -218,6 +374,11 @@ func (m *Manager) collectWork(ctx sim.Context) []*jobWork {
 // schedule and installs placements into the simulator.
 func (m *Manager) installCombined(ctx sim.Context, bm *builtModel, res *cp.Result, work []*jobWork) error {
 	mk := newMatchmaker(m.cluster.NumResources, m.cluster.MapSlots, m.cluster.ReduceSlots, &m.stats)
+	for r := 0; r < m.cluster.NumResources; r++ {
+		if ctx.ResourceDown(r) {
+			mk.blockResource(r, ctx.Now())
+		}
+	}
 
 	// Pin running tasks to the unit slots they were given earlier.
 	for _, w := range work {
@@ -226,7 +387,7 @@ func (m *Manager) installCombined(ctx sim.Context, bm *builtModel, res *cp.Resul
 			if !ok {
 				return fmt.Errorf("core: started task %s has no remembered unit slot", f.task.ID)
 			}
-			mk.pin(f.task, slot, f.start)
+			mk.pin(f.task, slot, f.start, f.exec)
 		}
 	}
 

@@ -130,15 +130,29 @@ func newMatchmaker(numRes int, mapPerRes, redPerRes int64, stats *Stats) *matchm
 	}
 }
 
-// pin commits an already-started task to its remembered unit slot.
-func (mk *matchmaker) pin(t *workload.Task, slot int, start int64) {
+// pin commits an already-started task to its remembered unit slot. exec is
+// the attempt's effective execution time (straggler slowdowns make it
+// exceed t.Exec).
+func (mk *matchmaker) pin(t *workload.Task, slot int, start, exec int64) {
 	tl := mk.timeline(t.Type, slot)
-	tl.insert(start, start+t.Exec)
-	mk.taskEnd[t] = start + t.Exec
+	tl.insert(start, start+exec)
+	mk.taskEnd[t] = start + exec
 	if t.Type == workload.MapTask {
-		if end := start + t.Exec; end > mk.frozenEnd[t.JobID] {
+		if end := start + exec; end > mk.frozenEnd[t.JobID] {
 			mk.frozenEnd[t.JobID] = end
 		}
+	}
+}
+
+// blockResource marks every unit slot of a down resource busy from now on,
+// so neither the best-gap pass nor the slip path can place work there.
+func (mk *matchmaker) blockResource(res int, from int64) {
+	const forever = int64(1) << 62
+	for s := res * int(mk.mapPerRes); s < (res+1)*int(mk.mapPerRes); s++ {
+		mk.mapSlots[s].insert(from, forever)
+	}
+	for s := res * int(mk.redPerRes); s < (res+1)*int(mk.redPerRes); s++ {
+		mk.redSlots[s].insert(from, forever)
 	}
 }
 

@@ -164,7 +164,7 @@ func TestMatchmakerPinnedTasksBlockSlots(t *testing.T) {
 	var st Stats
 	mk := newMatchmaker(1, 2, 1, &st) // one resource, two map slots
 	running := &workload.Task{ID: "run", JobID: 1, Type: workload.MapTask, Exec: 100, Req: 1}
-	mk.pin(running, 0, 0) // unit slot 0 busy [0,100)
+	mk.pin(running, 0, 0, running.Exec) // unit slot 0 busy [0,100)
 	task := &workload.Task{ID: "new", JobID: 2, Type: workload.MapTask, Exec: 50, Req: 1}
 	a := mk.place(task, 0)
 	if a.slot != 1 || a.start != 0 {

@@ -33,17 +33,26 @@ type jobWork struct {
 	// completedMaps counts map tasks already finished (they no longer
 	// constrain anything: new work starts at or after now anyway).
 	completedMaps int
+	// ghost marks an abandoned job: its running tasks still hold capacity
+	// (and must stay in the model so nothing is placed on top of them), but
+	// it has no pending work and no lateness indicator.
+	ghost bool
 }
 
 type frozenTask struct {
 	task  *workload.Task
 	res   int
 	start int64
+	// exec is the attempt's effective execution time (straggler slowdowns
+	// make it exceed task.Exec).
+	exec int64
 }
 
 // buildModel constructs the Table 1 CP formulation over the given work.
-// now is the invocation time; cluster describes the system component.
-func buildModel(mode SolveMode, now int64, cluster sim.Cluster, work []*jobWork) (*builtModel, error) {
+// now is the invocation time; cluster describes the system component;
+// down flags resources currently in an outage, which must receive no new
+// work (nil means all up).
+func buildModel(mode SolveMode, now int64, cluster sim.Cluster, work []*jobWork, down []bool) (*builtModel, error) {
 	horizon := horizonFor(now, work)
 	m := cp.NewModel(horizon)
 	bm := &builtModel{
@@ -80,19 +89,23 @@ func buildModel(mode SolveMode, now int64, cluster sim.Cluster, work []*jobWork)
 				return nil, fmt.Errorf("core: task %s has demand %d; combined mode requires unit demands",
 					t.ID, t.Req)
 			}
-			iv := m.NewInterval(t.ID, t.Exec)
+			dur := t.Exec
+			if fz != nil && fz.exec > 0 {
+				dur = fz.exec
+			}
+			iv := m.NewInterval(t.ID, dur)
 			iv.Demand = t.Req
 			iv.Due = j.Deadline
 			iv.JobKey = j.ID
 			if fz != nil {
 				// Table 2 line 11: pin started tasks to their placement.
-				if fz.start > horizon-t.Exec {
+				if fz.start > horizon-dur {
 					return nil, fmt.Errorf("core: frozen task %s at %d beyond horizon", t.ID, fz.start)
 				}
 				m.FixStart(iv, fz.start)
 				bm.frozen[t] = true
 			} else {
-				m.SetStartBounds(iv, est, horizon-t.Exec)
+				m.SetStartBounds(iv, est, horizon-dur)
 			}
 			bm.byTask[t] = iv
 			jobTasks = append(jobTasks, taskIv{t, iv})
@@ -107,6 +120,12 @@ func buildModel(mode SolveMode, now int64, cluster sim.Cluster, work []*jobWork)
 				rv := m.NewResVar(iv, numRes)
 				if fz != nil {
 					m.FixRes(rv, fz.res)
+				} else {
+					for r := 0; r < numRes; r++ {
+						if r < len(down) && down[r] {
+							m.ForbidRes(rv, r)
+						}
+					}
 				}
 				for r := 0; r < numRes; r++ {
 					if t.Type == workload.MapTask {
@@ -186,7 +205,7 @@ func buildModel(mode SolveMode, now int64, cluster sim.Cluster, work []*jobWork)
 				terminals = mapIvs
 			}
 		}
-		if len(terminals) > 0 {
+		if len(terminals) > 0 && !w.ghost {
 			late := m.NewBool(fmt.Sprintf("late_%d", j.ID))
 			m.AddLateness(terminals, j.Deadline, late)
 			bm.lates[j] = late
@@ -194,14 +213,23 @@ func buildModel(mode SolveMode, now int64, cluster sim.Cluster, work []*jobWork)
 		}
 	}
 
-	// Constraints 5/6: capacities.
+	// Constraints 5/6: capacities. In combined mode a down resource shrinks
+	// the combined capacity (its unit slots are also blocked during the
+	// matchmaking pass); frozen tasks never sit on down resources because
+	// an outage kills everything running on it.
+	upRes := int64(0)
+	for r := 0; r < numRes; r++ {
+		if r >= len(down) || !down[r] {
+			upRes++
+		}
+	}
 	switch mode {
 	case ModeCombined:
 		if len(mapTasks) > 0 {
-			m.AddCumulative("map", -1, cluster.TotalMapSlots(), mapTasks)
+			m.AddCumulative("map", -1, upRes*cluster.MapSlots, mapTasks)
 		}
 		if len(redTasks) > 0 {
-			m.AddCumulative("reduce", -1, cluster.TotalReduceSlots(), redTasks)
+			m.AddCumulative("reduce", -1, upRes*cluster.ReduceSlots, redTasks)
 		}
 	case ModeDirect:
 		for r := 0; r < numRes; r++ {
@@ -232,6 +260,18 @@ func horizonFor(now int64, work []*jobWork) int64 {
 			total += t.Exec
 			if t.Exec > maxDur {
 				maxDur = t.Exec
+			}
+		}
+		// Straggler-slowed frozen attempts can end past their nominal
+		// windows; the horizon must cover their true ends.
+		for _, f := range w.frozenMaps {
+			if end := f.start + f.exec; end > h {
+				h = end + 1
+			}
+		}
+		for _, f := range w.frozenReds {
+			if end := f.start + f.exec; end > h {
+				h = end + 1
 			}
 		}
 	}

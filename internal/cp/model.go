@@ -265,6 +265,17 @@ func (m *Model) FixRes(rv *ResVar, r int) {
 	}
 }
 
+// ForbidRes removes one resource from a resvar's domain at build time
+// (tasks must avoid resources that are down). Emptying the domain is
+// allowed here; the root propagation pass reports it as infeasible.
+func (m *Model) ForbidRes(rv *ResVar, r int) {
+	if r < 0 || r >= rv.NumRes {
+		panic(fmt.Sprintf("cp: resource %d out of range for %q", r, rv.Name))
+	}
+	w := rv.base + int32(r/64)
+	m.store.set(w, m.store.get(w)&^(1<<(r%64)))
+}
+
 // addProp registers a propagator and returns its index.
 func (m *Model) addProp(p propagator) int {
 	m.props = append(m.props, p)

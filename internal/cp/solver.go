@@ -30,6 +30,12 @@ type Params struct {
 	NodeLimit int64
 	// Ordering is the search tie-breaking strategy.
 	Ordering OrderingStrategy
+	// StrictLimits makes TimeLimit and NodeLimit apply even before a first
+	// solution exists, so an exhausted budget yields StatusUnknown instead
+	// of completing the initial greedy descent. The default (false)
+	// guarantees at least one solution on feasible models; strict mode is
+	// for callers with their own fallback path.
+	StrictLimits bool
 }
 
 // Status reports how a solve ended.
@@ -258,7 +264,7 @@ func (s *Solver) finish(st Status, rounds int, start time.Time) Result {
 // models, so this terminates after one decision per task), mirroring a CP
 // engine that always emits at least its greedy solution under a time limit.
 func (s *Solver) checkLimit() bool {
-	if s.incumbent == nil || s.ignoreLimits {
+	if (s.incumbent == nil && !s.params.StrictLimits) || s.ignoreLimits {
 		return false
 	}
 	if s.limitHit {

@@ -69,6 +69,8 @@ type Point struct {
 	T           stats.Summary // average turnaround, seconds
 	P           stats.Summary // proportion of late jobs, 0..1
 	N           stats.Summary // number of late jobs
+	Failed      stats.Summary // failed task attempts (injected failures + outage kills)
+	Abandoned   stats.Summary // jobs abandoned after exhausting retry budgets
 }
 
 // Result is a regenerated figure.
@@ -85,15 +87,26 @@ type Result struct {
 // half-widths.
 func (r Result) Table() string {
 	out := fmt.Sprintf("%s — %s\n", r.ID, r.Title)
+	withFaults := false
+	for _, p := range r.Points {
+		if p.Failed.Mean > 0 || p.Abandoned.Mean > 0 {
+			withFaults = true
+			break
+		}
+	}
 	out += fmt.Sprintf("%-16s %-10s %5s  %-22s %-22s %-18s %s\n",
 		"factor", "manager", "reps", "O (s/job)", "T (s)", "P (%)", "N")
 	for _, p := range r.Points {
-		out += fmt.Sprintf("%-16s %-10s %5d  %-22s %-22s %-18s %.1f\n",
+		out += fmt.Sprintf("%-16s %-10s %5d  %-22s %-22s %-18s %.1f",
 			p.Factor, p.Manager, p.Reps,
 			fmtCI(p.O.Mean, p.O.CI(0.95), 4),
 			fmtCI(p.T.Mean, p.T.CI(0.95), 1),
 			fmtCI(p.P.Mean*100, p.P.CI(0.95)*100, 2),
 			p.N.Mean)
+		if withFaults {
+			out += fmt.Sprintf("  failed=%.1f abandoned=%.1f", p.Failed.Mean, p.Abandoned.Mean)
+		}
+		out += "\n"
 	}
 	return out
 }
@@ -107,7 +120,8 @@ func fmtCI(mean, ci float64, prec int) string {
 func (r Result) WriteCSV(w io.Writer) error {
 	cw := csv.NewWriter(w)
 	header := []string{"experiment", "factor", "factor_value", "manager", "reps",
-		"O_mean_s", "O_ci95", "T_mean_s", "T_ci95", "P_mean", "P_ci95", "N_mean"}
+		"O_mean_s", "O_ci95", "T_mean_s", "T_ci95", "P_mean", "P_ci95", "N_mean",
+		"tasks_failed_mean", "jobs_abandoned_mean"}
 	if err := cw.Write(header); err != nil {
 		return err
 	}
@@ -125,6 +139,8 @@ func (r Result) WriteCSV(w io.Writer) error {
 			strconv.FormatFloat(p.P.Mean, 'g', 8, 64),
 			strconv.FormatFloat(p.P.CI(0.95), 'g', 8, 64),
 			strconv.FormatFloat(p.N.Mean, 'g', 8, 64),
+			strconv.FormatFloat(p.Failed.Mean, 'g', 8, 64),
+			strconv.FormatFloat(p.Abandoned.Mean, 'g', 8, 64),
 		}
 		if err := cw.Write(row); err != nil {
 			return err
@@ -155,6 +171,7 @@ var Registry = []Spec{
 	{"ablation-deferral", "Deferral of far-future jobs on vs off (Section V.E)", runAblationDeferral},
 	{"ablation-ordering", "Job ordering strategies: EDF vs job-id vs least laxity (Section VI.B)", runAblationOrdering},
 	{"ablation-batching", "Arrival batching window at high lambda (future work)", runAblationBatching},
+	{"faults", "Effect of task failure rate: MRCP-RM vs MinEDF-WC (robustness)", runFaultSweep},
 }
 
 // ByID looks up a Spec.
@@ -171,7 +188,7 @@ func ByID(id string) (Spec, bool) {
 // runs a fresh simulation per replication and returns its metrics.
 func runReplications(opts Options, body func(rep int, rng *stats.Stream) (*sim.Metrics, error)) (Point, error) {
 	var p Point
-	var os, ts, ps, ns []float64
+	var os, ts, ps, ns, fs, as []float64
 	var err error
 	opts.Policy.Run(func(rep int) float64 {
 		if err != nil {
@@ -187,6 +204,8 @@ func runReplications(opts Options, body func(rep int, rng *stats.Stream) (*sim.M
 		ts = append(ts, m.T())
 		ps = append(ps, m.P())
 		ns = append(ns, float64(m.N()))
+		fs = append(fs, float64(m.TasksFailed+m.TasksKilled))
+		as = append(as, float64(m.JobsAbandoned))
 		return m.T() // the paper's CI criterion is on T
 	})
 	if err != nil {
@@ -197,6 +216,8 @@ func runReplications(opts Options, body func(rep int, rng *stats.Stream) (*sim.M
 	p.T = stats.Summarize(ts)
 	p.P = stats.Summarize(ps)
 	p.N = stats.Summarize(ns)
+	p.Failed = stats.Summarize(fs)
+	p.Abandoned = stats.Summarize(as)
 	return p, nil
 }
 

@@ -11,6 +11,7 @@
 package fifo
 
 import (
+	"fmt"
 	"sort"
 	"time"
 
@@ -18,12 +19,17 @@ import (
 	"mrcprm/internal/workload"
 )
 
+// DefaultMaxTaskRetries is the per-task retry cap installed by New.
+const DefaultMaxTaskRetries = 4
+
 type jobState struct {
 	job         *workload.Job
 	pendingMaps []*workload.Task
 	pendingReds []*workload.Task
 	mapsLeft    int
 	tasksLeft   int
+	retries     int
+	abandoned   bool
 }
 
 // Manager is the FIFO best-effort scheduler; it implements
@@ -34,17 +40,25 @@ type Manager struct {
 	byTask   map[*workload.Task]*jobState
 	deferred []*workload.Job
 
+	// Slot mirrors; a down resource's mirrors are zeroed so dispatch
+	// skips it.
 	freeMap []int64
 	freeRed []int64
+
+	// MaxTaskRetries and JobRetryBudget cap failed attempts per task and
+	// per job; exceeding either abandons the job. Zero means unlimited.
+	MaxTaskRetries int
+	JobRetryBudget int
 }
 
 // New creates a FIFO manager for the cluster.
 func New(cluster sim.Cluster) *Manager {
 	m := &Manager{
-		cluster: cluster,
-		byTask:  make(map[*workload.Task]*jobState),
-		freeMap: make([]int64, cluster.NumResources),
-		freeRed: make([]int64, cluster.NumResources),
+		cluster:        cluster,
+		byTask:         make(map[*workload.Task]*jobState),
+		freeMap:        make([]int64, cluster.NumResources),
+		freeRed:        make([]int64, cluster.NumResources),
+		MaxTaskRetries: DefaultMaxTaskRetries,
 	}
 	for r := 0; r < cluster.NumResources; r++ {
 		m.freeMap[r] = cluster.MapSlots
@@ -90,7 +104,10 @@ func (m *Manager) OnTimer(ctx sim.Context) error {
 // OnTaskComplete implements sim.ResourceManager.
 func (m *Manager) OnTaskComplete(ctx sim.Context, t *workload.Task) error {
 	started := time.Now()
-	js := m.byTask[t]
+	js, ok := m.byTask[t]
+	if !ok {
+		return fmt.Errorf("fifo: completion for unknown task %s", t.ID)
+	}
 	res, _, _ := ctx.Placement(t)
 	if t.Type == workload.MapTask {
 		js.mapsLeft--
@@ -98,13 +115,134 @@ func (m *Manager) OnTaskComplete(ctx sim.Context, t *workload.Task) error {
 	} else {
 		m.freeRed[res]++
 	}
-	js.tasksLeft--
-	if js.tasksLeft == 0 {
-		m.remove(js)
+	if !js.abandoned {
+		js.tasksLeft--
+		if js.tasksLeft == 0 {
+			m.remove(js)
+		}
 	}
 	err := m.dispatch(ctx)
 	ctx.AddOverhead(time.Since(started))
 	return err
+}
+
+// OnTaskFailed implements sim.FaultHooks: free the mirrored slot and
+// re-queue the task, abandoning the job when a retry budget is exhausted.
+func (m *Manager) OnTaskFailed(ctx sim.Context, t *workload.Task, res int) error {
+	started := time.Now()
+	js, ok := m.byTask[t]
+	if !ok {
+		return fmt.Errorf("fifo: failure for unknown task %s", t.ID)
+	}
+	if t.Type == workload.MapTask {
+		m.freeMap[res]++
+	} else {
+		m.freeRed[res]++
+	}
+	if !js.abandoned {
+		if err := m.chargeRetry(ctx, js, t); err != nil {
+			return err
+		}
+	}
+	err := m.dispatch(ctx)
+	ctx.AddOverhead(time.Since(started))
+	return err
+}
+
+// OnResourceDown implements sim.FaultHooks: re-queue killed and evacuated
+// tasks and zero the down resource's mirrors so dispatch skips it.
+func (m *Manager) OnResourceDown(ctx sim.Context, res int, killed, evacuated []*workload.Task) error {
+	started := time.Now()
+	for _, t := range killed {
+		js, ok := m.byTask[t]
+		if !ok {
+			return fmt.Errorf("fifo: outage kill for unknown task %s", t.ID)
+		}
+		if js.abandoned {
+			continue
+		}
+		if err := m.chargeRetry(ctx, js, t); err != nil {
+			return err
+		}
+	}
+	for _, t := range evacuated {
+		js, ok := m.byTask[t]
+		if !ok {
+			return fmt.Errorf("fifo: evacuation of unknown task %s", t.ID)
+		}
+		if !js.abandoned {
+			m.requeue(js, t)
+		}
+	}
+	m.freeMap[res], m.freeRed[res] = 0, 0
+	err := m.dispatch(ctx)
+	ctx.AddOverhead(time.Since(started))
+	return err
+}
+
+// OnResourceUp implements sim.FaultHooks: restore the repaired resource's
+// capacity (nothing survives an outage on it).
+func (m *Manager) OnResourceUp(ctx sim.Context, res int) error {
+	started := time.Now()
+	m.freeMap[res] = m.cluster.MapSlots
+	m.freeRed[res] = m.cluster.ReduceSlots
+	err := m.dispatch(ctx)
+	ctx.AddOverhead(time.Since(started))
+	return err
+}
+
+// OnTaskSlowdown implements sim.FaultHooks as a no-op: FIFO dispatches
+// reactively at the current instant, so overruns cannot collide with
+// pre-planned starts.
+func (m *Manager) OnTaskSlowdown(sim.Context, *workload.Task) error { return nil }
+
+func (m *Manager) chargeRetry(ctx sim.Context, js *jobState, t *workload.Task) error {
+	js.retries++
+	over := (m.MaxTaskRetries > 0 && ctx.Attempts(t) > m.MaxTaskRetries) ||
+		(m.JobRetryBudget > 0 && js.retries > m.JobRetryBudget)
+	if !over {
+		m.requeue(js, t)
+		return nil
+	}
+	return m.abandon(ctx, js)
+}
+
+func (m *Manager) requeue(js *jobState, t *workload.Task) {
+	if t.Type == workload.MapTask {
+		js.pendingMaps = append(js.pendingMaps, t)
+	} else {
+		js.pendingReds = append(js.pendingReds, t)
+	}
+}
+
+// abandon gives up on a job: dispatched-but-not-started placements return
+// to the mirrors, the simulator drops its pending work, and the job leaves
+// the queue while its last attempts drain.
+func (m *Manager) abandon(ctx sim.Context, js *jobState) error {
+	for _, t := range js.job.Tasks() {
+		if ctx.Started(t) || ctx.Completed(t) {
+			continue
+		}
+		if res, _, ok := ctx.Placement(t); ok {
+			if t.Type == workload.MapTask {
+				m.freeMap[res]++
+			} else {
+				m.freeRed[res]++
+			}
+		}
+	}
+	if err := ctx.AbandonJob(js.job); err != nil {
+		return err
+	}
+	js.abandoned = true
+	js.pendingMaps, js.pendingReds = nil, nil
+	for i, other := range m.active {
+		if other == js {
+			m.active = append(m.active[:i], m.active[i+1:]...)
+			break
+		}
+	}
+	return nil
 }
 
 func (m *Manager) admit(j *workload.Job) {

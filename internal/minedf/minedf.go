@@ -18,6 +18,7 @@
 package minedf
 
 import (
+	"fmt"
 	"sort"
 	"time"
 
@@ -59,6 +60,11 @@ func profileOf(tasks []*workload.Task) phaseProfile {
 	return p
 }
 
+// DefaultMaxTaskRetries is the per-task retry cap installed by New; it
+// matches core.DefaultConfig so the head-to-head comparison under faults
+// stays fair.
+const DefaultMaxTaskRetries = 4
+
 // jobState tracks one active job.
 type jobState struct {
 	job *workload.Job
@@ -72,6 +78,11 @@ type jobState struct {
 
 	minMap int64 // current minimum slot allocation
 	minRed int64
+
+	// retries counts failed attempts charged against the job's budget;
+	// abandoned marks a job given up on while its last attempts drain.
+	retries   int
+	abandoned bool
 }
 
 func (js *jobState) mapsDone() bool { return js.mapsLeft == 0 }
@@ -84,18 +95,26 @@ type Manager struct {
 	deferred []*workload.Job // arrived, earliest start in the future
 
 	// Per-resource slot availability mirrors, maintained synchronously so
-	// the dispatch loop can fill several slots in one invocation.
+	// the dispatch loop can fill several slots in one invocation. A down
+	// resource's mirrors are zeroed so dispatch skips it.
 	freeMap []int64
 	freeRed []int64
+
+	// MaxTaskRetries caps failed attempts of one task, and JobRetryBudget
+	// caps them across a whole job; exceeding either abandons the job.
+	// Zero means unlimited. Adjust before the simulation starts.
+	MaxTaskRetries int
+	JobRetryBudget int
 }
 
 // New creates a MinEDF-WC manager for the given cluster.
 func New(cluster sim.Cluster) *Manager {
 	m := &Manager{
-		cluster: cluster,
-		byTask:  make(map[*workload.Task]*jobState),
-		freeMap: make([]int64, cluster.NumResources),
-		freeRed: make([]int64, cluster.NumResources),
+		cluster:        cluster,
+		byTask:         make(map[*workload.Task]*jobState),
+		freeMap:        make([]int64, cluster.NumResources),
+		freeRed:        make([]int64, cluster.NumResources),
+		MaxTaskRetries: DefaultMaxTaskRetries,
 	}
 	for r := 0; r < cluster.NumResources; r++ {
 		m.freeMap[r] = cluster.MapSlots
@@ -139,10 +158,15 @@ func (m *Manager) OnTimer(ctx sim.Context) error {
 	return err
 }
 
-// OnTaskComplete implements sim.ResourceManager.
+// OnTaskComplete implements sim.ResourceManager. Completions of abandoned
+// jobs' draining attempts still free their mirrored slots; their output is
+// discarded.
 func (m *Manager) OnTaskComplete(ctx sim.Context, t *workload.Task) error {
 	started := time.Now()
-	js := m.byTask[t]
+	js, ok := m.byTask[t]
+	if !ok {
+		return fmt.Errorf("minedf: completion for unknown task %s", t.ID)
+	}
 	res, _, _ := ctx.Placement(t)
 	if t.Type == workload.MapTask {
 		js.runningMaps--
@@ -152,13 +176,160 @@ func (m *Manager) OnTaskComplete(ctx sim.Context, t *workload.Task) error {
 		js.runningReds--
 		m.freeRed[res]++
 	}
-	js.tasksLeft--
-	if js.tasksLeft == 0 {
-		m.remove(js)
+	if !js.abandoned {
+		js.tasksLeft--
+		if js.tasksLeft == 0 {
+			m.remove(js)
+		}
 	}
 	err := m.dispatch(ctx)
 	ctx.AddOverhead(time.Since(started))
 	return err
+}
+
+// OnTaskFailed implements sim.FaultHooks: the attempt's slot is freed in
+// the mirrors and the task re-queued for another attempt, in EDF position
+// automatically (its job keeps its place in the active order). Exhausted
+// retry budgets abandon the job.
+func (m *Manager) OnTaskFailed(ctx sim.Context, t *workload.Task, res int) error {
+	started := time.Now()
+	js, ok := m.byTask[t]
+	if !ok {
+		return fmt.Errorf("minedf: failure for unknown task %s", t.ID)
+	}
+	if t.Type == workload.MapTask {
+		js.runningMaps--
+		m.freeMap[res]++
+	} else {
+		js.runningReds--
+		m.freeRed[res]++
+	}
+	if !js.abandoned {
+		if err := m.chargeRetry(ctx, js, t); err != nil {
+			return err
+		}
+	}
+	err := m.dispatch(ctx)
+	ctx.AddOverhead(time.Since(started))
+	return err
+}
+
+// OnResourceDown implements sim.FaultHooks: killed attempts are charged
+// against retry budgets and re-queued, evacuated placements re-queued for
+// free, and the down resource's slot mirrors zeroed so dispatch skips it.
+func (m *Manager) OnResourceDown(ctx sim.Context, res int, killed, evacuated []*workload.Task) error {
+	started := time.Now()
+	for _, t := range killed {
+		js, ok := m.byTask[t]
+		if !ok {
+			return fmt.Errorf("minedf: outage kill for unknown task %s", t.ID)
+		}
+		if t.Type == workload.MapTask {
+			js.runningMaps--
+		} else {
+			js.runningReds--
+		}
+		if js.abandoned {
+			continue
+		}
+		if err := m.chargeRetry(ctx, js, t); err != nil {
+			return err
+		}
+	}
+	for _, t := range evacuated {
+		js, ok := m.byTask[t]
+		if !ok {
+			return fmt.Errorf("minedf: evacuation of unknown task %s", t.ID)
+		}
+		if t.Type == workload.MapTask {
+			js.runningMaps--
+		} else {
+			js.runningReds--
+		}
+		if !js.abandoned {
+			m.requeue(js, t)
+		}
+	}
+	m.freeMap[res], m.freeRed[res] = 0, 0
+	err := m.dispatch(ctx)
+	ctx.AddOverhead(time.Since(started))
+	return err
+}
+
+// OnResourceUp implements sim.FaultHooks: the repaired resource's slots
+// become available again (nothing can be running there after an outage).
+func (m *Manager) OnResourceUp(ctx sim.Context, res int) error {
+	started := time.Now()
+	m.freeMap[res] = m.cluster.MapSlots
+	m.freeRed[res] = m.cluster.ReduceSlots
+	err := m.dispatch(ctx)
+	ctx.AddOverhead(time.Since(started))
+	return err
+}
+
+// OnTaskSlowdown implements sim.FaultHooks as a no-op: MinEDF-WC dispatches
+// purely reactively (tasks start at the current instant and slots free on
+// actual completion events), so an overrunning attempt cannot collide with
+// pre-planned work. Only the ARIA estimate degrades, which MinEDF-WC
+// cannot act on anyway.
+func (m *Manager) OnTaskSlowdown(sim.Context, *workload.Task) error { return nil }
+
+// chargeRetry books one failed attempt: the task is re-queued unless its
+// job exhausted a retry budget, in which case the job is abandoned.
+func (m *Manager) chargeRetry(ctx sim.Context, js *jobState, t *workload.Task) error {
+	js.retries++
+	over := (m.MaxTaskRetries > 0 && ctx.Attempts(t) > m.MaxTaskRetries) ||
+		(m.JobRetryBudget > 0 && js.retries > m.JobRetryBudget)
+	if !over {
+		m.requeue(js, t)
+		return nil
+	}
+	return m.abandon(ctx, js)
+}
+
+// requeue returns a failed/killed/evacuated task to its pending queue.
+func (m *Manager) requeue(js *jobState, t *workload.Task) {
+	if t.Type == workload.MapTask {
+		js.pendingMaps = append(js.pendingMaps, t)
+	} else {
+		js.pendingReds = append(js.pendingReds, t)
+	}
+}
+
+// abandon gives up on a job: dispatched-but-not-started placements are
+// reconciled back into the slot mirrors, the simulator drops its pending
+// work, and the job leaves the EDF order. Still-running attempts drain
+// through OnTaskComplete/OnTaskFailed with their output discarded.
+func (m *Manager) abandon(ctx sim.Context, js *jobState) error {
+	for _, t := range js.job.Tasks() {
+		if ctx.Started(t) || ctx.Completed(t) {
+			continue
+		}
+		if res, _, ok := ctx.Placement(t); ok {
+			if t.Type == workload.MapTask {
+				js.runningMaps--
+				m.freeMap[res]++
+			} else {
+				js.runningReds--
+				m.freeRed[res]++
+			}
+		}
+	}
+	if err := ctx.AbandonJob(js.job); err != nil {
+		return err
+	}
+	js.abandoned = true
+	js.pendingMaps, js.pendingReds = nil, nil
+	for i, other := range m.active {
+		if other == js {
+			m.active = append(m.active[:i], m.active[i+1:]...)
+			break
+		}
+	}
+	// byTask entries stay: late fail/kill notifications for this job's
+	// draining attempts must still resolve. Entries for tasks that never
+	// run again are reclaimed when the simulation ends with the manager.
+	return nil
 }
 
 // admit registers a job as active, in EDF position.

@@ -15,12 +15,16 @@ import "container/heap"
 
 type eventKind int
 
-// Priorities at equal timestamps: finishes free slots first, then the
-// resource manager reacts (timers, arrivals), and only then do new tasks
-// start, so a manager invoked at time T can still reschedule a task that
-// was planned to start at T.
+// Priorities at equal timestamps: finishes and failures free slots first,
+// then resource state flips (so a manager invoked at T sees current
+// availability), then the resource manager reacts (timers, arrivals), and
+// only then do new tasks start, so a manager invoked at time T can still
+// reschedule a task that was planned to start at T.
 const (
 	evTaskFinish eventKind = iota
+	evTaskFail
+	evResourceDown
+	evResourceUp
 	evTimer
 	evJobArrival
 	evTaskStart
@@ -31,8 +35,9 @@ type event struct {
 	kind    eventKind
 	seq     int64 // tie-break for determinism
 	jobIdx  int   // evJobArrival
-	taskKey int   // evTaskFinish / evTaskStart
-	version int64 // evTaskStart: stale-event detection
+	taskKey int   // evTaskFinish / evTaskFail / evTaskStart
+	version int64 // evTaskStart / evTaskFinish / evTaskFail: stale-event detection
+	res     int   // evResourceDown / evResourceUp
 }
 
 type eventHeap []event

@@ -1,6 +1,8 @@
 package sim
 
 import (
+	"encoding/binary"
+	"hash/fnv"
 	"time"
 
 	"mrcprm/internal/workload"
@@ -46,6 +48,23 @@ type Metrics struct {
 	TotalLatenessMS int64
 	MaxLatenessMS   int64
 
+	// Failure accounting (all zero on fault-free runs).
+	//
+	// TasksFailed counts attempts that failed mid-execution; TasksKilled
+	// counts attempts killed by a resource outage; TasksRetried counts
+	// re-executions started after a failed or killed attempt. JobsAbandoned
+	// counts jobs given up by the manager (each counts against the SLA in
+	// P). Outages counts resource down events, DowntimeMS their summed
+	// durations, and WastedSlotMS the slot-milliseconds of work lost to
+	// failed and killed attempts.
+	TasksFailed   int
+	TasksKilled   int
+	TasksRetried  int
+	JobsAbandoned int
+	Outages       int
+	DowntimeMS    int64
+	WastedSlotMS  int64
+
 	Records []JobRecord
 }
 
@@ -84,12 +103,13 @@ func (m *Metrics) Cost(pricePerResourceHour float64) float64 {
 	return float64(m.ResourceActiveMS) / 3_600_000 * pricePerResourceHour
 }
 
-// P returns the proportion of late jobs N / arrived, in [0, 1].
+// P returns the proportion of jobs that violated their SLA — late or
+// abandoned — over the jobs that arrived, in [0, 1].
 func (m *Metrics) P() float64 {
 	if m.JobsArrived == 0 {
 		return 0
 	}
-	return float64(m.LateJobs) / float64(m.JobsArrived)
+	return float64(m.LateJobs+m.JobsAbandoned) / float64(m.JobsArrived)
 }
 
 // T returns the average job turnaround time in seconds.
@@ -114,3 +134,33 @@ func (m *Metrics) N() int { return m.LateJobs }
 
 // TotalOverhead returns the accumulated scheduling wall time.
 func (m *Metrics) TotalOverhead() time.Duration { return m.totalOverhead }
+
+// Fingerprint hashes every simulated-time-derived field of the metrics,
+// including the per-job records, into one value. Two runs of the same
+// workload, manager, and fault plan must produce equal fingerprints; the
+// wall-clock overhead metric O is deliberately excluded because it varies
+// run to run.
+func (m *Metrics) Fingerprint() uint64 {
+	h := fnv.New64a()
+	w := func(vs ...int64) {
+		var buf [8]byte
+		for _, v := range vs {
+			binary.LittleEndian.PutUint64(buf[:], uint64(v))
+			h.Write(buf[:])
+		}
+	}
+	w(int64(m.JobsArrived), int64(m.JobsCompleted), int64(m.LateJobs),
+		m.totalTurnaroundMS, int64(m.Invocations), m.MakespanMS,
+		m.BusyMapSlotMS, m.BusyReduceSlotMS, m.ResourceActiveMS,
+		m.TotalLatenessMS, m.MaxLatenessMS,
+		int64(m.TasksFailed), int64(m.TasksKilled), int64(m.TasksRetried),
+		int64(m.JobsAbandoned), int64(m.Outages), m.DowntimeMS, m.WastedSlotMS)
+	for _, r := range m.Records {
+		done := int64(0)
+		if r.Done {
+			done = 1
+		}
+		w(int64(r.Job.ID), r.Completion, done)
+	}
+	return h.Sum64()
+}

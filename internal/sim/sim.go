@@ -21,6 +21,9 @@ type ResourceManager interface {
 	OnTaskComplete(ctx Context, t *workload.Task) error
 	// OnTimer fires when a timer set through ctx.SetTimer expires.
 	OnTimer(ctx Context) error
+	// FaultHooks delivers failure-recovery callbacks; managers that do not
+	// recover from faults may embed NoFaults.
+	FaultHooks
 }
 
 // Context is the view of the simulation a resource manager operates
@@ -50,6 +53,22 @@ type Context interface {
 	// AddOverhead accrues matchmaking-and-scheduling wall time into the O
 	// metric and counts one invocation.
 	AddOverhead(d time.Duration)
+	// ResourceDown reports whether the resource is currently in an outage;
+	// down resources accept no placements.
+	ResourceDown(res int) bool
+	// Attempts returns the number of failed execution attempts of the task
+	// so far (0 when it has never failed).
+	Attempts(t *workload.Task) int
+	// RunningExec returns the effective execution time (after straggler
+	// slowdown) of the task's in-flight attempt, or the nominal t.Exec when
+	// the task is not running. Managers use it to model the true finish
+	// time of started work.
+	RunningExec(t *workload.Task) int64
+	// AbandonJob gives up on a job (typically after exhausting its retry
+	// budget): pending placements are removed, the job counts as an SLA
+	// violation, and the run may end without completing it. In-flight
+	// attempts run to completion and their output is discarded.
+	AbandonJob(j *workload.Job) error
 }
 
 type taskState struct {
@@ -62,6 +81,10 @@ type taskState struct {
 	scheduled bool
 	started   bool
 	completed bool
+	// attempt counts failed execution attempts; effExec is the effective
+	// (slowdown-adjusted) duration of the in-flight attempt.
+	attempt int
+	effExec int64
 }
 
 // Simulator drives one run: a fixed job list (with arrival times) against a
@@ -82,6 +105,12 @@ type Simulator struct {
 	// activeSince[r] is the instant resource r last became non-idle, or -1.
 	activeSince []int64
 	observer    Observer
+
+	// Fault-injection state; all nil/empty without an injector.
+	injector  FaultInjector
+	down      []bool
+	downSince []int64
+	abandoned map[*workload.Job]bool
 }
 
 // Observer receives task lifecycle notifications; see internal/trace for a
@@ -95,6 +124,37 @@ type Observer interface {
 
 // SetObserver attaches a lifecycle observer; call before Run.
 func (s *Simulator) SetObserver(o Observer) { s.observer = o }
+
+// SetFaultInjector installs a fault plan; call before Run. Planned outages
+// outside the cluster's resource range are rejected. A nil injector leaves
+// the simulator fault-free.
+func (s *Simulator) SetFaultInjector(fi FaultInjector) error {
+	if fi == nil {
+		s.injector = nil
+		return nil
+	}
+	perRes := make(map[int][]Outage)
+	for _, o := range fi.PlannedOutages() {
+		if o.Resource < 0 || o.Resource >= s.cluster.NumResources {
+			return fmt.Errorf("sim: outage on invalid resource %d", o.Resource)
+		}
+		if o.UpAt <= o.DownAt || o.DownAt < 0 {
+			return fmt.Errorf("sim: outage window [%d,%d) on resource %d is invalid",
+				o.DownAt, o.UpAt, o.Resource)
+		}
+		perRes[o.Resource] = append(perRes[o.Resource], o)
+	}
+	for r, os := range perRes {
+		sort.Slice(os, func(i, j int) bool { return os[i].DownAt < os[j].DownAt })
+		for i := 1; i < len(os); i++ {
+			if os[i].DownAt < os[i-1].UpAt {
+				return fmt.Errorf("sim: overlapping outages on resource %d", r)
+			}
+		}
+	}
+	s.injector = fi
+	return nil
+}
 
 // New prepares a simulation of the given jobs. The job list is sorted by
 // arrival time internally; it is not modified.
@@ -113,6 +173,9 @@ func New(cluster Cluster, rm ResourceManager, jobs []*workload.Job) (*Simulator,
 		pending:     make(map[*workload.Job]int),
 		timers:      make(map[int64]bool),
 		activeSince: make([]int64, cluster.NumResources),
+		down:        make([]bool, cluster.NumResources),
+		downSince:   make([]int64, cluster.NumResources),
+		abandoned:   make(map[*workload.Job]bool),
 	}
 	for r := range s.activeSince {
 		s.activeSince[r] = -1
@@ -142,6 +205,12 @@ func New(cluster Cluster, rm ResourceManager, jobs []*workload.Job) (*Simulator,
 
 // Run executes the simulation to completion and returns the metrics.
 func (s *Simulator) Run() (*Metrics, error) {
+	if s.injector != nil {
+		for _, o := range s.injector.PlannedOutages() {
+			s.queue.push(event{at: o.DownAt, kind: evResourceDown, res: o.Resource})
+			s.queue.push(event{at: o.UpAt, kind: evResourceUp, res: o.Resource})
+		}
+	}
 	for {
 		ev, ok := s.queue.pop()
 		if !ok {
@@ -166,13 +235,19 @@ func (s *Simulator) Run() (*Metrics, error) {
 			err = s.handleTaskStart(ev)
 		case evTaskFinish:
 			err = s.handleTaskFinish(ev)
+		case evTaskFail:
+			err = s.handleTaskFail(ev)
+		case evResourceDown:
+			err = s.handleResourceDown(ev)
+		case evResourceUp:
+			err = s.handleResourceUp(ev)
 		}
 		if err != nil {
 			return nil, err
 		}
 	}
 	for j, n := range s.pending {
-		if n > 0 {
+		if n > 0 && !s.abandoned[j] {
 			return nil, fmt.Errorf("sim: run ended with job %d incomplete (%d tasks left)", j.ID, n)
 		}
 	}
@@ -216,6 +291,9 @@ func (s *Simulator) handleTaskStart(ev event) error {
 			}
 		}
 	}
+	if s.down[st.res] {
+		return fmt.Errorf("sim: task %s started on down resource %d", t.ID, st.res)
+	}
 	if err := s.ledger.acquire(st.res, t); err != nil {
 		return err
 	}
@@ -223,35 +301,141 @@ func (s *Simulator) handleTaskStart(ev event) error {
 		s.activeSince[st.res] = s.clock
 	}
 	st.started = true
+	if st.attempt > 0 {
+		s.metrics.TasksRetried++
+	}
 	if s.observer != nil {
 		s.observer.TaskStarted(s.clock, t, j, st.res)
 	}
-	s.queue.push(event{at: s.clock + t.Exec, kind: evTaskFinish, taskKey: ev.taskKey})
+	st.effExec = t.Exec
+	var fault AttemptFault
+	if s.injector != nil {
+		fault = s.injector.Attempt(t.ID, st.attempt)
+		if fault.Factor > 1 {
+			st.effExec = int64(float64(t.Exec) * fault.Factor)
+			if st.effExec < t.Exec {
+				st.effExec = t.Exec
+			}
+		}
+	}
+	if fault.Fails {
+		failAt := int64(fault.FailPoint * float64(st.effExec))
+		if failAt < 1 {
+			failAt = 1
+		}
+		if failAt > st.effExec {
+			failAt = st.effExec
+		}
+		s.queue.push(event{at: s.clock + failAt, kind: evTaskFail, taskKey: ev.taskKey, version: st.version})
+	} else {
+		s.queue.push(event{at: s.clock + st.effExec, kind: evTaskFinish, taskKey: ev.taskKey, version: st.version})
+	}
+	if st.effExec > t.Exec {
+		// Straggler: the attempt will overrun its planned window; let the
+		// manager replan before later start events collide with it.
+		return s.rm.OnTaskSlowdown(s, t)
+	}
 	return nil
 }
 
 func (s *Simulator) handleTaskFinish(ev event) error {
 	st := s.byKey[ev.taskKey]
+	if st.version != ev.version || !st.started || st.completed {
+		return nil // superseded: the attempt was killed by an outage
+	}
 	t, j := st.task, st.job
 	s.ledger.release(st.res, t)
 	if t.Type == workload.MapTask {
-		s.metrics.BusyMapSlotMS += t.Exec * t.Req
+		s.metrics.BusyMapSlotMS += st.effExec * t.Req
 	} else {
-		s.metrics.BusyReduceSlotMS += t.Exec * t.Req
+		s.metrics.BusyReduceSlotMS += st.effExec * t.Req
 	}
-	if s.ledger.mapUse[st.res] == 0 && s.ledger.redUse[st.res] == 0 {
-		s.metrics.ResourceActiveMS += s.clock - s.activeSince[st.res]
-		s.activeSince[st.res] = -1
-	}
+	s.closeActiveWindow(st.res)
 	st.completed = true
 	if s.observer != nil {
 		s.observer.TaskFinished(s.clock, t, j, st.res)
 	}
 	s.pending[j]--
-	if s.pending[j] == 0 {
+	if s.pending[j] == 0 && !s.abandoned[j] {
 		s.completeJob(j)
 	}
 	return s.rm.OnTaskComplete(s, t)
+}
+
+// handleTaskFail ends a running attempt in failure: the slots are released,
+// the work done so far is wasted, and the task becomes schedulable again.
+func (s *Simulator) handleTaskFail(ev event) error {
+	st := s.byKey[ev.taskKey]
+	if st.version != ev.version || !st.started || st.completed {
+		return nil // superseded: the attempt was killed by an outage
+	}
+	t := st.task
+	res := st.res
+	s.ledger.release(res, t)
+	s.metrics.WastedSlotMS += (s.clock - st.start) * t.Req
+	s.metrics.TasksFailed++
+	s.closeActiveWindow(res)
+	s.resetAttempt(st)
+	return s.rm.OnTaskFailed(s, t, res)
+}
+
+// handleResourceDown starts an outage: tasks running on the resource are
+// killed (counting as failed attempts), pending placements on it are
+// evacuated, and the manager is notified once with both lists.
+func (s *Simulator) handleResourceDown(ev event) error {
+	r := ev.res
+	s.down[r] = true
+	s.downSince[r] = s.clock
+	s.metrics.Outages++
+	var killed, evacuated []*workload.Task
+	for _, st := range s.byKey {
+		if st.res != r || st.completed {
+			continue
+		}
+		switch {
+		case st.started:
+			s.ledger.release(r, st.task)
+			s.metrics.WastedSlotMS += (s.clock - st.start) * st.task.Req
+			s.metrics.TasksKilled++
+			s.resetAttempt(st)
+			killed = append(killed, st.task)
+		case st.scheduled:
+			st.scheduled = false
+			st.res, st.start = -1, 0
+			st.version++
+			evacuated = append(evacuated, st.task)
+		}
+	}
+	s.closeActiveWindow(r)
+	return s.rm.OnResourceDown(s, r, killed, evacuated)
+}
+
+// handleResourceUp ends an outage.
+func (s *Simulator) handleResourceUp(ev event) error {
+	r := ev.res
+	s.down[r] = false
+	s.metrics.DowntimeMS += s.clock - s.downSince[r]
+	return s.rm.OnResourceUp(s, r)
+}
+
+// resetAttempt returns a task to the schedulable state after a failed or
+// killed attempt.
+func (s *Simulator) resetAttempt(st *taskState) {
+	st.started = false
+	st.scheduled = false
+	st.res, st.start = -1, 0
+	st.effExec = 0
+	st.attempt++
+	st.version++ // any queued finish/fail/start events become stale
+}
+
+// closeActiveWindow ends the resource's pay-per-use active window if it
+// just went idle.
+func (s *Simulator) closeActiveWindow(res int) {
+	if s.activeSince[res] >= 0 && s.ledger.mapUse[res] == 0 && s.ledger.redUse[res] == 0 {
+		s.metrics.ResourceActiveMS += s.clock - s.activeSince[res]
+		s.activeSince[res] = -1
+	}
 }
 
 func (s *Simulator) completeJob(j *workload.Job) {
@@ -312,7 +496,8 @@ func (s *Simulator) Unschedule(t *workload.Task) error {
 		return fmt.Errorf("sim: cannot unschedule started task %s", t.ID)
 	}
 	st.scheduled = false
-	st.version++ // existing start events become stale
+	st.res, st.start = -1, 0 // never leave a stale placement behind
+	st.version++             // existing start events become stale
 	return nil
 }
 
@@ -357,4 +542,54 @@ func (s *Simulator) SetTimer(at int64) {
 func (s *Simulator) AddOverhead(d time.Duration) {
 	s.metrics.totalOverhead += d
 	s.metrics.Invocations++
+}
+
+// ResourceDown reports whether the resource is currently in an outage.
+func (s *Simulator) ResourceDown(res int) bool {
+	return res >= 0 && res < len(s.down) && s.down[res]
+}
+
+// Attempts returns the task's failed execution attempts so far.
+func (s *Simulator) Attempts(t *workload.Task) int {
+	st, ok := s.tasks[t]
+	if !ok {
+		return 0
+	}
+	return st.attempt
+}
+
+// RunningExec returns the effective duration of the task's in-flight
+// attempt, or its nominal execution time when not running.
+func (s *Simulator) RunningExec(t *workload.Task) int64 {
+	st, ok := s.tasks[t]
+	if !ok || !st.started || st.completed {
+		return t.Exec
+	}
+	return st.effExec
+}
+
+// AbandonJob implements Context: the job's pending placements are removed
+// and the run may end without completing it.
+func (s *Simulator) AbandonJob(j *workload.Job) error {
+	n, known := s.pending[j]
+	if !known {
+		return fmt.Errorf("sim: cannot abandon unknown job %d", j.ID)
+	}
+	if n == 0 {
+		return fmt.Errorf("sim: cannot abandon completed job %d", j.ID)
+	}
+	if s.abandoned[j] {
+		return fmt.Errorf("sim: job %d abandoned twice", j.ID)
+	}
+	s.abandoned[j] = true
+	s.metrics.JobsAbandoned++
+	for _, t := range j.Tasks() {
+		st := s.tasks[t]
+		if st.scheduled && !st.started {
+			st.scheduled = false
+			st.res, st.start = -1, 0
+			st.version++
+		}
+	}
+	return nil
 }

@@ -12,6 +12,7 @@ import (
 // keeps its own per-slot availability timelines and packs each arriving
 // job's tasks first-fit, never rescheduling.
 type fifoRM struct {
+	NoFaults
 	mapFree []int64
 	redFree []int64
 	slotsMp int64
@@ -204,6 +205,7 @@ func TestSimRejectsStartBeforeEarliestStart(t *testing.T) {
 // rescheduleRM places job 0's task far out, then pulls it in when job 1
 // arrives, exercising stale-event invalidation.
 type rescheduleRM struct {
+	NoFaults
 	moved bool
 	j0    *workload.Job
 }
@@ -245,6 +247,7 @@ func TestSimReschedulingInvalidatesOldStart(t *testing.T) {
 
 // timerRM defers all scheduling to a timer.
 type timerRM struct {
+	NoFaults
 	fired int
 	jobs  []*workload.Job
 }
@@ -308,7 +311,7 @@ func TestSimUnscheduledTaskFailsRun(t *testing.T) {
 	}
 }
 
-type noopRM struct{}
+type noopRM struct{ NoFaults }
 
 func (noopRM) Name() string                                 { return "noop" }
 func (noopRM) OnJobArrival(Context, *workload.Job) error    { return nil }

@@ -30,6 +30,7 @@ import (
 	"mrcprm/internal/core"
 	"mrcprm/internal/cp"
 	"mrcprm/internal/experiment"
+	"mrcprm/internal/faults"
 	"mrcprm/internal/fifo"
 	"mrcprm/internal/minedf"
 	"mrcprm/internal/sim"
@@ -138,6 +139,58 @@ func WorkflowFromJob(j *Job) *Workflow { return workflow.FromMapReduceJob(j) }
 // number that miss their deadlines.
 func SolveWorkflows(cluster Cluster, wfs []*Workflow, cfg Config) (*WorkflowSchedule, error) {
 	return workflow.Solve(cluster, wfs, cfg)
+}
+
+// Fault injection and recovery (robustness evaluation beyond the paper's
+// fault-free model).
+type (
+	// FaultConfig parameterizes the deterministic fault injector: task
+	// failure and straggler probabilities plus resource outage processes.
+	FaultConfig = faults.Config
+	// FaultInjector supplies a fault plan to the simulator.
+	FaultInjector = sim.FaultInjector
+	// AttemptFault is the injected fate of one task execution attempt.
+	AttemptFault = sim.AttemptFault
+	// Outage is one planned resource outage window.
+	Outage = sim.Outage
+)
+
+// NewFaultPlan builds the standard deterministic injector. The plan is a
+// pure function of the config: the same seeds yield the same task fates
+// and outage windows regardless of the manager under test.
+func NewFaultPlan(cfg FaultConfig) (FaultInjector, error) { return faults.New(cfg) }
+
+// SimulateWithFaults is Simulate with a fault injector installed. A nil
+// injector behaves exactly like Simulate.
+func SimulateWithFaults(cluster Cluster, rm ResourceManager, jobs []*Job, fi FaultInjector) (*Metrics, error) {
+	s, err := sim.New(cluster, rm, jobs)
+	if err != nil {
+		return nil, err
+	}
+	if fi != nil {
+		if err := s.SetFaultInjector(fi); err != nil {
+			return nil, err
+		}
+	}
+	return s.Run()
+}
+
+// SimulateTracedWithFaults is SimulateTraced with a fault injector
+// installed. A nil injector behaves exactly like SimulateTraced.
+func SimulateTracedWithFaults(cluster Cluster, rm ResourceManager, jobs []*Job, fi FaultInjector) (*Metrics, *TraceRecorder, error) {
+	s, err := sim.New(cluster, rm, jobs)
+	if err != nil {
+		return nil, nil, err
+	}
+	if fi != nil {
+		if err := s.SetFaultInjector(fi); err != nil {
+			return nil, nil, err
+		}
+	}
+	rec := trace.NewRecorder()
+	s.SetObserver(rec)
+	m, err := s.Run()
+	return m, rec, err
 }
 
 // Stream is a deterministic random number stream.
