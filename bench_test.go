@@ -10,6 +10,7 @@ package mrcprm_test
 
 import (
 	"fmt"
+	"io"
 	"strings"
 	"testing"
 
@@ -176,4 +177,37 @@ func BenchmarkSolverGiantJobDescent(b *testing.B) {
 			b.Fatal(err)
 		}
 	}
+}
+
+// benchTelemetry runs the incremental-manager scenario once per iteration
+// with the given telemetry handle; comparing the On/Off variants measures
+// the throughput cost of full instrumentation versus the inert nil handle.
+func benchTelemetry(b *testing.B, makeTel func() *mrcprm.Telemetry) {
+	cfg := workload.DefaultSynthetic()
+	cfg.NumResources = 10
+	cfg.NumMapHi = 20
+	cfg.NumReduceHi = 10
+	cfg.Lambda = 0.05
+	cluster := mrcprm.Cluster{NumResources: 10, MapSlots: 2, ReduceSlots: 2}
+	mcfg := mrcprm.DefaultConfig()
+	mcfg.SolveTimeLimit = 0
+	mcfg.NodeLimit = 10_000
+	for i := 0; i < b.N; i++ {
+		jobs, err := cfg.Generate(40, mrcprm.NewStream(5, uint64(i)))
+		if err != nil {
+			b.Fatal(err)
+		}
+		mgr := mrcprm.NewManager(cluster, mcfg)
+		if _, _, err := mrcprm.SimulateInstrumented(cluster, mgr, jobs, nil, makeTel(), 0); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkTelemetryOff(b *testing.B) {
+	benchTelemetry(b, func() *mrcprm.Telemetry { return nil })
+}
+
+func BenchmarkTelemetryOn(b *testing.B) {
+	benchTelemetry(b, func() *mrcprm.Telemetry { return mrcprm.NewJSONLTelemetry(io.Discard) })
 }

@@ -16,9 +16,12 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"runtime"
+	"runtime/pprof"
 	"strings"
 
 	"mrcprm/internal/experiment"
+	"mrcprm/internal/obs"
 )
 
 func main() {
@@ -31,8 +34,41 @@ func main() {
 		minreps = flag.Int("minreps", 0, "minimum replications (0 = default)")
 		maxreps = flag.Int("maxreps", 0, "maximum replications (0 = default)")
 		csvDir  = flag.String("csv", "", "also write one CSV per experiment into this directory")
+
+		telOut     = flag.String("telemetry", "", "stream telemetry events from every replication to this JSONL file")
+		telSample  = flag.Int64("telemetrysample", 0, "sim time-series sample period in ms (0 = 5000)")
+		cpuProfile = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memProfile = flag.String("memprofile", "", "write a heap profile to this file at exit")
 	)
 	flag.Parse()
+
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		defer pprof.StopCPUProfile()
+	}
+	defer func() {
+		if *memProfile == "" {
+			return
+		}
+		f, err := os.Create(*memProfile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			return
+		}
+		runtime.GC()
+		if err := pprof.WriteHeapProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+		}
+		f.Close()
+	}()
 
 	opts := experiment.DefaultOptions()
 	if *fast {
@@ -50,6 +86,30 @@ func main() {
 	}
 	if *maxreps > 0 {
 		opts.Policy.MaxReps = *maxreps
+	}
+
+	var (
+		telSink *obs.JSONLWriter
+		telFile *os.File
+	)
+	if *telOut != "" {
+		f, err := os.Create(*telOut)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		telFile = f
+		telSink = obs.NewJSONLWriter(f)
+		opts.Telemetry = obs.New(telSink)
+		opts.TelemetrySampleMS = *telSample
+		defer func() {
+			opts.Telemetry.Flush()
+			if err := telFile.Close(); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				return
+			}
+			fmt.Printf("telemetry: %d events -> %s (digest with obsreport)\n", telSink.Count(), *telOut)
+		}()
 	}
 
 	ids := resolveIDs(*fig)

@@ -9,16 +9,23 @@
 //	mrcpsim -workload facebook -fbjobs 200 -lambda 0.0003
 //	mrcpsim -emax 100 -dul 2 -jobs 500 -v
 //	mrcpsim -failrate 0.05 -straggler 0.02 -mtbf 20000 -mttr 120
+//	mrcpsim -telemetry run.jsonl          # stream telemetry events, then: obsreport run.jsonl
+//	mrcpsim -cpuprofile cpu.out -memprofile mem.out
 package main
 
 import (
 	"flag"
 	"fmt"
+	"net/http"
+	_ "net/http/pprof"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"sort"
 	"strings"
 
 	"mrcprm"
+	"mrcprm/internal/obs"
 )
 
 func main() {
@@ -40,6 +47,12 @@ func main() {
 		traceOut = flag.String("trace", "", "write the executed schedule to this file (.csv or .json)")
 		gantt    = flag.Bool("gantt", false, "print an ASCII gantt of the executed schedule")
 
+		telOut     = flag.String("telemetry", "", "stream telemetry events to this JSONL file (digest with obsreport)")
+		telSample  = flag.Int64("telemetrysample", 0, "sim time-series sample period in ms (0 = 5000)")
+		cpuProfile = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memProfile = flag.String("memprofile", "", "write a heap profile to this file at exit")
+		pprofAddr  = flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060)")
+
 		failRate  = flag.Float64("failrate", 0, "probability a task attempt fails mid-execution")
 		straggler = flag.Float64("straggler", 0, "probability a task attempt runs 1.5-3x slow")
 		mtbf      = flag.Float64("mtbf", 0, "mean time between resource outages (s, 0 = no outages)")
@@ -47,6 +60,42 @@ func main() {
 		faultSeed = flag.Uint64("faultseed", 0, "fault plan seed (0 = derive from -seed)")
 	)
 	flag.Parse()
+
+	if *pprofAddr != "" {
+		go func() {
+			if err := http.ListenAndServe(*pprofAddr, nil); err != nil {
+				fmt.Fprintln(os.Stderr, "pprof server:", err)
+			}
+		}()
+		fmt.Printf("pprof      : http://%s/debug/pprof/\n", *pprofAddr)
+	}
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		defer pprof.StopCPUProfile()
+	}
+	defer func() {
+		if *memProfile == "" {
+			return
+		}
+		f, err := os.Create(*memProfile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			return
+		}
+		runtime.GC()
+		if err := pprof.WriteHeapProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+		}
+		f.Close()
+	}()
 
 	rng := mrcprm.NewStream(*seed1, 0xfeed)
 	var jl []*mrcprm.Job
@@ -143,10 +192,32 @@ func main() {
 		}
 	}
 
-	metrics, rec, err := mrcprm.SimulateTracedWithFaults(cluster, rm, jl, injector)
+	var (
+		tel     *mrcprm.Telemetry
+		telSink *obs.JSONLWriter
+		telFile *os.File
+	)
+	if *telOut != "" {
+		telFile, err = os.Create(*telOut)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		telSink = obs.NewJSONLWriter(telFile)
+		tel = obs.New(telSink)
+	}
+
+	metrics, rec, err := mrcprm.SimulateInstrumented(cluster, rm, jl, injector, tel, *telSample)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
+	}
+	if telFile != nil {
+		if err := telFile.Close(); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Printf("telemetry  : %d events -> %s (digest with obsreport)\n", telSink.Count(), *telOut)
 	}
 
 	fmt.Printf("manager    : %s\n", rm.Name())

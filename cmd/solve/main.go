@@ -127,6 +127,7 @@ func main() {
 		fmt.Print(" [optimal]")
 	}
 	fmt.Println()
+	fmt.Printf("search: %s\n", sched.Search.String())
 	if len(sched.LateJobs) > 0 {
 		fmt.Printf("late jobs: %v\n", sched.LateJobs)
 	}

@@ -36,6 +36,8 @@ type Schedule struct {
 	Optimal   bool
 	SolveTime time.Duration
 	Nodes     int64
+	// Search carries the solver's detailed search statistics.
+	Search cp.SearchStats
 }
 
 // SolveBatch maps and schedules a fixed batch of jobs on the cluster,
@@ -78,6 +80,7 @@ func SolveBatch(cluster sim.Cluster, jobs []*workload.Job, cfg Config) (*Schedul
 		Optimal:   res.Status == cp.StatusOptimal,
 		SolveTime: res.SolveTime,
 		Nodes:     res.Nodes,
+		Search:    res.Search,
 	}
 	jobByID := make(map[int]*workload.Job, len(jobs))
 	for _, j := range jobs {

@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"mrcprm/internal/cp"
+	"mrcprm/internal/obs"
 	"mrcprm/internal/sim"
 	"mrcprm/internal/workload"
 )
@@ -28,6 +29,9 @@ type Manager struct {
 	unitSlot map[*workload.Task]int
 
 	stats Stats
+	// tel receives per-invocation spans and solver search events; nil (the
+	// default) disables all instrumentation at the cost of one branch.
+	tel *obs.Telemetry
 }
 
 type jobTracker struct {
@@ -57,6 +61,10 @@ func (m *Manager) Name() string { return "MRCP-RM" }
 // Stats returns the accumulated counters.
 func (m *Manager) Stats() Stats { return m.stats }
 
+// SetTelemetry attaches a telemetry core; a nil argument detaches it. Call
+// before the simulation starts.
+func (m *Manager) SetTelemetry(tel *obs.Telemetry) { m.tel = tel }
+
 // OnJobArrival implements sim.ResourceManager: Section V.E defers jobs
 // whose earliest start time is far in the future; everything else triggers
 // a full matchmaking-and-scheduling round.
@@ -66,6 +74,10 @@ func (m *Manager) OnJobArrival(ctx sim.Context, j *workload.Job) error {
 	if lead > 0 && j.EarliestStart > ctx.Now()+lead {
 		m.deferred = append(m.deferred, j)
 		m.stats.Deferred++
+		if m.tel.Enabled() {
+			m.tel.Emit(ctx.Now(), obs.LayerManager, "job_deferred",
+				obs.Int("job", j.ID), obs.I64("earliest_start_ms", j.EarliestStart))
+		}
 		ctx.SetTimer(j.EarliestStart - lead)
 		ctx.AddOverhead(time.Since(started))
 		return nil
@@ -82,7 +94,7 @@ func (m *Manager) OnJobArrival(ctx sim.Context, j *workload.Job) error {
 		return nil
 	}
 	m.admit(j)
-	err := m.reschedule(ctx)
+	err := m.reschedule(ctx, "arrival")
 	ctx.AddOverhead(time.Since(started))
 	return err
 }
@@ -113,7 +125,7 @@ func (m *Manager) OnTimer(ctx sim.Context) error {
 	}
 	var err error
 	if released {
-		err = m.reschedule(ctx)
+		err = m.reschedule(ctx, "timer")
 	}
 	ctx.AddOverhead(time.Since(started))
 	return err
@@ -156,7 +168,7 @@ func (m *Manager) OnTaskFailed(ctx sim.Context, t *workload.Task, _ int) error {
 	if err := m.chargeRetry(ctx, m.active[j], t); err != nil {
 		return err
 	}
-	err := m.reschedule(ctx)
+	err := m.reschedule(ctx, "task_failed")
 	ctx.AddOverhead(time.Since(started))
 	return err
 }
@@ -175,7 +187,7 @@ func (m *Manager) OnResourceDown(ctx sim.Context, _ int, killed, _ []*workload.T
 			return err
 		}
 	}
-	err := m.reschedule(ctx)
+	err := m.reschedule(ctx, "resource_down")
 	ctx.AddOverhead(time.Since(started))
 	return err
 }
@@ -184,7 +196,7 @@ func (m *Manager) OnResourceDown(ctx sim.Context, _ int, killed, _ []*workload.T
 // repaired resource.
 func (m *Manager) OnResourceUp(ctx sim.Context, _ int) error {
 	started := time.Now()
-	err := m.reschedule(ctx)
+	err := m.reschedule(ctx, "resource_up")
 	ctx.AddOverhead(time.Since(started))
 	return err
 }
@@ -194,7 +206,7 @@ func (m *Manager) OnResourceUp(ctx sim.Context, _ int) error {
 // reschedule freezes it at ctx.RunningExec) before later starts collide.
 func (m *Manager) OnTaskSlowdown(ctx sim.Context, _ *workload.Task) error {
 	started := time.Now()
-	err := m.reschedule(ctx)
+	err := m.reschedule(ctx, "slowdown")
 	ctx.AddOverhead(time.Since(started))
 	return err
 }
@@ -263,7 +275,7 @@ func (m *Manager) retire(j *workload.Job) {
 // usable solution (expired budget under strict limits, or a panic) the
 // greedy earliest-deadline-first fallback installs a schedule instead, so
 // a solve failure never terminates the run.
-func (m *Manager) reschedule(ctx sim.Context) error {
+func (m *Manager) reschedule(ctx sim.Context, reason string) error {
 	now := ctx.Now()
 	down := make([]bool, m.cluster.NumResources)
 	allDown := true
@@ -285,23 +297,129 @@ func (m *Manager) reschedule(ctx sim.Context) error {
 	if err != nil {
 		return err
 	}
+	telOn := m.tel.Enabled()
+	var sp *obs.Span
+	if telOn {
+		var frozenN, pendingN int
+		for _, w := range work {
+			frozenN += len(w.frozenMaps) + len(w.frozenReds)
+			pendingN += len(w.pendingMaps) + len(w.pendingReds)
+		}
+		sp = m.tel.StartSpan(now, obs.LayerManager, "reschedule",
+			obs.Str("reason", reason),
+			obs.Str("mode", m.cfg.Mode.String()),
+			obs.Int("jobs", len(work)),
+			obs.Int("frozen_tasks", frozenN),
+			obs.Int("pending_tasks", pendingN))
+	}
 	res, solveErr := m.solve(bm)
 	m.stats.Rounds++
 	m.stats.SolverNodes += res.Nodes
+	if telOn {
+		m.emitSolve(now, &res, solveErr)
+		m.tel.Add("manager_rounds", 1)
+	}
 	if solveErr != nil || !res.HasSolution() {
 		// Table 2 line 24 would reject the job; a production manager must
 		// keep placing work instead, so degrade to the greedy fallback.
 		m.stats.FallbackRounds++
-		return m.greedyFallback(ctx, now, work, down)
+		err := m.greedyFallback(ctx, now, work, down)
+		if telOn {
+			m.tel.Add("manager_fallbacks", 1)
+			sp.End(obs.Str("status", "fallback"), obs.Bool("fallback", true),
+				obs.Int("objective", -1),
+				obs.Int("predicted_late", predictedLateAfter(ctx, work, err)))
+		}
+		return err
 	}
 	m.stats.LateBound += res.Objective
 
 	switch m.cfg.Mode {
 	case ModeCombined:
-		return m.installCombined(ctx, bm, &res, work)
+		err = m.installCombined(ctx, bm, &res, work)
 	default:
-		return m.installDirect(ctx, bm, &res)
+		err = m.installDirect(ctx, bm, &res)
 	}
+	if telOn {
+		sp.End(obs.Str("status", res.Status.String()), obs.Bool("fallback", false),
+			obs.Bool("limit_hit", res.Search.LimitHit()),
+			obs.Int("objective", res.Objective),
+			obs.Int("predicted_late", predictedLateAfter(ctx, work, err)))
+	}
+	return err
+}
+
+// emitSolve streams one solve's search statistics: the full
+// objective-improvement timeline, then the summary event.
+func (m *Manager) emitSolve(now int64, res *cp.Result, solveErr error) {
+	for _, stp := range res.Search.Timeline {
+		m.tel.Emit(now, obs.LayerSolver, "objective",
+			obs.Int("round", stp.Round),
+			obs.I64("nodes", stp.Nodes),
+			obs.Int("objective", stp.Objective),
+			obs.Wall("offset", stp.Wall))
+	}
+	st := &res.Search
+	status := res.Status.String()
+	if solveErr != nil {
+		status = "panic"
+	}
+	m.tel.Emit(now, obs.LayerSolver, "solve",
+		obs.Str("status", status),
+		obs.Int("objective", res.Objective),
+		obs.I64("nodes", st.Nodes),
+		obs.I64("backtracks", st.Backtracks),
+		obs.I64("propagations", st.Propagations),
+		obs.Int("rounds", st.Rounds),
+		obs.Int("improve_passes", st.ImprovePasses),
+		obs.Int("improve_accepts", st.ImproveAccepts),
+		obs.Int("solutions", st.Solutions),
+		obs.Int("first_objective", st.FirstObjective),
+		obs.Bool("node_limit_hit", st.NodeLimitHit),
+		obs.Bool("time_limit_hit", st.TimeLimitHit),
+		obs.Wall("solve", res.SolveTime),
+		obs.Wall("first_solution", st.TimeToFirst))
+	m.tel.Add("solver_solves", 1)
+	m.tel.Add("solver_nodes", st.Nodes)
+}
+
+// predictedLateAfter counts non-ghost jobs whose just-installed timetable
+// completes after their deadline, by querying the placements the install
+// pass wrote into the simulation. Returns -1 when the install failed.
+func predictedLateAfter(ctx sim.Context, work []*jobWork, installErr error) int {
+	if installErr != nil {
+		return -1
+	}
+	n := 0
+	for _, w := range work {
+		if w.ghost {
+			continue
+		}
+		var end int64
+		for _, f := range w.frozenMaps {
+			if e := f.start + f.exec; e > end {
+				end = e
+			}
+		}
+		for _, f := range w.frozenReds {
+			if e := f.start + f.exec; e > end {
+				end = e
+			}
+		}
+		pend := func(ts []*workload.Task) {
+			for _, t := range ts {
+				if _, start, ok := ctx.Placement(t); ok && start+t.Exec > end {
+					end = start + t.Exec
+				}
+			}
+		}
+		pend(w.pendingMaps)
+		pend(w.pendingReds)
+		if end > w.job.Deadline {
+			n++
+		}
+	}
+	return n
 }
 
 // solve runs the CP search, converting a solver panic into an error so the

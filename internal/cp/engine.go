@@ -20,6 +20,9 @@ type engine struct {
 	queue   []int
 	inQueue []bool
 	running int // index of the propagator currently executing, or -1
+	// propagations counts propagator executions (queue pops), the search's
+	// basic unit of filtering work; surfaced in cp.SearchStats.
+	propagations int64
 }
 
 func newEngine(m *Model) *engine {
@@ -51,6 +54,7 @@ func (e *engine) propagate() error {
 		e.queue = e.queue[1:]
 		e.inQueue[idx] = false
 		e.running = idx
+		e.propagations++
 		err := e.m.props[idx].propagate(e)
 		e.running = -1
 		if err != nil {

@@ -1,6 +1,7 @@
 package cp
 
 import (
+	"fmt"
 	"math"
 	"time"
 )
@@ -83,14 +84,90 @@ type Result struct {
 	Lates []bool
 	// Nodes is the number of search nodes explored, Rounds the number of
 	// branch-and-bound rounds, and SolveTime the wall-clock duration.
+	// (Mirrored in Search for callers that want the full statistics.)
 	Nodes     int64
 	Rounds    int
 	SolveTime time.Duration
+	// Search carries the detailed search statistics of this solve.
+	Search SearchStats
 }
 
 // HasSolution reports whether the result carries an assignment.
 func (r *Result) HasSolution() bool {
 	return r.Status == StatusOptimal || r.Status == StatusFeasible
+}
+
+// ObjectiveStep is one improvement of the incumbent: after Nodes search
+// nodes, in round Round, a solution with the given Objective was accepted
+// Wall after the solve began. Wall is the only wall-clock-derived field.
+type ObjectiveStep struct {
+	Round     int
+	Nodes     int64
+	Objective int
+	Wall      time.Duration
+}
+
+// SearchStats are the per-solve search counters. All fields except the
+// durations (and the Wall component of Timeline entries) are deterministic
+// functions of the model and parameters when no wall-clock time limit is
+// set.
+type SearchStats struct {
+	// Nodes counts search nodes expanded; Backtracks counts decision
+	// undo operations after a failed subtree; Propagations counts
+	// propagator executions.
+	Nodes        int64
+	Backtracks   int64
+	Propagations int64
+	// Rounds counts search descents: the first greedy descent, each
+	// squeaky-wheel improvement pass, and each branch-and-bound round.
+	Rounds int
+	// ImprovePasses counts Phase B squeaky-wheel re-descents attempted;
+	// ImproveAccepts counts those that improved the incumbent (the solver's
+	// LNS-style neighborhood iterations and acceptances).
+	ImprovePasses  int
+	ImproveAccepts int
+	// Solutions counts accepted incumbents (equals len(Timeline)).
+	Solutions int
+	// FirstObjective is the objective of the first solution (-1 when the
+	// search found none); TimeToFirst is the wall-clock time it took.
+	FirstObjective int
+	TimeToFirst    time.Duration
+	// NodeLimitHit / TimeLimitHit report which budget stopped the search.
+	NodeLimitHit bool
+	TimeLimitHit bool
+	// Timeline is the full objective-improvement history.
+	Timeline []ObjectiveStep
+}
+
+// LimitHit reports whether any search budget fired.
+func (st *SearchStats) LimitHit() bool { return st.NodeLimitHit || st.TimeLimitHit }
+
+func (st *SearchStats) String() string {
+	limits := "none"
+	switch {
+	case st.NodeLimitHit && st.TimeLimitHit:
+		limits = "node+time"
+	case st.NodeLimitHit:
+		limits = "node"
+	case st.TimeLimitHit:
+		limits = "time"
+	}
+	first := "-"
+	if st.FirstObjective >= 0 {
+		first = fmt.Sprintf("%d @%.1fms", st.FirstObjective,
+			float64(st.TimeToFirst.Nanoseconds())/1e6)
+	}
+	return fmt.Sprintf(
+		"%d nodes, %d backtracks, %d propagations, %d rounds, improve %d/%d, %d solutions (first %s), limit %s",
+		st.Nodes, st.Backtracks, st.Propagations, st.Rounds,
+		st.ImproveAccepts, st.ImprovePasses, st.Solutions, first, limits)
+}
+
+// String summarizes the result's status, objective, and search statistics
+// in one line.
+func (r *Result) String() string {
+	return fmt.Sprintf("%s obj=%d in %v: %s",
+		r.Status, r.Objective, r.SolveTime.Round(10*time.Microsecond), r.Search.String())
 }
 
 // Minimize declares the objective min Σ bools; the solver runs
@@ -115,6 +192,16 @@ type Solver struct {
 	nodeLimit int64
 	nodes     int64
 	limitHit  bool
+
+	// Search statistics beyond the node count.
+	started        time.Time
+	curRound       int
+	backtracks     int64
+	improvePasses  int
+	improveAccepts int
+	timeline       []ObjectiveStep
+	nodeLimitHit   bool
+	timeLimitHit   bool
 	// ignoreLimits lets one guaranteed improvement descent run even after
 	// the limits fired; descents without a branch-and-bound cut are
 	// backtrack-free, so this stays bounded.
@@ -150,6 +237,7 @@ func NewSolver(m *Model, params Params) *Solver {
 // Solve runs the search and returns the best solution found.
 func (s *Solver) Solve() Result {
 	start := time.Now()
+	s.started = start
 	if s.params.TimeLimit > 0 {
 		s.deadline = start.Add(s.params.TimeLimit)
 		s.hasDL = true
@@ -164,7 +252,8 @@ func (s *Solver) Solve() Result {
 	s.e = newEngine(m)
 	s.e.scheduleAll()
 	if s.e.propagate() != nil {
-		return Result{Status: StatusInfeasible, SolveTime: time.Since(start)}
+		return Result{Status: StatusInfeasible, SolveTime: time.Since(start),
+			Search: s.searchStats(0, start)}
 	}
 	// Jobs already proven late at the root cannot be rescued; boosting
 	// them would only let their tasks crowd out salvageable jobs.
@@ -177,13 +266,16 @@ func (s *Solver) Solve() Result {
 
 	// Phase A: first descent — a greedy, backtrack-free schedule.
 	rounds := 1
+	s.curRound = rounds
 	found, exhausted := s.dfs()
 	s.e.store.PopAll()
 	if !found {
+		st := StatusUnknown
 		if exhausted {
-			return Result{Status: StatusInfeasible, Nodes: s.nodes, Rounds: rounds, SolveTime: time.Since(start)}
+			st = StatusInfeasible
 		}
-		return Result{Status: StatusUnknown, Nodes: s.nodes, Rounds: rounds, SolveTime: time.Since(start)}
+		return Result{Status: st, Nodes: s.nodes, Rounds: rounds,
+			SolveTime: time.Since(start), Search: s.searchStats(rounds, start)}
 	}
 	if s.incumbent.Objective == 0 || len(m.objBools) == 0 || handle == nil {
 		return s.finish(StatusOptimal, rounds, start)
@@ -205,6 +297,8 @@ func (s *Solver) Solve() Result {
 			break
 		}
 		rounds++
+		s.curRound = rounds
+		s.improvePasses++
 		prev := s.incumbent.Objective
 		for _, b := range m.objBools {
 			if s.incumbent.Lates[b.id] && !rootForced[m.lateJobKey[b.id]] {
@@ -217,6 +311,7 @@ func (s *Solver) Solve() Result {
 		if !found || s.incumbent.Objective >= prev {
 			noImprove++
 		} else {
+			s.improveAccepts++
 			noImprove = 0
 		}
 	}
@@ -229,6 +324,7 @@ func (s *Solver) Solve() Result {
 	// search space, bounded by the node and time limits.
 	for {
 		rounds++
+		s.curRound = rounds
 		handle.SetBound(s.incumbent.Objective - 1)
 		s.e.scheduleAll()
 		if s.e.propagate() != nil {
@@ -255,7 +351,32 @@ func (s *Solver) finish(st Status, rounds int, start time.Time) Result {
 	r.Nodes = s.nodes
 	r.Rounds = rounds
 	r.SolveTime = time.Since(start)
+	r.Search = s.searchStats(rounds, start)
 	return r
+}
+
+// searchStats snapshots the detailed counters of the search so far.
+func (s *Solver) searchStats(rounds int, start time.Time) SearchStats {
+	st := SearchStats{
+		Nodes:          s.nodes,
+		Backtracks:     s.backtracks,
+		Rounds:         rounds,
+		ImprovePasses:  s.improvePasses,
+		ImproveAccepts: s.improveAccepts,
+		Solutions:      len(s.timeline),
+		FirstObjective: -1,
+		NodeLimitHit:   s.nodeLimitHit,
+		TimeLimitHit:   s.timeLimitHit,
+		Timeline:       s.timeline,
+	}
+	if s.e != nil {
+		st.Propagations = s.e.propagations
+	}
+	if len(s.timeline) > 0 {
+		st.FirstObjective = s.timeline[0].Objective
+		st.TimeToFirst = s.timeline[0].Wall
+	}
+	return st
 }
 
 // checkLimit reports whether search must stop now. Limits apply only to the
@@ -272,10 +393,12 @@ func (s *Solver) checkLimit() bool {
 	}
 	if s.nodes >= s.nodeLimit {
 		s.limitHit = true
+		s.nodeLimitHit = true
 		return true
 	}
 	if s.hasDL && s.nodes%256 == 0 && time.Now().After(s.deadline) {
 		s.limitHit = true
+		s.timeLimitHit = true
 		return true
 	}
 	return false
@@ -413,6 +536,7 @@ func (s *Solver) dfs() (bool, bool) {
 			return true, true
 		}
 	}
+	s.backtracks++
 	s.e.store.Pop()
 	if s.limitHit {
 		return false, false
@@ -425,6 +549,7 @@ func (s *Solver) dfs() (bool, bool) {
 			return true, true
 		}
 	}
+	s.backtracks++
 	s.e.store.Pop()
 	return false, !s.limitHit
 }
@@ -503,5 +628,11 @@ func (s *Solver) capture() {
 	r.Objective = obj
 	if s.incumbent == nil || obj < s.incumbent.Objective {
 		s.incumbent = r
+		s.timeline = append(s.timeline, ObjectiveStep{
+			Round:     s.curRound,
+			Nodes:     s.nodes,
+			Objective: obj,
+			Wall:      time.Since(s.started),
+		})
 	}
 }

@@ -35,10 +35,12 @@ func runAblationMatchmaking(opts Options) (Result, error) {
 			if err != nil {
 				return nil, err
 			}
-			s, err := sim.New(cluster, core.New(cluster, mcfg), jobs)
+			mgr := core.New(cluster, mcfg)
+			s, err := sim.New(cluster, mgr, jobs)
 			if err != nil {
 				return nil, err
 			}
+			opts.instrument(s, mgr)
 			return s.Run()
 		})
 		if err != nil {
@@ -79,10 +81,12 @@ func runAblationDeferral(opts Options) (Result, error) {
 			if err != nil {
 				return nil, err
 			}
-			s, err := sim.New(cluster, core.New(cluster, mcfg), jobs)
+			mgr := core.New(cluster, mcfg)
+			s, err := sim.New(cluster, mgr, jobs)
 			if err != nil {
 				return nil, err
 			}
+			opts.instrument(s, mgr)
 			return s.Run()
 		})
 		if err != nil {
@@ -116,10 +120,12 @@ func runAblationBatching(opts Options) (Result, error) {
 			if err != nil {
 				return nil, err
 			}
-			s, err := sim.New(cluster, core.New(cluster, mcfg), jobs)
+			mgr := core.New(cluster, mcfg)
+			s, err := sim.New(cluster, mgr, jobs)
 			if err != nil {
 				return nil, err
 			}
+			opts.instrument(s, mgr)
 			return s.Run()
 		})
 		if err != nil {
@@ -160,10 +166,12 @@ func runAblationOrdering(opts Options) (Result, error) {
 			if err != nil {
 				return nil, err
 			}
-			s, err := sim.New(cluster, core.New(cluster, mcfg), jobs)
+			mgr := core.New(cluster, mcfg)
+			s, err := sim.New(cluster, mgr, jobs)
 			if err != nil {
 				return nil, err
 			}
+			opts.instrument(s, mgr)
 			return s.Run()
 		})
 		if err != nil {

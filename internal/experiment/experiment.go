@@ -18,6 +18,7 @@ import (
 	"time"
 
 	"mrcprm/internal/core"
+	"mrcprm/internal/obs"
 	"mrcprm/internal/sim"
 	"mrcprm/internal/stats"
 	"mrcprm/internal/workload"
@@ -36,6 +37,24 @@ type Options struct {
 	Policy stats.ReplicationPolicy
 	// ManagerConfig configures MRCP-RM.
 	ManagerConfig core.Config
+	// Telemetry, when non-nil, streams solver/manager/sim events from every
+	// replication into one JSONL sink. Events from different replications
+	// interleave; the per-replication "run_end" events delimit them.
+	Telemetry *obs.Telemetry
+	// TelemetrySampleMS is the sim time-series cadence (<=0 = 5 s default).
+	TelemetrySampleMS int64
+}
+
+// instrument attaches the run's telemetry stream (if any) to a freshly
+// built simulator and its resource manager before Run.
+func (o Options) instrument(s *sim.Simulator, rm sim.ResourceManager) {
+	if !o.Telemetry.Enabled() {
+		return
+	}
+	s.SetTelemetry(o.Telemetry, o.TelemetrySampleMS)
+	if im, ok := rm.(interface{ SetTelemetry(*obs.Telemetry) }); ok {
+		im.SetTelemetry(o.Telemetry)
+	}
 }
 
 // DefaultOptions is sized to finish a full figure in minutes on a laptop
@@ -238,6 +257,7 @@ func runSyntheticCell(opts Options, cfg workload.SyntheticConfig, factor string,
 		if err != nil {
 			return nil, err
 		}
+		opts.instrument(s, mgr)
 		return s.Run()
 	})
 	if err != nil {

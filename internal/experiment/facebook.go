@@ -44,6 +44,7 @@ func runFacebookComparison(opts Options) (Result, error) {
 				if err != nil {
 					return nil, err
 				}
+				opts.instrument(s, rm)
 				return s.Run()
 			})
 			if err != nil {

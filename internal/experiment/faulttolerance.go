@@ -61,6 +61,7 @@ func runFaultSweep(opts Options) (Result, error) {
 				if err := s.SetFaultInjector(plan); err != nil {
 					return nil, err
 				}
+				opts.instrument(s, rm)
 				return s.Run()
 			})
 			if err != nil {

@@ -1,0 +1,87 @@
+package obs
+
+import (
+	"bufio"
+	"io"
+	"sync"
+)
+
+// JSONLWriter is a Sink that writes one JSON object per line to an
+// io.Writer through an internal buffer. It records the first write error;
+// later Emits become no-ops and Flush returns the error.
+type JSONLWriter struct {
+	mu  sync.Mutex
+	w   *bufio.Writer
+	buf []byte
+	err error
+	n   int64
+}
+
+// NewJSONLWriter wraps the writer in a buffered JSONL sink.
+func NewJSONLWriter(w io.Writer) *JSONLWriter {
+	return &JSONLWriter{w: bufio.NewWriterSize(w, 64<<10)}
+}
+
+// Emit implements Sink.
+func (s *JSONLWriter) Emit(e *Event) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.err != nil {
+		return
+	}
+	s.buf = e.AppendJSON(s.buf[:0])
+	s.buf = append(s.buf, '\n')
+	if _, err := s.w.Write(s.buf); err != nil {
+		s.err = err
+		return
+	}
+	s.n++
+}
+
+// Flush writes buffered output through and returns the first error seen.
+func (s *JSONLWriter) Flush() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.err != nil {
+		return s.err
+	}
+	s.err = s.w.Flush()
+	return s.err
+}
+
+// Count returns the number of events written so far.
+func (s *JSONLWriter) Count() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.n
+}
+
+// MemorySink is a Sink that keeps events in memory, for tests and for the
+// in-process report path.
+type MemorySink struct {
+	mu     sync.Mutex
+	events []Event
+}
+
+// Emit implements Sink; the event is copied.
+func (s *MemorySink) Emit(e *Event) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	ev := *e
+	ev.Fields = append([]Field(nil), e.Fields...)
+	s.events = append(s.events, ev)
+}
+
+// Events returns the recorded events in emission order.
+func (s *MemorySink) Events() []Event {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return append([]Event(nil), s.events...)
+}
+
+// Len returns the number of recorded events.
+func (s *MemorySink) Len() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.events)
+}

@@ -5,6 +5,7 @@ import (
 	"sort"
 	"time"
 
+	"mrcprm/internal/obs"
 	"mrcprm/internal/workload"
 )
 
@@ -105,6 +106,12 @@ type Simulator struct {
 	// activeSince[r] is the instant resource r last became non-idle, or -1.
 	activeSince []int64
 	observer    Observer
+	faultObs    FaultObserver
+
+	// Telemetry sampling state; inert when tel is nil.
+	tel        *obs.Telemetry
+	sampleMS   int64
+	nextSample int64
 
 	// Fault-injection state; all nil/empty without an injector.
 	injector  FaultInjector
@@ -122,8 +129,43 @@ type Observer interface {
 	TaskFinished(now int64, t *workload.Task, j *workload.Job, res int)
 }
 
-// SetObserver attaches a lifecycle observer; call before Run.
-func (s *Simulator) SetObserver(o Observer) { s.observer = o }
+// FaultObserver extends Observer with the failure-path notifications added
+// by the fault-injection layer. Observers that implement it also see task
+// failures, outage kills, and resource down/up transitions; plain Observers
+// silently miss them.
+type FaultObserver interface {
+	Observer
+	// TaskFailed fires when a running attempt fails mid-execution.
+	TaskFailed(now int64, t *workload.Task, j *workload.Job, res int)
+	// TaskKilled fires when a resource outage kills a running attempt.
+	TaskKilled(now int64, t *workload.Task, j *workload.Job, res int)
+	// ResourceDown fires when a resource outage begins.
+	ResourceDown(now int64, res int)
+	// ResourceUp fires when a resource outage ends.
+	ResourceUp(now int64, res int)
+}
+
+// SetObserver attaches a lifecycle observer; call before Run. Observers
+// that also implement FaultObserver receive failure-path events.
+func (s *Simulator) SetObserver(o Observer) {
+	s.observer = o
+	s.faultObs, _ = o.(FaultObserver)
+}
+
+// SetTelemetry attaches a telemetry core; call before Run. The simulator
+// emits a sampled time-series of slot occupancy, task queue depths, and
+// outstanding jobs: whenever event processing crosses a multiple of
+// sampleEveryMS in simulated time, one "sample" event is recorded at that
+// boundary (so long idle gaps produce one sample, not thousands).
+// sampleEveryMS <= 0 selects the default of 5000 ms. A nil tel detaches.
+func (s *Simulator) SetTelemetry(tel *obs.Telemetry, sampleEveryMS int64) {
+	if sampleEveryMS <= 0 {
+		sampleEveryMS = 5000
+	}
+	s.tel = tel
+	s.sampleMS = sampleEveryMS
+	s.nextSample = sampleEveryMS
+}
 
 // SetFaultInjector installs a fault plan; call before Run. Planned outages
 // outside the cluster's resource range are rejected. A nil injector leaves
@@ -219,6 +261,12 @@ func (s *Simulator) Run() (*Metrics, error) {
 		if ev.at < s.clock {
 			return nil, fmt.Errorf("sim: time ran backwards (%d -> %d)", s.clock, ev.at)
 		}
+		if s.tel.Enabled() && ev.at >= s.nextSample {
+			// One sample per crossing, stamped at the first crossed
+			// boundary; long idle gaps yield one sample, not thousands.
+			s.emitSample(s.nextSample)
+			s.nextSample += s.sampleMS * ((ev.at-s.nextSample)/s.sampleMS + 1)
+		}
 		s.clock = ev.at
 		var err error
 		switch ev.kind {
@@ -251,7 +299,58 @@ func (s *Simulator) Run() (*Metrics, error) {
 			return nil, fmt.Errorf("sim: run ended with job %d incomplete (%d tasks left)", j.ID, n)
 		}
 	}
+	if s.tel.Enabled() {
+		s.emitSample(s.clock)
+		s.tel.Emit(s.clock, obs.LayerSim, "run_end",
+			obs.Int("jobs_arrived", s.metrics.JobsArrived),
+			obs.Int("jobs_completed", s.metrics.JobsCompleted),
+			obs.Int("late_jobs", s.metrics.LateJobs),
+			obs.Int("jobs_abandoned", s.metrics.JobsAbandoned),
+			obs.I64("makespan_ms", s.metrics.MakespanMS),
+		)
+	}
 	return &s.metrics, nil
+}
+
+// emitSample records one point of the sim time-series at simulated time at.
+// The scan over task states is O(tasks) but runs only once per sample
+// boundary, never per event.
+func (s *Simulator) emitSample(at int64) {
+	var busyMap, busyRed int64
+	for r := 0; r < s.cluster.NumResources; r++ {
+		busyMap += s.ledger.mapUse[r]
+		busyRed += s.ledger.redUse[r]
+	}
+	var waitMap, waitRed, running int
+	for _, st := range s.byKey {
+		switch {
+		case st.completed:
+		case st.started:
+			running++
+		case st.scheduled:
+			if st.task.Type == workload.MapTask {
+				waitMap++
+			} else {
+				waitRed++
+			}
+		}
+	}
+	outstanding := s.metrics.JobsArrived - s.metrics.JobsCompleted - s.metrics.JobsAbandoned
+	downN := 0
+	for _, d := range s.down {
+		if d {
+			downN++
+		}
+	}
+	s.tel.Emit(at, obs.LayerSim, "sample",
+		obs.I64("busy_map_slots", busyMap),
+		obs.I64("busy_reduce_slots", busyRed),
+		obs.Int("waiting_map_tasks", waitMap),
+		obs.Int("waiting_reduce_tasks", waitRed),
+		obs.Int("running_tasks", running),
+		obs.Int("outstanding_jobs", outstanding),
+		obs.Int("down_resources", downN),
+	)
 }
 
 func (s *Simulator) stateOf(t *workload.Task) (*taskState, error) {
@@ -376,6 +475,9 @@ func (s *Simulator) handleTaskFail(ev event) error {
 	s.metrics.TasksFailed++
 	s.closeActiveWindow(res)
 	s.resetAttempt(st)
+	if s.faultObs != nil {
+		s.faultObs.TaskFailed(s.clock, t, st.job, res)
+	}
 	return s.rm.OnTaskFailed(s, t, res)
 }
 
@@ -398,6 +500,9 @@ func (s *Simulator) handleResourceDown(ev event) error {
 			s.metrics.WastedSlotMS += (s.clock - st.start) * st.task.Req
 			s.metrics.TasksKilled++
 			s.resetAttempt(st)
+			if s.faultObs != nil {
+				s.faultObs.TaskKilled(s.clock, st.task, st.job, r)
+			}
 			killed = append(killed, st.task)
 		case st.scheduled:
 			st.scheduled = false
@@ -407,6 +512,9 @@ func (s *Simulator) handleResourceDown(ev event) error {
 		}
 	}
 	s.closeActiveWindow(r)
+	if s.faultObs != nil {
+		s.faultObs.ResourceDown(s.clock, r)
+	}
 	return s.rm.OnResourceDown(s, r, killed, evacuated)
 }
 
@@ -415,6 +523,9 @@ func (s *Simulator) handleResourceUp(ev event) error {
 	r := ev.res
 	s.down[r] = false
 	s.metrics.DowntimeMS += s.clock - s.downSince[r]
+	if s.faultObs != nil {
+		s.faultObs.ResourceUp(s.clock, r)
+	}
 	return s.rm.OnResourceUp(s, r)
 }
 

@@ -16,22 +16,32 @@ import (
 	"mrcprm/internal/workload"
 )
 
-// EventKind distinguishes task lifecycle events.
+// EventKind distinguishes task lifecycle and fault events.
 type EventKind string
 
-// Event kinds.
+// Event kinds. The first two are the fault-free task lifecycle; the rest
+// are the failure-path events introduced with the fault-injection layer.
 const (
 	TaskStart  EventKind = "start"
 	TaskFinish EventKind = "finish"
+	// TaskFail records a running attempt failing mid-execution; TaskKill a
+	// running attempt killed by a resource outage.
+	TaskFail EventKind = "fail"
+	TaskKill EventKind = "kill"
+	// ResourceDown / ResourceUp bracket a resource outage. They carry no
+	// task: TaskID is empty and JobID is -1.
+	ResourceDown EventKind = "down"
+	ResourceUp   EventKind = "up"
 )
 
-// Event is one recorded schedule event.
+// Event is one recorded schedule event. For resource outage events
+// (ResourceDown/ResourceUp) the task fields are empty and JobID is -1.
 type Event struct {
 	TimeMS   int64     `json:"timeMs"`
 	Kind     EventKind `json:"kind"`
-	TaskID   string    `json:"taskId"`
+	TaskID   string    `json:"taskId,omitempty"`
 	JobID    int       `json:"jobId"`
-	TaskType string    `json:"taskType"`
+	TaskType string    `json:"taskType,omitempty"`
 	Resource int       `json:"resource"`
 	ExecMS   int64     `json:"execMs"`
 }
@@ -45,7 +55,7 @@ type Recorder struct {
 // NewRecorder returns an empty recorder.
 func NewRecorder() *Recorder { return &Recorder{} }
 
-var _ sim.Observer = (*Recorder)(nil)
+var _ sim.FaultObserver = (*Recorder)(nil)
 
 // TaskStarted implements sim.Observer.
 func (r *Recorder) TaskStarted(now int64, t *workload.Task, j *workload.Job, res int) {
@@ -61,6 +71,34 @@ func (r *Recorder) TaskFinished(now int64, t *workload.Task, j *workload.Job, re
 		TimeMS: now, Kind: TaskFinish, TaskID: t.ID, JobID: j.ID,
 		TaskType: t.Type.String(), Resource: res, ExecMS: t.Exec,
 	})
+}
+
+// TaskFailed implements sim.FaultObserver: a running attempt failed
+// mid-execution.
+func (r *Recorder) TaskFailed(now int64, t *workload.Task, j *workload.Job, res int) {
+	r.events = append(r.events, Event{
+		TimeMS: now, Kind: TaskFail, TaskID: t.ID, JobID: j.ID,
+		TaskType: t.Type.String(), Resource: res, ExecMS: t.Exec,
+	})
+}
+
+// TaskKilled implements sim.FaultObserver: a resource outage killed a
+// running attempt.
+func (r *Recorder) TaskKilled(now int64, t *workload.Task, j *workload.Job, res int) {
+	r.events = append(r.events, Event{
+		TimeMS: now, Kind: TaskKill, TaskID: t.ID, JobID: j.ID,
+		TaskType: t.Type.String(), Resource: res, ExecMS: t.Exec,
+	})
+}
+
+// ResourceDown implements sim.FaultObserver: an outage began.
+func (r *Recorder) ResourceDown(now int64, res int) {
+	r.events = append(r.events, Event{TimeMS: now, Kind: ResourceDown, JobID: -1, Resource: res})
+}
+
+// ResourceUp implements sim.FaultObserver: an outage ended.
+func (r *Recorder) ResourceUp(now int64, res int) {
+	r.events = append(r.events, Event{TimeMS: now, Kind: ResourceUp, JobID: -1, Resource: res})
 }
 
 // Events returns the recorded events in simulation order.
@@ -123,7 +161,8 @@ func (r *Recorder) SlotProfile(tt workload.TaskType) []ProfilePoint {
 		switch e.Kind {
 		case TaskStart:
 			ds = append(ds, delta{e.TimeMS, 1})
-		case TaskFinish:
+		case TaskFinish, TaskFail, TaskKill:
+			// Failed and killed attempts stop occupying their slots too.
 			ds = append(ds, delta{e.TimeMS, -1})
 		}
 	}
@@ -185,7 +224,7 @@ func (r *Recorder) GanttRows(cluster sim.Cluster, width int) []string {
 		switch e.Kind {
 		case TaskStart:
 			open[e.TaskID] = e
-		case TaskFinish:
+		case TaskFinish, TaskFail, TaskKill:
 			if st, ok := open[e.TaskID]; ok {
 				spans = append(spans, placed{st.TimeMS, e.TimeMS, e.JobID, e.Resource})
 				delete(open, e.TaskID)

@@ -33,6 +33,7 @@ import (
 	"mrcprm/internal/faults"
 	"mrcprm/internal/fifo"
 	"mrcprm/internal/minedf"
+	"mrcprm/internal/obs"
 	"mrcprm/internal/sim"
 	"mrcprm/internal/stats"
 	"mrcprm/internal/trace"
@@ -190,6 +191,62 @@ func SimulateTracedWithFaults(cluster Cluster, rm ResourceManager, jobs []*Job, 
 	rec := trace.NewRecorder()
 	s.SetObserver(rec)
 	m, err := s.Run()
+	return m, rec, err
+}
+
+// Observability (telemetry core, solver search statistics).
+type (
+	// Telemetry is the process-wide telemetry handle: counters, gauges,
+	// spans, and a structured JSONL event sink. A nil *Telemetry is inert
+	// and adds no overhead, so instrumented code never branches on it.
+	Telemetry = obs.Telemetry
+	// SearchStats carries the CP solver's per-solve search counters
+	// (nodes, backtracks, propagations, improvement passes, objective
+	// timeline); available on every batch Schedule via Schedule.Search.
+	SearchStats = cp.SearchStats
+	// TelemetryReport is the digest obsreport renders from a JSONL stream.
+	TelemetryReport = obs.Report
+)
+
+// NewJSONLTelemetry returns a telemetry handle that streams events to w as
+// JSON Lines. Call Flush (or EmitSummary then Flush) when the run ends.
+func NewJSONLTelemetry(w io.Writer) *Telemetry { return obs.New(obs.NewJSONLWriter(w)) }
+
+// ReadTelemetryReport digests a telemetry JSONL stream into a report
+// (solve-latency percentiles, fallback rate, objective convergence, sim
+// time-series envelope).
+func ReadTelemetryReport(r io.Reader) (*TelemetryReport, error) { return obs.ReadReport(r) }
+
+// SimulateInstrumented is SimulateTracedWithFaults with a telemetry stream
+// attached to the simulator and, when rm supports it (MRCP-RM does), to the
+// resource manager. sampleEveryMS sets the sim time-series cadence (<=0
+// selects the 5 s default). After the run it emits the counter summary
+// (stamped at the run's makespan) and flushes the sink. A nil tel behaves
+// exactly like SimulateTracedWithFaults; a nil injector means fault-free.
+func SimulateInstrumented(cluster Cluster, rm ResourceManager, jobs []*Job,
+	fi FaultInjector, tel *Telemetry, sampleEveryMS int64) (*Metrics, *TraceRecorder, error) {
+	s, err := sim.New(cluster, rm, jobs)
+	if err != nil {
+		return nil, nil, err
+	}
+	if fi != nil {
+		if err := s.SetFaultInjector(fi); err != nil {
+			return nil, nil, err
+		}
+	}
+	if tel.Enabled() {
+		s.SetTelemetry(tel, sampleEveryMS)
+		if im, ok := rm.(interface{ SetTelemetry(*Telemetry) }); ok {
+			im.SetTelemetry(tel)
+		}
+	}
+	rec := trace.NewRecorder()
+	s.SetObserver(rec)
+	m, err := s.Run()
+	if tel.Enabled() && m != nil {
+		tel.EmitSummary(m.MakespanMS)
+		tel.Flush()
+	}
 	return m, rec, err
 }
 
