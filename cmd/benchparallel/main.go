@@ -1,0 +1,158 @@
+// Command benchparallel measures the CP portfolio search against the
+// single-threaded baseline and writes a machine-readable report
+// (BENCH_parallel.json at the repository root is a committed snapshot).
+//
+// Both configurations run with the same fixed per-worker node budget, so
+// the comparison is deterministic and machine-independent: a K-worker
+// portfolio explores up to K times the nodes and must reach an equal or
+// lower late-job objective than the sequential run (worker 0 of the
+// portfolio IS the sequential run). Wall-clock micro numbers (ns/op,
+// allocs/op) are also recorded but depend on the host.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"testing"
+
+	mrcprm "mrcprm"
+	"mrcprm/internal/workload"
+)
+
+type batchResult struct {
+	Workers      int     `json:"workers"`
+	Nodes        int64   `json:"nodes"`
+	Objective    int     `json:"objective"`
+	LateJobs     int     `json:"late_jobs"`
+	Optimal      bool    `json:"optimal"`
+	Winner       int     `json:"winner"`
+	BoundImports int64   `json:"bound_imports"`
+	SolveMS      float64 `json:"solve_ms"`
+}
+
+type microResult struct {
+	Name     string  `json:"name"`
+	Workers  int     `json:"workers"`
+	NsOp     int64   `json:"ns_op"`
+	AllocsOp int64   `json:"allocs_op"`
+	BytesOp  int64   `json:"bytes_op"`
+}
+
+type report struct {
+	GeneratedBy string        `json:"generated_by"`
+	GoMaxProcs  int           `json:"gomaxprocs"`
+	Jobs        int           `json:"jobs"`
+	Resources   int           `json:"resources"`
+	NodeLimit   int64         `json:"node_limit_per_worker"`
+	Seed        uint64        `json:"seed"`
+	Batch       []batchResult `json:"batch"`
+	NodesRatio  float64       `json:"nodes_ratio"`
+	Micro       []microResult `json:"micro"`
+}
+
+func main() {
+	var (
+		out       = flag.String("out", "BENCH_parallel.json", "output file (- for stdout)")
+		jobs      = flag.Int("jobs", 14, "jobs in the Table 3 style batch")
+		resources = flag.Int("m", 10, "number of resources")
+		nodeLimit = flag.Int64("nodelimit", 2000, "per-worker node budget")
+		seed      = flag.Uint64("seed", 3, "workload seed")
+		workers   = flag.Int("workers", 4, "portfolio width to compare against workers=1")
+		micro     = flag.Bool("micro", true, "also run wall-clock micro benchmarks")
+	)
+	flag.Parse()
+
+	cfg := workload.DefaultSynthetic()
+	cfg.NumResources = *resources
+	cfg.DeadlineUL = 2 // tight deadlines: a non-trivial late-job objective
+	gen, err := cfg.Generate(*jobs, mrcprm.NewStream(*seed, 4))
+	if err != nil {
+		fatal(err)
+	}
+	cluster := mrcprm.Cluster{NumResources: *resources, MapSlots: 2, ReduceSlots: 2}
+	mcfg := mrcprm.DefaultConfig()
+	mcfg.SolveTimeLimit = 0 // node budget only: keeps runs deterministic
+	mcfg.NodeLimit = *nodeLimit
+
+	rep := report{
+		GeneratedBy: "cmd/benchparallel",
+		GoMaxProcs:  runtime.GOMAXPROCS(0),
+		Jobs:        *jobs,
+		Resources:   *resources,
+		NodeLimit:   *nodeLimit,
+		Seed:        *seed,
+	}
+
+	solve := func(w int) batchResult {
+		c := mcfg
+		c.Workers = w
+		sched, err := mrcprm.SolveBatch(cluster, gen, c)
+		if err != nil {
+			fatal(fmt.Errorf("workers=%d: %w", w, err))
+		}
+		return batchResult{
+			Workers:      sched.Search.Workers,
+			Nodes:        sched.Search.Nodes,
+			Objective:    sched.Objective,
+			LateJobs:     len(sched.LateJobs),
+			Optimal:      sched.Optimal,
+			Winner:       sched.Search.Winner,
+			BoundImports: sched.Search.BoundImports,
+			SolveMS:      float64(sched.SolveTime.Microseconds()) / 1000,
+		}
+	}
+	seq := solve(1)
+	par := solve(*workers)
+	rep.Batch = []batchResult{seq, par}
+	if seq.Nodes > 0 {
+		rep.NodesRatio = float64(par.Nodes) / float64(seq.Nodes)
+	}
+	if par.Objective > seq.Objective {
+		fatal(fmt.Errorf("portfolio objective %d worse than sequential %d", par.Objective, seq.Objective))
+	}
+
+	if *micro {
+		for _, w := range []int{1, *workers} {
+			c := mcfg
+			c.Workers = w
+			r := testing.Benchmark(func(b *testing.B) {
+				b.ReportAllocs()
+				for i := 0; i < b.N; i++ {
+					if _, err := mrcprm.SolveBatch(cluster, gen, c); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+			rep.Micro = append(rep.Micro, microResult{
+				Name:     "SolveBatch",
+				Workers:  w,
+				NsOp:     r.NsPerOp(),
+				AllocsOp: r.AllocsPerOp(),
+				BytesOp:  r.AllocedBytesPerOp(),
+			})
+		}
+	}
+
+	enc, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		fatal(err)
+	}
+	enc = append(enc, '\n')
+	if *out == "-" {
+		os.Stdout.Write(enc)
+		return
+	}
+	if err := os.WriteFile(*out, enc, 0o644); err != nil {
+		fatal(err)
+	}
+	fmt.Printf("wrote %s: workers=%d explored %.2fx the nodes of workers=1 (objective %d vs %d)\n",
+		*out, *workers, rep.NodesRatio, par.Objective, seq.Objective)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, err)
+	os.Exit(1)
+}

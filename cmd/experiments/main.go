@@ -35,6 +35,9 @@ func main() {
 		maxreps = flag.Int("maxreps", 0, "maximum replications (0 = default)")
 		csvDir  = flag.String("csv", "", "also write one CSV per experiment into this directory")
 
+		workers    = flag.Int("workers", 0, "CP solver portfolio width per solve (0 = one per CPU, max 8; 1 = single-threaded)")
+		repWorkers = flag.Int("repworkers", 0, "concurrent replications per cell (0 = min(CPUs, 4); 1 = sequential)")
+
 		telOut     = flag.String("telemetry", "", "stream telemetry events from every replication to this JSONL file")
 		telSample  = flag.Int64("telemetrysample", 0, "sim time-series sample period in ms (0 = 5000)")
 		cpuProfile = flag.String("cpuprofile", "", "write a CPU profile to this file")
@@ -87,6 +90,8 @@ func main() {
 	if *maxreps > 0 {
 		opts.Policy.MaxReps = *maxreps
 	}
+	opts.ManagerConfig.Workers = *workers
+	opts.ReplicationWorkers = *repWorkers
 
 	var (
 		telSink *obs.JSONLWriter

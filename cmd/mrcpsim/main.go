@@ -43,6 +43,7 @@ func main() {
 		m        = flag.Int("m", 0, "number of resources (0 = workload default)")
 		cmp      = flag.Int64("cmp", 2, "map slots per resource (synthetic)")
 		crd      = flag.Int64("crd", 2, "reduce slots per resource (synthetic)")
+		workers  = flag.Int("workers", 0, "CP solver portfolio width (0 = one per CPU, max 8; 1 = single-threaded)")
 		verb     = flag.Bool("v", false, "print per-job outcomes")
 		traceOut = flag.String("trace", "", "write the executed schedule to this file (.csv or .json)")
 		gantt    = flag.Bool("gantt", false, "print an ASCII gantt of the executed schedule")
@@ -148,7 +149,9 @@ func main() {
 	var rm mrcprm.ResourceManager
 	switch *rmName {
 	case "mrcp":
-		rm = mrcprm.NewManager(cluster, mrcprm.DefaultConfig())
+		mcfg := mrcprm.DefaultConfig()
+		mcfg.Workers = *workers
+		rm = mrcprm.NewManager(cluster, mcfg)
 	case "minedf":
 		rm = mrcprm.NewMinEDF(cluster)
 	case "fifo":

@@ -60,6 +60,7 @@ func main() {
 	demo := flag.Bool("demo", false, "solve a built-in example problem")
 	direct := flag.Bool("direct", false, "use the direct (per-resource) CP formulation")
 	opl := flag.Bool("opl", false, "print the CP model in OPL-like syntax before solving")
+	workers := flag.Int("workers", 0, "CP solver portfolio width (0 = one per CPU, max 8; 1 = single-threaded)")
 	flag.Parse()
 
 	var data []byte
@@ -108,6 +109,7 @@ func main() {
 	}
 
 	cfg := mrcprm.DefaultConfig()
+	cfg.Workers = *workers
 	if *direct {
 		cfg.Mode = mrcprm.ModeDirect
 	}

@@ -64,9 +64,11 @@ func SolveBatch(cluster sim.Cluster, jobs []*workload.Job, cfg Config) (*Schedul
 		return nil, err
 	}
 	res := cp.NewSolver(bm.model, cp.Params{
-		TimeLimit: cfg.SolveTimeLimit,
-		NodeLimit: cfg.NodeLimit,
-		Ordering:  cfg.Ordering,
+		TimeLimit:     cfg.SolveTimeLimit,
+		NodeLimit:     cfg.NodeLimit,
+		Ordering:      cfg.Ordering,
+		Workers:       cfg.Workers,
+		Opportunistic: cfg.OpportunisticSolve,
 	}).Solve()
 	if !res.HasSolution() {
 		return nil, fmt.Errorf("core: batch solve failed with status %v", res.Status)

@@ -76,6 +76,15 @@ type Config struct {
 	// descent completes, exercising the greedy fallback path. The default
 	// (false) lets every solve finish its first greedy solution.
 	StrictSolveLimits bool
+	// Workers forwards cp.Params.Workers: the CP portfolio width. 0 (the
+	// default) uses one worker per available CPU capped at 8; 1 forces the
+	// classic single-threaded search. Solve limits apply per worker.
+	Workers int
+	// OpportunisticSolve forwards cp.Params.Opportunistic: when true,
+	// portfolio workers share incumbent bounds for extra pruning at the
+	// cost of run-to-run reproducibility. The default (false) keeps every
+	// seeded solve deterministic.
+	OpportunisticSolve bool
 }
 
 // DefaultConfig returns the configuration used by the experiments: combined

@@ -377,6 +377,9 @@ func (m *Manager) emitSolve(now int64, res *cp.Result, solveErr error) {
 		obs.Int("first_objective", st.FirstObjective),
 		obs.Bool("node_limit_hit", st.NodeLimitHit),
 		obs.Bool("time_limit_hit", st.TimeLimitHit),
+		obs.Int("workers", st.Workers),
+		obs.Int("winner", st.Winner),
+		obs.I64("bound_imports", st.BoundImports),
 		obs.Wall("solve", res.SolveTime),
 		obs.Wall("first_solution", st.TimeToFirst))
 	m.tel.Add("solver_solves", 1)
@@ -431,10 +434,12 @@ func (m *Manager) solve(bm *builtModel) (res cp.Result, err error) {
 		}
 	}()
 	solver := cp.NewSolver(bm.model, cp.Params{
-		TimeLimit:    m.cfg.SolveTimeLimit,
-		NodeLimit:    m.cfg.NodeLimit,
-		Ordering:     m.cfg.Ordering,
-		StrictLimits: m.cfg.StrictSolveLimits,
+		TimeLimit:     m.cfg.SolveTimeLimit,
+		NodeLimit:     m.cfg.NodeLimit,
+		Ordering:      m.cfg.Ordering,
+		StrictLimits:  m.cfg.StrictSolveLimits,
+		Workers:       m.cfg.Workers,
+		Opportunistic: m.cfg.OpportunisticSolve,
 	})
 	return solver.Solve(), nil
 }

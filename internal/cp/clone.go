@@ -1,0 +1,105 @@
+package cp
+
+import "fmt"
+
+// Clone returns a deep copy of the model that shares no mutable state with
+// the original: the copy has its own store, variables, propagators, and
+// watch lists, so it can be solved concurrently with (or independently of)
+// the original. Variable IDs, store layout, and propagator order are
+// preserved, which makes a Result produced from a clone directly
+// interpretable against the original model (and vice versa) — the portfolio
+// search relies on this to merge worker solutions.
+//
+// Clone must be called at the root level (no open decision levels); it
+// panics otherwise, since trailed search state cannot be meaningfully
+// copied mid-search.
+func (m *Model) Clone() *Model {
+	if m.store.Level() != 0 {
+		panic("cp: Model.Clone requires the store at root level")
+	}
+	c := &Model{
+		store:    &Store{cells: append([]int64(nil), m.store.cells...)},
+		horizon:  m.horizon,
+		ivWatch:  cloneWatch(m.ivWatch),
+		boolWatch: cloneWatch(m.boolWatch),
+		rvWatch:  cloneWatch(m.rvWatch),
+	}
+
+	c.intervals = make([]*Interval, len(m.intervals))
+	for i, iv := range m.intervals {
+		cp := *iv
+		cp.resVar = nil // re-linked below
+		c.intervals[i] = &cp
+	}
+	c.bools = make([]*Bool, len(m.bools))
+	for i, b := range m.bools {
+		cp := *b
+		c.bools[i] = &cp
+	}
+	c.resvars = make([]*ResVar, len(m.resvars))
+	for i, rv := range m.resvars {
+		cp := *rv
+		cp.iv = c.intervals[rv.iv.id]
+		cp.iv.resVar = &cp
+		c.resvars[i] = &cp
+	}
+
+	mapIvs := func(ivs []*Interval) []*Interval {
+		out := make([]*Interval, len(ivs))
+		for i, iv := range ivs {
+			out[i] = c.intervals[iv.id]
+		}
+		return out
+	}
+	mapBools := func(bs []*Bool) []*Bool {
+		out := make([]*Bool, len(bs))
+		for i, b := range bs {
+			out[i] = c.bools[b.id]
+		}
+		return out
+	}
+
+	// Rebuild propagators in registration order so the watch-list indices
+	// copied above stay valid.
+	c.props = make([]propagator, 0, len(m.props))
+	for _, p := range m.props {
+		switch p := p.(type) {
+		case *phaseBarrier:
+			c.props = append(c.props, &phaseBarrier{preds: mapIvs(p.preds), succs: mapIvs(p.succs)})
+		case *lateness:
+			c.props = append(c.props, &lateness{
+				terminals: mapIvs(p.terminals), deadline: p.deadline, late: c.bools[p.late.id]})
+		case *sumLE:
+			sl := &sumLE{bools: mapBools(p.bools), bound: p.bound}
+			c.props = append(c.props, sl)
+			c.sumLE = sl
+		case *cumulative:
+			cc := newCumulative(p.name, p.resIndex, p.capacity, mapIvs(p.tasks))
+			c.props = append(c.props, cc)
+			c.cumuls = append(c.cumuls, cc)
+		default:
+			panic(fmt.Sprintf("cp: Model.Clone: unknown propagator type %T", p))
+		}
+	}
+
+	if len(m.objBools) > 0 {
+		c.objBools = mapBools(m.objBools)
+	}
+	if m.lateJobKey != nil {
+		c.lateJobKey = make(map[int]int, len(m.lateJobKey))
+		for id, jk := range m.lateJobKey {
+			c.lateJobKey[id] = jk
+		}
+	}
+	return c
+}
+
+func cloneWatch(w [][]int) [][]int {
+	out := make([][]int, len(w))
+	for i, lst := range w {
+		if len(lst) > 0 {
+			out[i] = append([]int(nil), lst...)
+		}
+	}
+	return out
+}

@@ -1,0 +1,114 @@
+package cp
+
+import (
+	"testing"
+
+	"mrcprm/internal/stats"
+)
+
+// resultsEqual compares the deterministic parts of two results (everything
+// except wall-clock durations).
+func resultsEqual(t *testing.T, a, b Result) {
+	t.Helper()
+	if a.Status != b.Status || a.Objective != b.Objective || a.Nodes != b.Nodes || a.Rounds != b.Rounds {
+		t.Fatalf("results differ: %v obj=%d nodes=%d rounds=%d vs %v obj=%d nodes=%d rounds=%d",
+			a.Status, a.Objective, a.Nodes, a.Rounds, b.Status, b.Objective, b.Nodes, b.Rounds)
+	}
+	for i := range a.Starts {
+		if a.Starts[i] != b.Starts[i] {
+			t.Fatalf("Starts[%d] = %d vs %d", i, a.Starts[i], b.Starts[i])
+		}
+	}
+	for i := range a.Res {
+		if a.Res[i] != b.Res[i] {
+			t.Fatalf("Res[%d] = %d vs %d", i, a.Res[i], b.Res[i])
+		}
+	}
+	for i := range a.Lates {
+		if a.Lates[i] != b.Lates[i] {
+			t.Fatalf("Lates[%d] = %v vs %v", i, a.Lates[i], b.Lates[i])
+		}
+	}
+}
+
+// A clone must solve exactly like its original: same status, objective,
+// node count, and assignment.
+func TestCloneSolvesIdentically(t *testing.T) {
+	for seed := uint64(0); seed < 8; seed++ {
+		rng := stats.NewStream(4242, seed)
+		inst := buildRandomInstance(rng, 4, 4, 2, 2, seed%2 == 0)
+		clone := inst.m.Clone()
+		p := Params{NodeLimit: 3000, Workers: 1}
+		orig := NewSolver(inst.m, p).Solve()
+		copied := NewSolver(clone, p).Solve()
+		resultsEqual(t, orig, copied)
+		if orig.HasSolution() {
+			// The clone's solution must verify against the original model too:
+			// IDs and store layout are preserved.
+			if err := inst.m.VerifySolution(&copied); err != nil {
+				t.Fatalf("clone solution rejected by original model: %v", err)
+			}
+		}
+	}
+}
+
+// Direct-mode models carry matchmaking variables; cloning must remap them.
+func TestCloneDirectModeSolvesIdentically(t *testing.T) {
+	m := NewModel(100_000)
+	const numRes = 3
+	var all []*Interval
+	var lates []*Bool
+	for j := 0; j < 5; j++ {
+		var ivs []*Interval
+		for i := 0; i < 4; i++ {
+			iv := m.NewInterval("t", int64(10+7*i+j))
+			iv.JobKey = j
+			iv.Due = int64(60 + 10*j)
+			m.NewResVar(iv, numRes)
+			ivs = append(ivs, iv)
+			all = append(all, iv)
+		}
+		late := m.NewBool("late")
+		m.AddLateness(ivs, ivs[0].Due, late)
+		lates = append(lates, late)
+	}
+	for r := 0; r < numRes; r++ {
+		m.AddCumulative("res", r, 1, all)
+	}
+	m.Minimize(lates)
+
+	clone := m.Clone()
+	p := Params{NodeLimit: 5000, Workers: 1}
+	orig := NewSolver(m, p).Solve()
+	copied := NewSolver(clone, p).Solve()
+	resultsEqual(t, orig, copied)
+}
+
+// Solving a clone must not disturb the original (and vice versa): the two
+// models share no mutable state.
+func TestCloneIndependence(t *testing.T) {
+	rng := stats.NewStream(777, 3)
+	inst := buildRandomInstance(rng, 3, 3, 2, 2, true)
+	clone := inst.m.Clone()
+	p := Params{NodeLimit: 2000, Workers: 1}
+
+	// Solve the clone first (mutating its store through a full search), then
+	// the original: the original must behave as if the clone never existed.
+	fromClone := NewSolver(clone, p).Solve()
+	orig := NewSolver(inst.m, p).Solve()
+	rebuilt := NewSolver(buildRandomInstance(stats.NewStream(777, 3), 3, 3, 2, 2, true).m, p).Solve()
+	resultsEqual(t, orig, rebuilt)
+	resultsEqual(t, orig, fromClone)
+}
+
+func TestCloneRequiresRootLevel(t *testing.T) {
+	m := NewModel(1000)
+	m.NewInterval("t", 10)
+	m.store.Push()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Clone at a non-root level must panic")
+		}
+	}()
+	m.Clone()
+}

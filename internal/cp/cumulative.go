@@ -45,6 +45,11 @@ type cumulative struct {
 	rawSpans  []span // profile regions that gained load since the last pass
 	fullDirty bool   // everything needs refiltering (after a rebuild)
 	minDemand int64  // smallest task demand, for the saturation test
+
+	// Scratch buffers for the energetic check, reused across passes so the
+	// branch-and-bound hot path stays allocation-free.
+	eItems    []energyItem
+	eConfined []energyItem
 }
 
 type ttEvent struct {
@@ -165,6 +170,18 @@ func min64(a, b int64) int64 {
 	return b
 }
 
+// sortEventsByAt orders events by ascending time via binary-insertion sort;
+// sort.Slice here allocated a reflection swapper on every post-backtrack
+// rebuild, which made it a measurable slice of the search's allocations.
+func sortEventsByAt(s []ttEvent) {
+	for i := 1; i < len(s); i++ {
+		ev := s[i]
+		j := sort.Search(i, func(k int) bool { return s[k].at > ev.at })
+		copy(s[j+1:i+1], s[j:i])
+		s[j] = ev
+	}
+}
+
 func (c *cumulative) insertEvent(ev ttEvent) {
 	i := sort.Search(len(c.events), func(i int) bool { return c.events[i].at >= ev.at })
 	c.events = append(c.events, ttEvent{})
@@ -204,7 +221,7 @@ func (c *cumulative) rebuildFull(m *Model) {
 	c.changed = c.changed[:0]
 	c.self = c.self[:0]
 	c.rawSpans = c.rawSpans[:0]
-	sort.Slice(c.events, func(i, j int) bool { return c.events[i].at < c.events[j].at })
+	sortEventsByAt(c.events)
 	c.fullDirty = true
 	c.cacheValid = true
 	c.cachePops = m.store.pops
@@ -302,11 +319,21 @@ func (c *cumulative) earliestFit(m *Model, t *Interval, from int64, withOwn bool
 		if seg.load+t.Demand <= c.capacity {
 			continue
 		}
-		// The segment conflicts except where t's own mandatory part covers it.
-		for _, p := range subtract(seg.from, seg.to, mA, mB) {
-			if p.to > st && p.from < st+t.Dur {
-				st = p.to // jump past the conflict and rescan this segment window
-			}
+		// The segment conflicts except where t's own mandatory part covers
+		// it: the remainder is at most two spans, scanned here in increasing
+		// order without materializing them (this is the search's hottest
+		// loop; the old subtract() allocation dominated the solve profile).
+		lo1, hi1 := seg.from, seg.to
+		var lo2, hi2 int64
+		if mA < mB && mA < seg.to && mB > seg.from {
+			hi1 = min64(seg.to, mA)
+			lo2, hi2 = max64(seg.from, mB), seg.to
+		}
+		if hi1 > lo1 && hi1 > st && lo1 < st+t.Dur {
+			st = hi1 // jump past the conflict and rescan this segment window
+		}
+		if hi2 > lo2 && hi2 > st && lo2 < st+t.Dur {
+			st = hi2
 		}
 	}
 	return st
@@ -333,10 +360,19 @@ func (c *cumulative) latestFit(m *Model, t *Interval, from int64, withOwn bool) 
 		if seg.load+t.Demand <= c.capacity {
 			continue
 		}
-		for _, p := range subtractRev(seg.from, seg.to, mA, mB) {
-			if p.to > st && p.from < st+t.Dur {
-				st = p.from - t.Dur // pull the window fully before the conflict
-			}
+		// Mirror of earliestFit's inline subtraction, spans visited in
+		// decreasing order for the backward scan.
+		lo1, hi1 := seg.from, seg.to
+		var lo2, hi2 int64
+		if mA < mB && mA < seg.to && mB > seg.from {
+			hi1 = min64(seg.to, mA)
+			lo2, hi2 = max64(seg.from, mB), seg.to
+		}
+		if hi2 > lo2 && hi2 > st && lo2 < st+t.Dur {
+			st = lo2 - t.Dur // pull the window fully before the conflict
+		}
+		if hi1 > lo1 && hi1 > st && lo1 < st+t.Dur {
+			st = lo1 - t.Dur
 		}
 	}
 	return st

@@ -21,6 +21,36 @@ import "sort"
 // energyCheckMaxTasks bounds the task count for which the O(n^2) check runs.
 const energyCheckMaxTasks = 512
 
+// energyItem is one task's contribution to the energetic check.
+type energyItem struct {
+	release int64 // startMin
+	due     int64 // endMax
+	energy  int64 // dur * demand
+}
+
+// sortEnergyByDue orders items by ascending due date. Binary-insertion sort
+// keeps the check allocation-free (sort.Slice's reflection swapper was the
+// solver's dominant allocation source); the check is O(n^2) anyway, so the
+// worst-case move count stays within its complexity budget.
+func sortEnergyByDue(s []energyItem) {
+	for i := 1; i < len(s); i++ {
+		it := s[i]
+		j := sort.Search(i, func(k int) bool { return s[k].due > it.due })
+		copy(s[j+1:i+1], s[j:i])
+		s[j] = it
+	}
+}
+
+// insertByReleaseDesc inserts it into s keeping releases in descending
+// order, reusing s's backing array.
+func insertByReleaseDesc(s []energyItem, it energyItem) []energyItem {
+	j := sort.Search(len(s), func(k int) bool { return s[k].release < it.release })
+	s = append(s, energyItem{})
+	copy(s[j+1:], s[j:])
+	s[j] = it
+	return s
+}
+
 // energyCheck returns errFail if some window is energetically overloaded.
 func (c *cumulative) energyCheck(m *Model) error {
 	n := 0
@@ -32,47 +62,40 @@ func (c *cumulative) energyCheck(m *Model) error {
 	if n < 2 || n > energyCheckMaxTasks {
 		return nil
 	}
-	type item struct {
-		release int64 // startMin
-		due     int64 // endMax
-		energy  int64 // dur * demand
-	}
-	items := make([]item, 0, n)
+	c.eItems = c.eItems[:0]
 	for _, t := range c.tasks {
 		if c.onRes(m, t) != onResYes {
 			continue
 		}
-		items = append(items, item{
+		c.eItems = append(c.eItems, energyItem{
 			release: m.StartMin(t),
 			due:     m.EndMax(t),
 			energy:  t.Dur * t.Demand,
 		})
 	}
 	// Sort by due; sweep windows ending at each distinct due.
-	sort.Slice(items, func(i, j int) bool { return items[i].due < items[j].due })
+	sortEnergyByDue(c.eItems)
 
 	// For each window end b (a distinct due), consider the tasks with
 	// due <= b; among those, for every candidate window start a (a distinct
 	// release), the energy of tasks with release >= a must fit in
-	// capacity * (b - a). Scanning releases in descending order with a
-	// running suffix sum makes each b-iteration O(k log k).
-	var confined []item // tasks with due <= current b, gathered incrementally
+	// capacity * (b - a). The confined set grows incrementally and is kept
+	// sorted by descending release, so each b-iteration is a linear sweep
+	// with a running suffix sum.
+	c.eConfined = c.eConfined[:0]
 	i := 0
-	for i < len(items) {
-		b := items[i].due
-		for i < len(items) && items[i].due == b {
-			confined = append(confined, items[i])
+	for i < len(c.eItems) {
+		b := c.eItems[i].due
+		for i < len(c.eItems) && c.eItems[i].due == b {
+			c.eConfined = insertByReleaseDesc(c.eConfined, c.eItems[i])
 			i++
 		}
-		// Releases descending.
-		sorted := append([]item(nil), confined...)
-		sort.Slice(sorted, func(x, y int) bool { return sorted[x].release > sorted[y].release })
 		var energy int64
 		k := 0
-		for k < len(sorted) {
-			a := sorted[k].release
-			for k < len(sorted) && sorted[k].release == a {
-				energy += sorted[k].energy
+		for k < len(c.eConfined) {
+			a := c.eConfined[k].release
+			for k < len(c.eConfined) && c.eConfined[k].release == a {
+				energy += c.eConfined[k].energy
 				k++
 			}
 			if a >= b {

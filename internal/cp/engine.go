@@ -15,9 +15,13 @@ type propagator interface {
 // engine owns the propagation queue and performs all domain mutations so
 // that watchers are woken consistently.
 type engine struct {
-	m       *Model
-	store   *Store
+	m     *Model
+	store *Store
+	// queue is a reusable ring: qhead indexes the next propagator to pop,
+	// and the backing array is recycled across propagate calls (and thus
+	// across all search rounds) instead of being re-sliced away.
 	queue   []int
+	qhead   int
 	inQueue []bool
 	running int // index of the propagator currently executing, or -1
 	// propagations counts propagator executions (queue pops), the search's
@@ -49,22 +53,25 @@ func (e *engine) scheduleAll() {
 // propagate runs queued propagators to a fixpoint. On failure the queue is
 // drained and errFail returned.
 func (e *engine) propagate() error {
-	for len(e.queue) > 0 {
-		idx := e.queue[0]
-		e.queue = e.queue[1:]
+	for e.qhead < len(e.queue) {
+		idx := e.queue[e.qhead]
+		e.qhead++
 		e.inQueue[idx] = false
 		e.running = idx
 		e.propagations++
 		err := e.m.props[idx].propagate(e)
 		e.running = -1
 		if err != nil {
-			for _, q := range e.queue {
+			for _, q := range e.queue[e.qhead:] {
 				e.inQueue[q] = false
 			}
 			e.queue = e.queue[:0]
+			e.qhead = 0
 			return err
 		}
 	}
+	e.queue = e.queue[:0]
+	e.qhead = 0
 	return nil
 }
 

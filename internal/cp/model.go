@@ -240,15 +240,21 @@ func (m *Model) ResFixedValue(rv *ResVar) int {
 
 // ResDomain returns the allowed resources in increasing order.
 func (m *Model) ResDomain(rv *ResVar) []int {
-	var out []int
+	return m.AppendResDomain(rv, nil)
+}
+
+// AppendResDomain appends the allowed resources in increasing order to buf
+// and returns it, reusing buf's backing storage — the allocation-free
+// domain iteration for the search hot path.
+func (m *Model) AppendResDomain(rv *ResVar, buf []int) []int {
 	for w := 0; w < rv.words; w++ {
 		word := uint64(m.store.get(rv.base + int32(w)))
 		for word != 0 {
-			out = append(out, w*64+bits.TrailingZeros64(word))
+			buf = append(buf, w*64+bits.TrailingZeros64(word))
 			word &= word - 1
 		}
 	}
-	return out
+	return buf
 }
 
 // FixRes pins a resvar at build time (frozen tasks keep their resource).
@@ -354,7 +360,10 @@ func (m *Model) AddSumLE(bools []*Bool, bound int) *SumLEHandle {
 // SumLEHandle lets the solver tighten the late-job bound between rounds.
 type SumLEHandle struct{ p *sumLE }
 
-// SetBound replaces the bound. Only valid at the root level.
+// SetBound replaces the bound. Valid at the root level; mid-search the
+// bound may only be tightened (the solver's opportunistic portfolio mode
+// does this when importing a better incumbent from another worker —
+// subtrees already explored were covered by the looser, still valid cut).
 func (h *SumLEHandle) SetBound(b int) { h.p.bound = b }
 
 // Bound returns the current bound.

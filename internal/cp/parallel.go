@@ -1,0 +1,217 @@
+package cp
+
+import (
+	"math"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// The parallel portfolio search: K diversified workers race on independent
+// clones of the model. Worker 0 is the canonical single-threaded search
+// (bit-identical to Params.Workers == 1); workers 1..K-1 perturb ordering
+// tie-breaks with a seeded jitter and rebuild a seeded relaxation
+// neighborhood on every improvement pass, so each explores a different part
+// of the set-times space. In opportunistic mode the workers additionally
+// share their best incumbent objective through a lock-free bound, letting
+// every branch-and-bound round prune against the global best.
+//
+// Determinism contract (default mode): with fixed Params and no wall-clock
+// time limit, every worker is a deterministic function of (model, params,
+// seed), and the winner is chosen by the (objective, canonical-solution
+// lexicographic, worker id) tie-break — so repeated seeded node-limited
+// runs are byte-identical, and the merged objective is never worse than a
+// Workers == 1 run on the same budget (worker 0 IS that run).
+
+// portfolioMinIntervals is the model size floor below which a portfolio is
+// not worth its cloning and goroutine overhead: tiny solves finish in
+// microseconds and stay on the classic single-threaded path.
+const portfolioMinIntervals = 16
+
+// provedNothing marks a worker that has proved no lower bound on the
+// objective (see Solver.provedLE).
+const provedNothing = math.MinInt32
+
+// DefaultWorkers is the portfolio width used when Params.Workers is 0: one
+// worker per available CPU, capped at 8 — diversification returns diminish
+// beyond that on the paper's models.
+func DefaultWorkers() int {
+	w := runtime.GOMAXPROCS(0)
+	if w > 8 {
+		w = 8
+	}
+	if w < 1 {
+		w = 1
+	}
+	return w
+}
+
+// sharedBound is the portfolio's incumbent board: the best objective
+// published by any worker, or math.MaxInt64 when none exists yet. Only used
+// in opportunistic mode; deterministic portfolios keep workers isolated.
+type sharedBound struct {
+	best atomic.Int64
+}
+
+func newSharedBound() *sharedBound {
+	sb := &sharedBound{}
+	sb.best.Store(math.MaxInt64)
+	return sb
+}
+
+// publish lowers the board to obj if it improves it (monotone, lock-free).
+func (sb *sharedBound) publish(obj int64) {
+	for {
+		cur := sb.best.Load()
+		if obj >= cur {
+			return
+		}
+		if sb.best.CompareAndSwap(cur, obj) {
+			return
+		}
+	}
+}
+
+// splitmix64 is the SplitMix64 mixer — the seed/jitter hash used for worker
+// diversification (no dependency on math/rand, fully deterministic).
+func splitmix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// lnsPick decides whether job jk joins this worker's relaxation
+// neighborhood on the given improvement pass (about one job in four).
+func (s *Solver) lnsPick(pass, jk int) bool {
+	return splitmix64(s.seed^splitmix64(uint64(pass))^uint64(jk)*0x9e3779b97f4a7c15)%4 == 0
+}
+
+// solvePortfolio runs k workers and merges their results. Worker 0 reuses
+// this solver and the original model; the others solve clones.
+func (s *Solver) solvePortfolio(k int) Result {
+	start := time.Now()
+	if s.params.Opportunistic {
+		s.shared = newSharedBound()
+	}
+	solvers := make([]*Solver, k)
+	solvers[0] = s
+	for w := 1; w < k; w++ {
+		ws := NewSolver(s.m.Clone(), s.params)
+		ws.seed = uint64(w)
+		ws.shared = s.shared
+		solvers[w] = ws
+	}
+	results := make([]Result, k)
+	panics := make([]any, k)
+	var wg sync.WaitGroup
+	wg.Add(k)
+	for w := 0; w < k; w++ {
+		go func(w int) {
+			defer wg.Done()
+			defer func() { panics[w] = recover() }()
+			results[w] = solvers[w].solve()
+		}(w)
+	}
+	wg.Wait()
+	for _, p := range panics {
+		// Re-raise a worker panic on the calling goroutine so existing
+		// recovery paths (the manager's solve wrapper) still catch it.
+		if p != nil {
+			panic(p)
+		}
+	}
+	return mergePortfolio(solvers, results, start)
+}
+
+// betterResult reports whether a strictly beats b under the portfolio's
+// deterministic ranking: having a solution, then objective, then the
+// canonical solution lexicographic order (Starts, Res, Lates). Equal
+// results rank by worker index through the caller's scan order.
+func betterResult(a, b *Result) bool {
+	if a.HasSolution() != b.HasSolution() {
+		return a.HasSolution()
+	}
+	if !a.HasSolution() {
+		return false
+	}
+	if a.Objective != b.Objective {
+		return a.Objective < b.Objective
+	}
+	for i := range a.Starts {
+		if a.Starts[i] != b.Starts[i] {
+			return a.Starts[i] < b.Starts[i]
+		}
+	}
+	for i := range a.Res {
+		if a.Res[i] != b.Res[i] {
+			return a.Res[i] < b.Res[i]
+		}
+	}
+	for i := range a.Lates {
+		if a.Lates[i] != b.Lates[i] {
+			return !a.Lates[i]
+		}
+	}
+	return false
+}
+
+// mergePortfolio selects the winning result and folds every worker's search
+// statistics into it. Counters are summed; the timeline (and the first
+// solution it implies) is the winner's own history.
+func mergePortfolio(solvers []*Solver, results []Result, start time.Time) Result {
+	win := 0
+	for w := 1; w < len(results); w++ {
+		if betterResult(&results[w], &results[win]) {
+			win = w
+		}
+	}
+	merged := results[win]
+	st := merged.Search
+	st.Workers = len(results)
+	st.Winner = win
+	st.Nodes, st.Backtracks, st.Propagations = 0, 0, 0
+	st.Rounds, st.ImprovePasses, st.ImproveAccepts, st.Solutions = 0, 0, 0, 0
+	st.NodeLimitHit, st.TimeLimitHit = false, false
+	st.BoundImports = 0
+	for w := range results {
+		ws := &results[w].Search
+		st.Nodes += ws.Nodes
+		st.Backtracks += ws.Backtracks
+		st.Propagations += ws.Propagations
+		st.Rounds += ws.Rounds
+		st.ImprovePasses += ws.ImprovePasses
+		st.ImproveAccepts += ws.ImproveAccepts
+		st.Solutions += ws.Solutions
+		st.NodeLimitHit = st.NodeLimitHit || ws.NodeLimitHit
+		st.TimeLimitHit = st.TimeLimitHit || ws.TimeLimitHit
+		st.BoundImports += ws.BoundImports
+	}
+	merged.Nodes = st.Nodes
+	merged.Rounds = st.Rounds
+
+	// Status soundness: optimality claims stay anchored to the canonical
+	// worker's proof ("no solution with objective <= provedLE in the
+	// canonical set-times space"), exactly the claim a Workers == 1 solve
+	// makes — a perturbed worker's exhaustion proof covers a differently
+	// ordered space and is not used to label the merged result.
+	if merged.HasSolution() {
+		if merged.Objective == 0 || solvers[0].provedLE >= merged.Objective-1 {
+			merged.Status = StatusOptimal
+		} else {
+			merged.Status = StatusFeasible
+		}
+	} else {
+		merged.Status = StatusUnknown
+		for w := range results {
+			if results[w].Status == StatusInfeasible {
+				merged.Status = StatusInfeasible
+				break
+			}
+		}
+	}
+	merged.Search = st
+	merged.SolveTime = time.Since(start)
+	return merged
+}

@@ -1,0 +1,104 @@
+package cp
+
+import (
+	"reflect"
+	"testing"
+
+	"mrcprm/internal/stats"
+)
+
+// parallelInstance builds a deterministic, portfolio-sized (>= 16
+// intervals) tight instance; calling it twice yields two independent but
+// identical models.
+func parallelInstance() *randomInstance {
+	return buildRandomInstance(stats.NewStream(4242, 17), 12, 5, 3, 2, true)
+}
+
+// normalizeWall zeroes every wall-clock-derived field so results can be
+// compared byte-for-byte across runs.
+func normalizeWall(r *Result) {
+	r.SolveTime = 0
+	r.Search.TimeToFirst = 0
+	for i := range r.Search.Timeline {
+		r.Search.Timeline[i].Wall = 0
+	}
+}
+
+func TestPortfolioDeterministicByteIdentical(t *testing.T) {
+	p := Params{NodeLimit: 3000, Workers: 4}
+	r1 := NewSolver(parallelInstance().m, p).Solve()
+	r2 := NewSolver(parallelInstance().m, p).Solve()
+	normalizeWall(&r1)
+	normalizeWall(&r2)
+	if !reflect.DeepEqual(r1, r2) {
+		t.Fatalf("portfolio solve not deterministic:\n  r1=%+v\n  r2=%+v", r1, r2)
+	}
+	if r1.Search.Workers != 4 {
+		t.Fatalf("Search.Workers = %d, want 4", r1.Search.Workers)
+	}
+}
+
+func TestPortfolioNotWorseThanSequential(t *testing.T) {
+	seq := NewSolver(parallelInstance().m, Params{NodeLimit: 2000, Workers: 1}).Solve()
+	inst := parallelInstance()
+	par := NewSolver(inst.m, Params{NodeLimit: 2000, Workers: 4}).Solve()
+	if !seq.HasSolution() || !par.HasSolution() {
+		t.Fatalf("expected solutions: seq=%v par=%v", seq.Status, par.Status)
+	}
+	// Worker 0 IS the sequential run, so the merged result can never be
+	// worse on the same per-worker budget.
+	if par.Objective > seq.Objective {
+		t.Fatalf("portfolio objective %d worse than sequential %d", par.Objective, seq.Objective)
+	}
+	// Four workers on the same per-worker budget must explore at least
+	// twice the nodes of one.
+	if par.Search.Nodes < 2*seq.Search.Nodes {
+		t.Fatalf("portfolio explored %d nodes, want >= 2x sequential %d", par.Search.Nodes, seq.Search.Nodes)
+	}
+	if err := inst.m.VerifySolution(&par); err != nil {
+		t.Fatalf("portfolio solution failed verification: %v", err)
+	}
+}
+
+// TestPortfolioOpportunisticRace hammers the shared incumbent board with a
+// wide portfolio; run under -race it checks the lock-free bound sharing.
+func TestPortfolioOpportunisticRace(t *testing.T) {
+	for i := 0; i < 6; i++ {
+		inst := parallelInstance()
+		r := NewSolver(inst.m, Params{NodeLimit: 1500, Workers: 8, Opportunistic: true}).Solve()
+		if !r.HasSolution() {
+			t.Fatalf("iteration %d: no solution (%v)", i, r.Status)
+		}
+		if err := inst.m.VerifySolution(&r); err != nil {
+			t.Fatalf("iteration %d: %v", i, err)
+		}
+	}
+}
+
+// TestPortfolioStatusSound checks that a portfolio's optimality claim
+// matches what the canonical sequential search proves on the same model.
+func TestPortfolioStatusSound(t *testing.T) {
+	easy := func() *randomInstance {
+		return buildRandomInstance(stats.NewStream(909, 3), 10, 4, 3, 3, false)
+	}
+	seq := NewSolver(easy().m, Params{NodeLimit: 200_000, Workers: 1}).Solve()
+	par := NewSolver(easy().m, Params{NodeLimit: 200_000, Workers: 4}).Solve()
+	if seq.Status == StatusOptimal {
+		if par.Status != StatusOptimal {
+			t.Fatalf("sequential proved optimal but portfolio says %v", par.Status)
+		}
+		if par.Objective != seq.Objective {
+			t.Fatalf("optimal objectives differ: seq=%d par=%d", seq.Objective, par.Objective)
+		}
+	}
+}
+
+// TestSmallModelsStaySequential checks the portfolio floor: tiny models
+// solve on the classic single-threaded path regardless of Params.Workers.
+func TestSmallModelsStaySequential(t *testing.T) {
+	m := tightModel(8)
+	r := NewSolver(m, Params{NodeLimit: 5000, Workers: 8}).Solve()
+	if r.Search.Workers != 1 {
+		t.Fatalf("small model used %d workers, want 1", r.Search.Workers)
+	}
+}

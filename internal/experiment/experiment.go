@@ -14,7 +14,9 @@ import (
 	"encoding/csv"
 	"fmt"
 	"io"
+	"runtime"
 	"strconv"
+	"sync"
 	"time"
 
 	"mrcprm/internal/core"
@@ -43,6 +45,32 @@ type Options struct {
 	Telemetry *obs.Telemetry
 	// TelemetrySampleMS is the sim time-series cadence (<=0 = 5 s default).
 	TelemetrySampleMS int64
+	// ReplicationWorkers bounds how many replications of one cell run
+	// concurrently. 0 picks min(GOMAXPROCS, 4); 1 forces sequential runs.
+	// Replications are independently seeded, so results are identical to a
+	// sequential run — except the O metric, which measures real scheduling
+	// wall time and can inflate under CPU contention; use 1 worker (or
+	// compare only trends) when absolute O values matter. Telemetry runs
+	// force a single worker so the event stream stays ordered.
+	ReplicationWorkers int
+}
+
+// replicationWorkers resolves the effective replication fan-out width.
+func (o Options) replicationWorkers() int {
+	if o.Telemetry.Enabled() {
+		return 1
+	}
+	if o.ReplicationWorkers > 0 {
+		return o.ReplicationWorkers
+	}
+	w := runtime.GOMAXPROCS(0)
+	if w > 4 {
+		w = 4
+	}
+	if w < 1 {
+		w = 1
+	}
+	return w
 }
 
 // instrument attaches the run's telemetry stream (if any) to a freshly
@@ -204,31 +232,41 @@ func ByID(id string) (Spec, bool) {
 }
 
 // runReplications drives one (factor value, manager) cell: body builds and
-// runs a fresh simulation per replication and returns its metrics.
+// runs a fresh simulation per replication and returns its metrics. Up to
+// Options.ReplicationWorkers replications run concurrently; each derives
+// its own stream from (Seed, rep), so the collected sample is identical to
+// a sequential run.
 func runReplications(opts Options, body func(rep int, rng *stats.Stream) (*sim.Metrics, error)) (Point, error) {
 	var p Point
-	var os, ts, ps, ns, fs, as []float64
-	var err error
-	opts.Policy.Run(func(rep int) float64 {
-		if err != nil {
-			return 0
-		}
+	var mu sync.Mutex
+	byRep := make(map[int]*sim.Metrics)
+	var firstErr error
+	primary := opts.Policy.RunParallel(opts.replicationWorkers(), func(rep int) float64 {
 		rng := stats.NewStream(opts.Seed, uint64(rep)*0x9e3779b97f4a7c15+uint64(rep)+1)
-		var m *sim.Metrics
-		m, err = body(rep, rng)
+		m, err := body(rep, rng)
+		mu.Lock()
+		defer mu.Unlock()
 		if err != nil {
+			if firstErr == nil {
+				firstErr = fmt.Errorf("replication %d: %w", rep, err)
+			}
 			return 0
 		}
+		byRep[rep] = m
+		return m.T() // the paper's CI criterion is on T
+	})
+	if firstErr != nil {
+		return p, firstErr
+	}
+	var os, ts, ps, ns, fs, as []float64
+	for rep := 0; rep < len(primary); rep++ {
+		m := byRep[rep]
 		os = append(os, m.O())
 		ts = append(ts, m.T())
 		ps = append(ps, m.P())
 		ns = append(ns, float64(m.N()))
 		fs = append(fs, float64(m.TasksFailed+m.TasksKilled))
 		as = append(as, float64(m.JobsAbandoned))
-		return m.T() // the paper's CI criterion is on T
-	})
-	if err != nil {
-		return p, err
 	}
 	p.Reps = len(ts)
 	p.O = stats.Summarize(os)

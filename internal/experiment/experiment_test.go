@@ -127,6 +127,40 @@ func TestAblationOrderingRuns(t *testing.T) {
 	}
 }
 
+// TestParallelReplicationsMatchSequential checks that the replication
+// fan-out is invisible in the results: every simulation-derived metric is a
+// pure function of the replication seed, so workers=3 must reproduce
+// workers=1 exactly (O is wall-clock-derived and excluded).
+func TestParallelReplicationsMatchSequential(t *testing.T) {
+	opts := tinyOptions()
+	opts.Jobs = 20
+	opts.Policy = stats.ReplicationPolicy{MinReps: 3, MaxReps: 3, Level: 0.95, RelTol: 1}
+	spec, _ := ByID("fig7")
+
+	opts.ReplicationWorkers = 1
+	seq, err := spec.Run(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts.ReplicationWorkers = 3
+	par, err := spec.Run(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(seq.Points) != len(par.Points) {
+		t.Fatalf("point counts differ: %d vs %d", len(seq.Points), len(par.Points))
+	}
+	for i := range seq.Points {
+		s, p := seq.Points[i], par.Points[i]
+		if s.Reps != p.Reps {
+			t.Errorf("point %d: reps %d vs %d", i, s.Reps, p.Reps)
+		}
+		if s.T != p.T || s.P != p.P || s.N != p.N || s.Failed != p.Failed || s.Abandoned != p.Abandoned {
+			t.Errorf("point %d: parallel metrics diverge from sequential:\n  seq=%+v\n  par=%+v", i, s, p)
+		}
+	}
+}
+
 func TestOptionsDefaults(t *testing.T) {
 	d := DefaultOptions()
 	if d.Jobs <= 0 || d.FacebookJobs <= 0 || d.Policy.MaxReps < d.Policy.MinReps {

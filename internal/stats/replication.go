@@ -50,3 +50,67 @@ func (p ReplicationPolicy) Run(body func(rep int) float64) []float64 {
 		}
 	}
 }
+
+// RunParallel is Run with up to workers replications in flight at once. It
+// returns exactly the values Run would: bodies must be independent per
+// replication (each seeds its own stream from the index), and the stopping
+// rule is evaluated on ordered prefixes only — replication r counts toward
+// stopping only once replications 0..r-1 have all finished. Speculative
+// replications past the stopping point are discarded, so the returned
+// sample is identical to the sequential one. workers <= 1 (or a policy
+// without a MaxReps bound) falls back to Run.
+func (p ReplicationPolicy) RunParallel(workers int, body func(rep int) float64) []float64 {
+	if workers <= 1 || p.MaxReps <= 0 {
+		return p.Run(body)
+	}
+	max := p.MaxReps
+	if max < p.MinReps {
+		max = p.MinReps
+	}
+	results := make([]float64, max)
+	done := make([]bool, max)
+	type reply struct {
+		rep int
+		val float64
+	}
+	ch := make(chan reply)
+	next := 0     // next replication index to launch
+	inflight := 0 // launched but not yet received
+	launch := func() {
+		rep := next
+		next++
+		inflight++
+		go func() { ch <- reply{rep, body(rep)} }()
+	}
+	for inflight < workers && next < max {
+		launch()
+	}
+	ready := 0 // length of the finished prefix
+	var primary []float64
+	for inflight > 0 {
+		r := <-ch
+		inflight--
+		results[r.rep], done[r.rep] = r.val, true
+		stopped := false
+		for ready < max && done[ready] {
+			primary = append(primary, results[ready])
+			ready++
+			if p.Done(primary) {
+				stopped = true
+				break
+			}
+		}
+		if stopped {
+			// Drain in-flight speculative replications and discard them.
+			for inflight > 0 {
+				<-ch
+				inflight--
+			}
+			return primary
+		}
+		if next < max {
+			launch()
+		}
+	}
+	return primary
+}

@@ -1,0 +1,59 @@
+package stats
+
+import (
+	"reflect"
+	"sync/atomic"
+	"testing"
+)
+
+// repBody returns a deterministic per-replication metric: a decaying noise
+// around 100 so adaptive policies stop after a data-dependent rep count.
+func repBody(rep int) float64 {
+	return 100 + float64((rep*7919)%13)/float64(rep+1)
+}
+
+func TestRunParallelMatchesRun(t *testing.T) {
+	policies := []ReplicationPolicy{
+		{MinReps: 3, MaxReps: 40, Level: 0.95, RelTol: 0.02},  // adaptive stop
+		{MinReps: 2, MaxReps: 7, Level: 0.95, RelTol: 1e-12},  // cap-bound
+		{MinReps: 5, MaxReps: 5, Level: 0.95, RelTol: 0.05},   // fixed count
+		{MinReps: 2, MaxReps: 100, Level: 0.95, RelTol: 0.25}, // stops early
+	}
+	for pi, p := range policies {
+		want := p.Run(repBody)
+		for _, workers := range []int{1, 2, 3, 8, 64} {
+			got := p.RunParallel(workers, repBody)
+			if !reflect.DeepEqual(got, want) {
+				t.Errorf("policy %d workers=%d: got %v, want %v", pi, workers, got, want)
+			}
+		}
+	}
+}
+
+func TestRunParallelBoundsConcurrency(t *testing.T) {
+	p := ReplicationPolicy{MinReps: 4, MaxReps: 20, Level: 0.95, RelTol: 1e-12}
+	const workers = 3
+	var cur, peak atomic.Int64
+	p.RunParallel(workers, func(rep int) float64 {
+		n := cur.Add(1)
+		for {
+			pk := peak.Load()
+			if n <= pk || peak.CompareAndSwap(pk, n) {
+				break
+			}
+		}
+		defer cur.Add(-1)
+		return repBody(rep)
+	})
+	if pk := peak.Load(); pk > workers {
+		t.Fatalf("observed %d concurrent replications, want <= %d", pk, workers)
+	}
+}
+
+func TestRunParallelFallsBackWithoutCap(t *testing.T) {
+	// MaxReps 0 means Done fires immediately; both paths must agree.
+	p := ReplicationPolicy{MinReps: 0, MaxReps: 0}
+	if got, want := p.RunParallel(4, repBody), p.Run(repBody); !reflect.DeepEqual(got, want) {
+		t.Fatalf("got %v, want %v", got, want)
+	}
+}
