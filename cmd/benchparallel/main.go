@@ -19,6 +19,7 @@ import (
 	"testing"
 
 	mrcprm "mrcprm"
+	"mrcprm/internal/cli"
 	"mrcprm/internal/workload"
 )
 
@@ -54,21 +55,21 @@ type report struct {
 }
 
 func main() {
+	common := cli.New(cli.WithSeed(3))
 	var (
 		out       = flag.String("out", "BENCH_parallel.json", "output file (- for stdout)")
 		jobs      = flag.Int("jobs", 14, "jobs in the Table 3 style batch")
 		resources = flag.Int("m", 10, "number of resources")
 		nodeLimit = flag.Int64("nodelimit", 2000, "per-worker node budget")
-		seed      = flag.Uint64("seed", 3, "workload seed")
 		workers   = flag.Int("workers", 4, "portfolio width to compare against workers=1")
 		micro     = flag.Bool("micro", true, "also run wall-clock micro benchmarks")
 	)
-	flag.Parse()
+	common.Parse()
 
 	cfg := workload.DefaultSynthetic()
 	cfg.NumResources = *resources
 	cfg.DeadlineUL = 2 // tight deadlines: a non-trivial late-job objective
-	gen, err := cfg.Generate(*jobs, mrcprm.NewStream(*seed, 4))
+	gen, err := cfg.Generate(*jobs, mrcprm.NewStream(common.Seed, 4))
 	if err != nil {
 		fatal(err)
 	}
@@ -83,7 +84,7 @@ func main() {
 		Jobs:        *jobs,
 		Resources:   *resources,
 		NodeLimit:   *nodeLimit,
-		Seed:        *seed,
+		Seed:        common.Seed,
 	}
 
 	solve := func(w int) batchResult {

@@ -16,68 +16,33 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
-	"runtime"
-	"runtime/pprof"
 	"strings"
 
+	"mrcprm/internal/cli"
 	"mrcprm/internal/experiment"
-	"mrcprm/internal/obs"
 )
 
 func main() {
+	common := cli.New(cli.WithSeed(1), cli.WithWorkers(), cli.WithTelemetry(), cli.WithProfiling())
 	var (
 		fig     = flag.String("fig", "all", "experiment id: all, 2..9, fig2..fig9, ablation-*, or faults")
 		fast    = flag.Bool("fast", false, "use benchmark-sized options")
 		jobs    = flag.Int("jobs", 0, "jobs per replication for synthetic experiments (0 = default)")
 		fbjobs  = flag.Int("fbjobs", 0, "jobs for the Facebook workload (1000 = paper scale; 0 = default)")
-		seed    = flag.Uint64("seed", 1, "master seed")
 		minreps = flag.Int("minreps", 0, "minimum replications (0 = default)")
 		maxreps = flag.Int("maxreps", 0, "maximum replications (0 = default)")
 		csvDir  = flag.String("csv", "", "also write one CSV per experiment into this directory")
 
-		workers    = flag.Int("workers", 0, "CP solver portfolio width per solve (0 = one per CPU, max 8; 1 = single-threaded)")
 		repWorkers = flag.Int("repworkers", 0, "concurrent replications per cell (0 = min(CPUs, 4); 1 = sequential)")
-
-		telOut     = flag.String("telemetry", "", "stream telemetry events from every replication to this JSONL file")
-		telSample  = flag.Int64("telemetrysample", 0, "sim time-series sample period in ms (0 = 5000)")
-		cpuProfile = flag.String("cpuprofile", "", "write a CPU profile to this file")
-		memProfile = flag.String("memprofile", "", "write a heap profile to this file at exit")
 	)
-	flag.Parse()
-
-	if *cpuProfile != "" {
-		f, err := os.Create(*cpuProfile)
-		if err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
-		}
-		if err := pprof.StartCPUProfile(f); err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
-		}
-		defer pprof.StopCPUProfile()
-	}
-	defer func() {
-		if *memProfile == "" {
-			return
-		}
-		f, err := os.Create(*memProfile)
-		if err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			return
-		}
-		runtime.GC()
-		if err := pprof.WriteHeapProfile(f); err != nil {
-			fmt.Fprintln(os.Stderr, err)
-		}
-		f.Close()
-	}()
+	common.Parse()
+	defer common.Close()
 
 	opts := experiment.DefaultOptions()
 	if *fast {
 		opts = experiment.FastOptions()
 	}
-	opts.Seed = *seed
+	opts.Seed = common.Seed
 	if *jobs > 0 {
 		opts.Jobs = *jobs
 	}
@@ -90,32 +55,10 @@ func main() {
 	if *maxreps > 0 {
 		opts.Policy.MaxReps = *maxreps
 	}
-	opts.ManagerConfig.Workers = *workers
+	opts.ManagerConfig.Workers = common.Workers
 	opts.ReplicationWorkers = *repWorkers
-
-	var (
-		telSink *obs.JSONLWriter
-		telFile *os.File
-	)
-	if *telOut != "" {
-		f, err := os.Create(*telOut)
-		if err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
-		}
-		telFile = f
-		telSink = obs.NewJSONLWriter(f)
-		opts.Telemetry = obs.New(telSink)
-		opts.TelemetrySampleMS = *telSample
-		defer func() {
-			opts.Telemetry.Flush()
-			if err := telFile.Close(); err != nil {
-				fmt.Fprintln(os.Stderr, err)
-				return
-			}
-			fmt.Printf("telemetry: %d events -> %s (digest with obsreport)\n", telSink.Count(), *telOut)
-		}()
-	}
+	opts.Telemetry = common.Telemetry()
+	opts.TelemetrySampleMS = common.TelemetrySampleMS
 
 	ids := resolveIDs(*fig)
 	if len(ids) == 0 {

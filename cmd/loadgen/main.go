@@ -1,0 +1,159 @@
+// Command loadgen replays a synthetic MapReduce job stream against a
+// running mrcpd daemon and reports what happened to it.
+//
+// In -mode virtual it submits the whole stream up front (the daemon is
+// expected to be in virtual-clock mode), triggers the run with
+// POST /v1/admin/run {"close":true}, and polls until the run finishes. The
+// submitted stream is exactly what `mrcpsim -n <jobs> -seed <seed>`
+// generates, so the daemon's metrics are comparable to the offline
+// simulator's.
+//
+// In -mode wall it replays the stream open-loop: each job is submitted
+// when its generated arrival time comes up on the (speedup-scaled) wall
+// clock, then intake is closed and the run polled to completion.
+//
+// Exit status is non-zero if any submission fails unexpectedly or if
+// accepted != completed + abandoned, which makes the summary line a CI
+// assertion:
+//
+//	loadgen: submitted=40 accepted=40 rejected=0 completed=40 late=2 abandoned=0
+//
+// Usage:
+//
+//	loadgen -addr http://localhost:8373 -jobs 40 -seed 3
+//	loadgen -mode wall -speedup 60 -jobs 20
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"sort"
+	"time"
+
+	"mrcprm"
+	"mrcprm/internal/cli"
+)
+
+func main() {
+	common := cli.New(cli.WithSeed(1))
+	var (
+		addr    = flag.String("addr", "http://localhost:8373", "mrcpd base URL")
+		jobs    = flag.Int("jobs", 20, "number of jobs to replay")
+		lambda  = flag.Float64("lambda", 0, "arrival rate override in jobs/s (0 = workload default)")
+		m       = flag.Int("m", 10, "cluster size assumed by the generator")
+		mode    = flag.String("mode", "virtual", "replay mode: virtual or wall")
+		speedup = flag.Float64("speedup", 1, "wall mode: simulated ms per wall ms (match the daemon)")
+		timeout = flag.Duration("timeout", 5*time.Minute, "max time to wait for the run to finish")
+	)
+	common.Parse()
+
+	wcfg := mrcprm.DefaultSyntheticWorkload()
+	wcfg.NumResources = *m
+	if *lambda > 0 {
+		wcfg.Lambda = *lambda
+	}
+	stream, err := wcfg.Generate(*jobs, mrcprm.NewStream(common.Seed, 0xfeed))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	specs := make([]mrcprm.JobSpec, len(stream))
+	for i, j := range stream {
+		specs[i] = mrcprm.JobSpecOf(j)
+	}
+	sort.SliceStable(specs, func(i, k int) bool { return specs[i].ArrivalMS < specs[k].ArrivalMS })
+
+	client := &http.Client{Timeout: 30 * time.Second}
+	var submitted, accepted, rejected int
+	start := time.Now()
+	for _, spec := range specs {
+		if *mode == "wall" {
+			// Open-loop pacing: submit when the generated arrival comes up
+			// on the speedup-scaled wall clock; the daemon restamps
+			// arrivals at receipt.
+			due := time.Duration(float64(spec.ArrivalMS) / *speedup * float64(time.Millisecond))
+			if wait := due - time.Since(start); wait > 0 {
+				time.Sleep(wait)
+			}
+		}
+		submitted++
+		status, body, err := postJSON(client, *addr+"/v1/jobs", spec)
+		switch {
+		case err != nil:
+			fmt.Fprintf(os.Stderr, "submit: %v\n", err)
+			os.Exit(1)
+		case status == http.StatusAccepted:
+			accepted++
+		case status == http.StatusUnprocessableEntity:
+			rejected++
+		default:
+			fmt.Fprintf(os.Stderr, "submit: unexpected %d: %s\n", status, body)
+			os.Exit(1)
+		}
+	}
+
+	run := map[string]bool{"close": true}
+	if status, body, err := postJSON(client, *addr+"/v1/admin/run", run); err != nil || status != http.StatusOK {
+		fmt.Fprintf(os.Stderr, "run: %d %s (%v)\n", status, body, err)
+		os.Exit(1)
+	}
+
+	deadline := time.Now().Add(*timeout)
+	var snap mrcprm.ServiceSnapshot
+	for {
+		if err := getJSON(client, *addr+"/v1/metrics", &snap); err != nil {
+			fmt.Fprintf(os.Stderr, "metrics: %v\n", err)
+			os.Exit(1)
+		}
+		if snap.Finished {
+			break
+		}
+		if time.Now().After(deadline) {
+			fmt.Fprintf(os.Stderr, "timed out after %v: %d/%d jobs completed\n",
+				*timeout, snap.JobsCompleted, accepted)
+			os.Exit(1)
+		}
+		time.Sleep(200 * time.Millisecond)
+	}
+
+	fmt.Printf("loadgen: submitted=%d accepted=%d rejected=%d completed=%d late=%d abandoned=%d\n",
+		submitted, accepted, rejected, snap.JobsCompleted, snap.LateJobs, snap.JobsAbandoned)
+	if accepted != snap.JobsCompleted+snap.JobsAbandoned {
+		fmt.Fprintf(os.Stderr, "accounting mismatch: accepted %d but %d completed + %d abandoned\n",
+			accepted, snap.JobsCompleted, snap.JobsAbandoned)
+		os.Exit(1)
+	}
+}
+
+func postJSON(client *http.Client, url string, body any) (int, []byte, error) {
+	buf, err := json.Marshal(body)
+	if err != nil {
+		return 0, nil, err
+	}
+	resp, err := client.Post(url, "application/json", bytes.NewReader(buf))
+	if err != nil {
+		return 0, nil, err
+	}
+	defer resp.Body.Close()
+	var out bytes.Buffer
+	if _, err := out.ReadFrom(resp.Body); err != nil {
+		return resp.StatusCode, nil, err
+	}
+	return resp.StatusCode, out.Bytes(), nil
+}
+
+func getJSON(client *http.Client, url string, v any) error {
+	resp, err := client.Get(url)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("GET %s: %d", url, resp.StatusCode)
+	}
+	return json.NewDecoder(resp.Body).Decode(v)
+}

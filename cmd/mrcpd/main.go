@@ -1,0 +1,174 @@
+// Command mrcpd is the online scheduling daemon: it accepts MapReduce job
+// submissions with SLAs over an HTTP/JSON API and schedules them with
+// MRCP-RM (or a baseline manager) on a simulated cluster.
+//
+// Two clock modes:
+//
+//   - -mode wall (default): the daemon behaves like a live scheduler —
+//     submissions are stamped with their wall-clock arrival (scaled by
+//     -speedup) and the schedule executes in real time.
+//   - -mode virtual: submissions accumulate until POST /v1/admin/run, then
+//     the whole stream executes in virtual time. A virtual run over a
+//     recorded stream is deterministic and byte-comparable to the offline
+//     simulator (see cmd/loadgen).
+//
+// API: POST /v1/jobs, GET /v1/jobs[/{id}], GET /v1/schedule,
+// GET /v1/metrics, POST /v1/admin/faults, POST /v1/admin/run, GET /healthz.
+//
+// Usage:
+//
+//	mrcpd                                  # wall clock, :8373, 10 resources
+//	mrcpd -mode virtual -addr :9000 -m 50
+//	mrcpd -speedup 60 -batchwindow 5s -batchmax 20
+//	mrcpd -rm minedf -admission=false
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"mrcprm"
+	"mrcprm/internal/cli"
+)
+
+func main() {
+	common := cli.New(cli.WithWorkers(), cli.WithTelemetry(), cli.WithProfiling())
+	var (
+		addr    = flag.String("addr", ":8373", "HTTP listen address")
+		mode    = flag.String("mode", "wall", "clock mode: wall or virtual")
+		speedup = flag.Float64("speedup", 1, "wall mode: simulated ms per wall ms")
+		m       = flag.Int("m", 10, "number of resources")
+		cmp     = flag.Int64("cmp", 2, "map slots per resource")
+		crd     = flag.Int64("crd", 2, "reduce slots per resource")
+		rmName  = flag.String("rm", "mrcp", "resource manager: mrcp, minedf, or fifo")
+
+		admission    = flag.Bool("admission", true, "reject provably infeasible submissions")
+		batchWindow  = flag.Duration("batchwindow", 0, "coalesce arrivals for this long before solving (0 = solve per arrival)")
+		batchMax     = flag.Int("batchmax", 0, "flush the arrival batch at this many pending jobs (0 = no cap)")
+		batchUrgency = flag.Duration("batchurgency", 0, "flush the batch when a job's latest feasible start is this close (0 = off)")
+		deferral     = flag.Duration("deferral", 30*time.Second, "park jobs whose earliest start is further away than this (0 = off)")
+
+		drainTimeout = flag.Duration("draintimeout", time.Minute, "max time to finish outstanding work on SIGTERM")
+	)
+	common.Parse()
+	defer common.Close()
+
+	cluster := mrcprm.Cluster{NumResources: *m, MapSlots: *cmp, ReduceSlots: *crd}
+	mcfg := mrcprm.DefaultConfig()
+	mcfg.Workers = common.Workers
+	mcfg.BatchWindow = *batchWindow
+	mcfg.BatchMaxPending = *batchMax
+	mcfg.BatchUrgencyLead = *batchUrgency
+	mcfg.DeferralLead = *deferral
+
+	cfg := mrcprm.ServiceConfig{
+		Cluster:           cluster,
+		Manager:           mcfg,
+		Speedup:           *speedup,
+		Admission:         *admission,
+		Telemetry:         common.Telemetry(),
+		TelemetrySampleMS: common.TelemetrySampleMS,
+	}
+	switch *mode {
+	case "wall":
+		cfg.Mode = mrcprm.ServiceWall
+	case "virtual":
+		cfg.Mode = mrcprm.ServiceVirtual
+	default:
+		fmt.Fprintf(os.Stderr, "unknown mode %q\n", *mode)
+		os.Exit(2)
+	}
+	switch *rmName {
+	case "mrcp":
+		// service defaults to MRCP-RM
+	case "minedf":
+		cfg.RM = mrcprm.NewMinEDF(cluster)
+	case "fifo":
+		cfg.RM = mrcprm.NewFIFO(cluster)
+	default:
+		fmt.Fprintf(os.Stderr, "unknown resource manager %q\n", *rmName)
+		os.Exit(2)
+	}
+
+	engine, err := mrcprm.NewServiceEngine(cfg)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	if cfg.Mode == mrcprm.ServiceWall {
+		if err := engine.Start(); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+	}
+
+	srv := &http.Server{Addr: *addr, Handler: mrcprm.NewServiceHandler(engine)}
+	httpErr := make(chan error, 1)
+	go func() { httpErr <- srv.ListenAndServe() }()
+	fmt.Printf("mrcpd      : %s\n", cli.Version())
+	fmt.Printf("listening  : %s (%s mode, %s, m=%d)\n", *addr, *mode, *rmName, *m)
+
+	sigs := make(chan os.Signal, 1)
+	signal.Notify(sigs, syscall.SIGINT, syscall.SIGTERM)
+
+	runDone := engine.Done()
+serve:
+	for {
+		select {
+		case sig := <-sigs:
+			fmt.Printf("signal     : %v, draining outstanding work (up to %v)\n", sig, *drainTimeout)
+			engine.CloseIntake()
+			// A virtual-mode daemon that never received /v1/admin/run still
+			// needs its loop to run the submitted work to completion.
+			if err := engine.Start(); err != nil && !errors.Is(err, mrcprm.ErrServiceRunning) {
+				fmt.Fprintln(os.Stderr, err)
+			}
+			select {
+			case <-engine.Done():
+			case <-time.After(*drainTimeout):
+				fmt.Fprintln(os.Stderr, "drain timeout; aborting run")
+				engine.Stop()
+				<-engine.Done()
+			case <-sigs:
+				fmt.Fprintln(os.Stderr, "second signal; aborting run")
+				engine.Stop()
+				<-engine.Done()
+			}
+			break serve
+		case <-runDone:
+			// The run finished (run+close over the API); keep serving
+			// queries — clients poll /v1/metrics for the outcome — and
+			// exit on the next signal.
+			fmt.Println("run        : finished; still serving queries (SIGTERM to exit)")
+			runDone = nil
+		case err := <-httpErr:
+			fmt.Fprintln(os.Stderr, err)
+			engine.Stop()
+			<-engine.Done()
+			os.Exit(1)
+		}
+	}
+
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	_ = srv.Shutdown(shutdownCtx)
+
+	metrics, runErr := engine.Result()
+	if runErr != nil && !errors.Is(runErr, mrcprm.ErrServiceStopped) {
+		fmt.Fprintln(os.Stderr, runErr)
+		os.Exit(1)
+	}
+	if metrics != nil {
+		fmt.Printf("jobs       : %d arrived, %d completed, %d late, %d abandoned\n",
+			metrics.JobsArrived, metrics.JobsCompleted, metrics.LateJobs, metrics.JobsAbandoned)
+		fmt.Printf("makespan   : %.1f s   P=%.2f%%   T=%.1f s\n",
+			float64(metrics.MakespanMS)/1000, 100*metrics.P(), metrics.T())
+	}
+}

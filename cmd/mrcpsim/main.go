@@ -16,25 +16,21 @@ package main
 import (
 	"flag"
 	"fmt"
-	"net/http"
-	_ "net/http/pprof"
 	"os"
-	"runtime"
-	"runtime/pprof"
 	"sort"
 	"strings"
 
 	"mrcprm"
-	"mrcprm/internal/obs"
+	"mrcprm/internal/cli"
 )
 
 func main() {
+	common := cli.New(cli.WithSeed(1), cli.WithWorkers(), cli.WithTelemetry(), cli.WithProfiling())
 	var (
 		rmName   = flag.String("rm", "mrcp", "resource manager: mrcp, minedf, or fifo")
 		wl       = flag.String("workload", "synthetic", "workload: synthetic or facebook")
 		jobs     = flag.Int("jobs", 300, "number of jobs (synthetic)")
 		fbjobs   = flag.Int("fbjobs", 300, "number of jobs (facebook)")
-		seed1    = flag.Uint64("seed", 1, "random seed")
 		emax     = flag.Int64("emax", 50, "synthetic: max map task execution time (s)")
 		p        = flag.Float64("p", 0.5, "synthetic: probability of a future earliest start time")
 		smax     = flag.Int64("smax", 50000, "synthetic: max earliest start offset (s)")
@@ -43,16 +39,9 @@ func main() {
 		m        = flag.Int("m", 0, "number of resources (0 = workload default)")
 		cmp      = flag.Int64("cmp", 2, "map slots per resource (synthetic)")
 		crd      = flag.Int64("crd", 2, "reduce slots per resource (synthetic)")
-		workers  = flag.Int("workers", 0, "CP solver portfolio width (0 = one per CPU, max 8; 1 = single-threaded)")
 		verb     = flag.Bool("v", false, "print per-job outcomes")
 		traceOut = flag.String("trace", "", "write the executed schedule to this file (.csv or .json)")
 		gantt    = flag.Bool("gantt", false, "print an ASCII gantt of the executed schedule")
-
-		telOut     = flag.String("telemetry", "", "stream telemetry events to this JSONL file (digest with obsreport)")
-		telSample  = flag.Int64("telemetrysample", 0, "sim time-series sample period in ms (0 = 5000)")
-		cpuProfile = flag.String("cpuprofile", "", "write a CPU profile to this file")
-		memProfile = flag.String("memprofile", "", "write a heap profile to this file at exit")
-		pprofAddr  = flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060)")
 
 		failRate  = flag.Float64("failrate", 0, "probability a task attempt fails mid-execution")
 		straggler = flag.Float64("straggler", 0, "probability a task attempt runs 1.5-3x slow")
@@ -60,45 +49,10 @@ func main() {
 		mttr      = flag.Float64("mttr", 60, "mean time to repair a down resource (s)")
 		faultSeed = flag.Uint64("faultseed", 0, "fault plan seed (0 = derive from -seed)")
 	)
-	flag.Parse()
+	common.Parse()
+	defer common.Close()
 
-	if *pprofAddr != "" {
-		go func() {
-			if err := http.ListenAndServe(*pprofAddr, nil); err != nil {
-				fmt.Fprintln(os.Stderr, "pprof server:", err)
-			}
-		}()
-		fmt.Printf("pprof      : http://%s/debug/pprof/\n", *pprofAddr)
-	}
-	if *cpuProfile != "" {
-		f, err := os.Create(*cpuProfile)
-		if err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
-		}
-		if err := pprof.StartCPUProfile(f); err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
-		}
-		defer pprof.StopCPUProfile()
-	}
-	defer func() {
-		if *memProfile == "" {
-			return
-		}
-		f, err := os.Create(*memProfile)
-		if err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			return
-		}
-		runtime.GC()
-		if err := pprof.WriteHeapProfile(f); err != nil {
-			fmt.Fprintln(os.Stderr, err)
-		}
-		f.Close()
-	}()
-
-	rng := mrcprm.NewStream(*seed1, 0xfeed)
+	rng := mrcprm.NewStream(common.Seed, 0xfeed)
 	var jl []*mrcprm.Job
 	var cluster mrcprm.Cluster
 	var err error
@@ -150,7 +104,7 @@ func main() {
 	switch *rmName {
 	case "mrcp":
 		mcfg := mrcprm.DefaultConfig()
-		mcfg.Workers = *workers
+		mcfg.Workers = common.Workers
 		rm = mrcprm.NewManager(cluster, mcfg)
 	case "minedf":
 		rm = mrcprm.NewMinEDF(cluster)
@@ -166,7 +120,7 @@ func main() {
 	if faulty {
 		fseed := *faultSeed
 		if fseed == 0 {
-			fseed = *seed1 ^ 0xfa170000
+			fseed = common.Seed ^ 0xfa170000
 		}
 		fcfg := mrcprm.FaultConfig{
 			TaskFailureProb: *failRate,
@@ -195,32 +149,11 @@ func main() {
 		}
 	}
 
-	var (
-		tel     *mrcprm.Telemetry
-		telSink *obs.JSONLWriter
-		telFile *os.File
-	)
-	if *telOut != "" {
-		telFile, err = os.Create(*telOut)
-		if err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
-		}
-		telSink = obs.NewJSONLWriter(telFile)
-		tel = obs.New(telSink)
-	}
-
-	metrics, rec, err := mrcprm.SimulateInstrumented(cluster, rm, jl, injector, tel, *telSample)
+	metrics, rec, err := mrcprm.SimulateInstrumented(cluster, rm, jl, injector,
+		common.Telemetry(), common.TelemetrySampleMS)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
-	}
-	if telFile != nil {
-		if err := telFile.Close(); err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
-		}
-		fmt.Printf("telemetry  : %d events -> %s (digest with obsreport)\n", telSink.Count(), *telOut)
 	}
 
 	fmt.Printf("manager    : %s\n", rm.Name())

@@ -14,15 +14,17 @@ import (
 	"io"
 	"os"
 
+	"mrcprm/internal/cli"
 	"mrcprm/internal/obs"
 )
 
 func main() {
+	common := cli.New()
 	flag.Usage = func() {
 		fmt.Fprintln(os.Stderr, "usage: obsreport [file.jsonl]  (reads stdin when no file is given)")
 		flag.PrintDefaults()
 	}
-	flag.Parse()
+	common.Parse()
 
 	var in io.Reader = os.Stdin
 	if flag.NArg() > 1 {

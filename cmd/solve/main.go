@@ -30,6 +30,7 @@ import (
 	"strings"
 
 	"mrcprm"
+	"mrcprm/internal/cli"
 )
 
 type problemJSON struct {
@@ -57,11 +58,11 @@ const demoProblem = `{
 }`
 
 func main() {
+	common := cli.New(cli.WithWorkers())
 	demo := flag.Bool("demo", false, "solve a built-in example problem")
 	direct := flag.Bool("direct", false, "use the direct (per-resource) CP formulation")
 	opl := flag.Bool("opl", false, "print the CP model in OPL-like syntax before solving")
-	workers := flag.Int("workers", 0, "CP solver portfolio width (0 = one per CPU, max 8; 1 = single-threaded)")
-	flag.Parse()
+	common.Parse()
 
 	var data []byte
 	var err error
@@ -109,7 +110,7 @@ func main() {
 	}
 
 	cfg := mrcprm.DefaultConfig()
-	cfg.Workers = *workers
+	cfg.Workers = common.Workers
 	if *direct {
 		cfg.Mode = mrcprm.ModeDirect
 	}

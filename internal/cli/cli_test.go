@@ -1,0 +1,49 @@
+package cli
+
+import (
+	"flag"
+	"strings"
+	"testing"
+)
+
+func TestOptionsRegisterFlags(t *testing.T) {
+	fs := flag.NewFlagSet("test", flag.ContinueOnError)
+	c := &Common{}
+	for _, o := range []Option{WithSeed(7), WithWorkers(), WithTelemetry(), WithProfiling()} {
+		o(c, fs)
+	}
+	if err := fs.Parse([]string{"-seed", "42", "-workers", "3", "-telemetry", "t.jsonl"}); err != nil {
+		t.Fatal(err)
+	}
+	if c.Seed != 42 || c.Workers != 3 || c.TelemetryPath != "t.jsonl" {
+		t.Fatalf("parsed %+v", c)
+	}
+	for _, name := range []string{"seed", "workers", "telemetry", "telemetrysample",
+		"cpuprofile", "memprofile", "pprof"} {
+		if fs.Lookup(name) == nil {
+			t.Fatalf("flag -%s not registered", name)
+		}
+	}
+}
+
+func TestSeedDefault(t *testing.T) {
+	fs := flag.NewFlagSet("test", flag.ContinueOnError)
+	c := &Common{}
+	WithSeed(7)(c, fs)
+	if err := fs.Parse(nil); err != nil {
+		t.Fatal(err)
+	}
+	if c.Seed != 7 {
+		t.Fatalf("seed default %d, want 7", c.Seed)
+	}
+}
+
+func TestVersionString(t *testing.T) {
+	v := Version()
+	if !strings.HasPrefix(v, "mrcprm ") {
+		t.Fatalf("version %q lacks the module prefix", v)
+	}
+	if !strings.Contains(v, "go1") && !strings.Contains(v, "no build info") {
+		t.Fatalf("version %q lacks the Go toolchain stamp", v)
+	}
+}

@@ -1,0 +1,79 @@
+package core
+
+import (
+	"fmt"
+
+	"mrcprm/internal/sim"
+	"mrcprm/internal/workload"
+)
+
+// This file implements the service layer's admission control: a fast,
+// solver-free lower bound on a job's completion time. A job whose SLA fails
+// the bound is *provably* infeasible — no schedule, on an otherwise empty
+// cluster, can meet its deadline — so an online service can reject (or flag)
+// it before spending a CP solve on it.
+
+// SLALowerBound returns a lower bound (ms) on the job's execution time on
+// the cluster, assuming nothing else is running. Unlike
+// workload.Job.MinExecTime (an LPT list-scheduling makespan, which may
+// exceed the optimum), this is a true bound: each phase needs at least its
+// longest task and at least its total work spread across every slot of the
+// cluster, and classic MapReduce semantics force the reduce phase to start
+// after the map phase ends.
+func SLALowerBound(cluster sim.Cluster, j *workload.Job) int64 {
+	lb := phaseLowerBound(j.MapTasks, cluster.TotalMapSlots())
+	if len(j.ReduceTasks) > 0 {
+		lb += phaseLowerBound(j.ReduceTasks, cluster.TotalReduceSlots())
+	}
+	return lb
+}
+
+// phaseLowerBound bounds one phase: max(longest task, ceil(area / slots)).
+func phaseLowerBound(tasks []*workload.Task, slots int64) int64 {
+	if slots <= 0 {
+		return 0
+	}
+	var longest, area int64
+	for _, t := range tasks {
+		if t.Exec > longest {
+			longest = t.Exec
+		}
+		area += t.Exec * t.Req
+	}
+	if spread := (area + slots - 1) / slots; spread > longest {
+		return spread
+	}
+	return longest
+}
+
+// AdmissionError reports a provably infeasible SLA; the service returns it
+// to the submitter (or attaches it as a flag when configured to admit
+// anyway).
+type AdmissionError struct {
+	JobID int
+	// EarliestFinish is the soonest the job could possibly complete
+	// (max(now, earliest start) + lower bound); Deadline is what the SLA
+	// asked for.
+	EarliestFinish int64
+	Deadline       int64
+}
+
+func (e *AdmissionError) Error() string {
+	return fmt.Sprintf("core: job %d SLA is infeasible: earliest possible finish %dms exceeds deadline %dms",
+		e.JobID, e.EarliestFinish, e.Deadline)
+}
+
+// CheckAdmission returns an *AdmissionError when the job's SLA is provably
+// infeasible at time now on an otherwise empty cluster, and nil otherwise.
+// Passing the check does not guarantee the deadline will be met under load;
+// failing it guarantees it will not.
+func CheckAdmission(cluster sim.Cluster, j *workload.Job, now int64) error {
+	start := j.EarliestStart
+	if now > start {
+		start = now
+	}
+	if fin := start + SLALowerBound(cluster, j); fin > j.Deadline {
+		return &AdmissionError{JobID: j.ID, EarliestFinish: fin, Deadline: j.Deadline}
+	}
+	return nil
+}

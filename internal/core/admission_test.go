@@ -1,0 +1,50 @@
+package core
+
+import (
+	"errors"
+	"testing"
+
+	"mrcprm/internal/sim"
+)
+
+func TestSLALowerBound(t *testing.T) {
+	cluster := sim.Cluster{NumResources: 2, MapSlots: 1, ReduceSlots: 1}
+	// 4 maps of 10s on 2 total map slots: area bound 20s beats longest 10s.
+	j := mkJob(0, 0, 0, 1, []int64{10_000, 10_000, 10_000, 10_000}, []int64{5_000})
+	if lb := SLALowerBound(cluster, j); lb != 25_000 {
+		t.Fatalf("lower bound = %d, want 25000", lb)
+	}
+	// One long map dominates the area spread.
+	j2 := mkJob(1, 0, 0, 1, []int64{30_000, 1_000}, nil)
+	if lb := SLALowerBound(cluster, j2); lb != 30_000 {
+		t.Fatalf("lower bound = %d, want 30000", lb)
+	}
+}
+
+func TestCheckAdmission(t *testing.T) {
+	cluster := sim.Cluster{NumResources: 1, MapSlots: 1, ReduceSlots: 1}
+	// Needs 10s of map work; deadline leaves exactly 10s: feasible.
+	ok := mkJob(0, 0, 0, 10_000, []int64{10_000}, nil)
+	if err := CheckAdmission(cluster, ok, 0); err != nil {
+		t.Fatalf("tight-but-feasible job rejected: %v", err)
+	}
+	// One ms short: provably infeasible.
+	bad := mkJob(1, 0, 0, 9_999, []int64{10_000}, nil)
+	err := CheckAdmission(cluster, bad, 0)
+	var ae *AdmissionError
+	if !errors.As(err, &ae) {
+		t.Fatalf("want *AdmissionError, got %v", err)
+	}
+	if ae.EarliestFinish != 10_000 || ae.Deadline != 9_999 {
+		t.Fatalf("bad error detail: %+v", ae)
+	}
+	// The clock advancing past the earliest start tightens the check.
+	if err := CheckAdmission(cluster, ok, 1); err == nil {
+		t.Fatal("job feasible only at t=0 admitted at t=1")
+	}
+	// A far-future earliest start keeps it feasible regardless of now.
+	ar := mkJob(2, 0, 50_000, 70_000, []int64{10_000}, nil)
+	if err := CheckAdmission(cluster, ar, 20_000); err != nil {
+		t.Fatalf("advance-reservation job rejected: %v", err)
+	}
+}

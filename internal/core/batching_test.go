@@ -61,6 +61,142 @@ func TestBatchingStillMeetsLooseDeadlines(t *testing.T) {
 	}
 }
 
+// TestBatchMaxPendingFlush: hitting the pending cap flushes the batch
+// before its window expires.
+func TestBatchMaxPendingFlush(t *testing.T) {
+	cluster := sim.Cluster{NumResources: 2, MapSlots: 1, ReduceSlots: 1}
+	cfg := deterministicConfig()
+	cfg.BatchWindow = 60 * time.Second
+	cfg.BatchMaxPending = 2
+	jobs := []*workload.Job{
+		mkJob(0, 0, 0, 300_000, []int64{10_000}, nil),
+		mkJob(1, 1000, 1000, 300_000, []int64{10_000}, nil),
+	}
+	m, mgr := runJobs(t, cluster, cfg, jobs)
+	if mgr.Stats().Rounds != 1 || mgr.Stats().EarlyFlushes != 1 {
+		t.Fatalf("rounds=%d earlyFlushes=%d, want 1/1",
+			mgr.Stats().Rounds, mgr.Stats().EarlyFlushes)
+	}
+	// Flushed at the second arrival (1s), not at the window boundary (60s).
+	if m.Records[0].Completion >= 60_000 {
+		t.Fatalf("completion %d: batch waited for the window", m.Records[0].Completion)
+	}
+}
+
+// TestBatchUrgencyFlush: an arriving job with no slack to spare flushes the
+// batch immediately.
+func TestBatchUrgencyFlush(t *testing.T) {
+	cluster := sim.Cluster{NumResources: 2, MapSlots: 1, ReduceSlots: 1}
+	cfg := deterministicConfig()
+	cfg.BatchWindow = 60 * time.Second
+	cfg.BatchUrgencyLead = 5 * time.Second
+	jobs := []*workload.Job{
+		mkJob(0, 0, 0, 300_000, []int64{10_000}, nil),
+		// 10s of work, deadline at 13s: latest feasible start is 3s away,
+		// inside the 5s urgency lead.
+		mkJob(1, 1000, 1000, 13_000, []int64{10_000}, nil),
+	}
+	m, mgr := runJobs(t, cluster, cfg, jobs)
+	if mgr.Stats().EarlyFlushes != 1 {
+		t.Fatalf("earlyFlushes=%d, want 1", mgr.Stats().EarlyFlushes)
+	}
+	if m.LateJobs != 0 {
+		t.Fatalf("%d late jobs: urgency flush came too late", m.LateJobs)
+	}
+}
+
+// TestBatchEmptyWindowFlush: after an early flush the window timer still
+// fires, finds an empty batch, and must be a no-op (no extra solver round).
+func TestBatchEmptyWindowFlush(t *testing.T) {
+	cluster := sim.Cluster{NumResources: 2, MapSlots: 1, ReduceSlots: 1}
+	cfg := deterministicConfig()
+	cfg.BatchWindow = 5 * time.Second
+	cfg.BatchMaxPending = 2
+	jobs := []*workload.Job{
+		mkJob(0, 0, 0, 300_000, []int64{20_000}, nil),
+		mkJob(1, 1000, 1000, 300_000, []int64{20_000}, nil),
+	}
+	m, mgr := runJobs(t, cluster, cfg, jobs)
+	// One early flush at t=1s; the stale timer at t=5s fires on an empty
+	// batch while both tasks are still running and must not add a round.
+	if mgr.Stats().Rounds != 1 {
+		t.Fatalf("rounds=%d, want 1 (stale window timer re-solved)", mgr.Stats().Rounds)
+	}
+	if m.JobsCompleted != 2 {
+		t.Fatalf("completed %d", m.JobsCompleted)
+	}
+}
+
+// TestDrainWithRunningTasks: Drain force-admits deferred and batched jobs
+// while other tasks are mid-execution, and the run then completes without
+// waiting for parked timers.
+func TestDrainWithRunningTasks(t *testing.T) {
+	cluster := sim.Cluster{NumResources: 2, MapSlots: 1, ReduceSlots: 1}
+	cfg := deterministicConfig()
+	cfg.BatchWindow = 50 * time.Second
+	cfg.BatchUrgencyLead = 5 * time.Second // job 0 is urgent: flushes instantly, starts running
+	cfg.DeferralLead = 10 * time.Second
+	jobs := []*workload.Job{
+		mkJob(0, 0, 0, 32_000, []int64{30_000}, nil),
+		mkJob(1, 1000, 100_000, 400_000, []int64{5_000}, nil), // deferred (far-future start)
+	}
+	// Job 2 arrives at t=2s into a fresh batch window and would sit there
+	// until t=52s.
+	j2 := mkJob(2, 2000, 2000, 300_000, []int64{5_000}, nil)
+
+	mgr := New(cluster, cfg)
+	s, err := sim.New(cluster, mgr, append(jobs, j2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Step until job 2's arrival has been processed and job 0 is running.
+	for {
+		more, err := s.Step()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !more {
+			t.Fatal("run ended before drain point")
+		}
+		if s.Now() >= 2000 {
+			break
+		}
+	}
+	if !s.Started(jobs[0].MapTasks[0]) {
+		t.Fatal("job 0 should be running at drain time")
+	}
+	if mgr.Stats().Deferred != 1 {
+		t.Fatalf("deferred=%d, want 1", mgr.Stats().Deferred)
+	}
+	if mgr.Outstanding() != 3 {
+		t.Fatalf("outstanding=%d, want 3", mgr.Outstanding())
+	}
+
+	if err := mgr.Drain(s); err != nil {
+		t.Fatal(err)
+	}
+	m, err := s.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.JobsCompleted != 3 {
+		t.Fatalf("completed %d, want 3", m.JobsCompleted)
+	}
+	if mgr.Outstanding() != 0 {
+		t.Fatalf("outstanding=%d after drain+run", mgr.Outstanding())
+	}
+	// The batched job must not have waited for its 50s window...
+	for _, r := range m.Records {
+		if r.Job.ID == 2 && r.Completion >= 52_000 {
+			t.Fatalf("batched job completed at %d: drain did not flush it", r.Completion)
+		}
+		// ...and the deferred job still honors its earliest start time.
+		if r.Job.ID == 1 && r.Completion < 105_000 {
+			t.Fatalf("deferred job completed at %d, before earliest start + exec", r.Completion)
+		}
+	}
+}
+
 func TestBatchingComposesWithDeferral(t *testing.T) {
 	cluster := sim.Cluster{NumResources: 1, MapSlots: 1, ReduceSlots: 1}
 	cfg := deterministicConfig()

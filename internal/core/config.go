@@ -65,6 +65,17 @@ type Config struct {
 	// simulated time) and scheduled in one solve. Zero (the default)
 	// solves on every arrival, as the paper's evaluation does.
 	BatchWindow time.Duration
+	// BatchMaxPending caps the number of arrivals a batch may accumulate:
+	// reaching it flushes the batch immediately instead of waiting for the
+	// window to expire, bounding scheduling latency under load. Zero means
+	// no cap. Only meaningful with BatchWindow > 0.
+	BatchMaxPending int
+	// BatchUrgencyLead flushes the batch immediately when an arriving job's
+	// latest feasible start (deadline minus its execution-time lower bound)
+	// is at most this far away — an urgent job must not sit out the rest of
+	// the window. Zero disables the trigger. Only meaningful with
+	// BatchWindow > 0.
+	BatchUrgencyLead time.Duration
 	// MaxTaskRetries caps the failed execution attempts of a single task;
 	// one more failure abandons the task's job. Zero means unlimited.
 	MaxTaskRetries int
@@ -115,6 +126,9 @@ type Stats struct {
 	SlipMS int64
 	// Deferred counts jobs parked by the Section V.E optimization.
 	Deferred int
+	// EarlyFlushes counts batch flushes forced before the window expired
+	// (max-pending cap or deadline urgency).
+	EarlyFlushes int
 	// LateBound sums the solver's reported objective (expected late jobs)
 	// over rounds; a diagnostic only.
 	LateBound int

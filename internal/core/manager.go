@@ -90,13 +90,81 @@ func (m *Manager) OnJobArrival(ctx sim.Context, j *workload.Job) error {
 			m.batchAt = ctx.Now() + w
 			ctx.SetTimer(m.batchAt)
 		}
+		var err error
+		if reason, ok := m.flushTrigger(ctx, j); ok {
+			m.stats.EarlyFlushes++
+			err = m.flushBatch(ctx, reason)
+		}
 		ctx.AddOverhead(time.Since(started))
-		return nil
+		return err
 	}
 	m.admit(j)
 	err := m.reschedule(ctx, "arrival")
 	ctx.AddOverhead(time.Since(started))
 	return err
+}
+
+// flushTrigger decides whether the arrival of j must flush the pending
+// batch before its window expires: the batch hit its max-pending cap, or j
+// is urgent (its latest feasible start is at most BatchUrgencyLead away).
+func (m *Manager) flushTrigger(ctx sim.Context, j *workload.Job) (string, bool) {
+	if m.cfg.BatchMaxPending > 0 && len(m.batch) >= m.cfg.BatchMaxPending {
+		return "batch_full", true
+	}
+	if lead := m.cfg.BatchUrgencyLead.Milliseconds(); lead > 0 {
+		lb := SLALowerBound(m.cluster, j)
+		if j.Deadline-lb-ctx.Now() <= lead {
+			return "batch_urgent", true
+		}
+	}
+	return "", false
+}
+
+// flushBatch admits every batched job and runs one reschedule. It resets the
+// window so the stale timer (still queued in the simulator) fires on an
+// empty batch and becomes a no-op.
+func (m *Manager) flushBatch(ctx sim.Context, reason string) error {
+	m.batchAt = 0
+	if len(m.batch) == 0 {
+		return nil
+	}
+	for _, j := range m.batch {
+		m.admit(j)
+	}
+	m.batch = m.batch[:0]
+	return m.reschedule(ctx, reason)
+}
+
+// Drain force-admits every parked job — deferred (Section V.E) and batched
+// arrivals alike — and replans, so that an engine shutting down can finish
+// all outstanding work without waiting for parked timers. The ctx is the
+// same simulation the manager runs against; callers invoke Drain between
+// events, never from inside a manager callback.
+func (m *Manager) Drain(ctx sim.Context) error {
+	started := time.Now()
+	n := len(m.deferred) + len(m.batch)
+	for _, j := range m.deferred {
+		m.admit(j)
+	}
+	m.deferred = m.deferred[:0]
+	for _, j := range m.batch {
+		m.admit(j)
+	}
+	m.batch = m.batch[:0]
+	m.batchAt = 0
+	var err error
+	if n > 0 {
+		err = m.reschedule(ctx, "drain")
+	}
+	ctx.AddOverhead(time.Since(started))
+	return err
+}
+
+// Outstanding counts the jobs the manager is still responsible for: active
+// (scheduled or running, including abandoned jobs with draining attempts),
+// deferred, and batched.
+func (m *Manager) Outstanding() int {
+	return len(m.active) + len(m.deferred) + len(m.batch)
 }
 
 // OnTimer implements sim.ResourceManager: it releases deferred jobs whose

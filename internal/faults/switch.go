@@ -1,0 +1,56 @@
+package faults
+
+import (
+	"sync/atomic"
+
+	"mrcprm/internal/sim"
+)
+
+// Switch is a runtime-swappable fault injector for long-running services:
+// it implements sim.FaultInjector by delegating to whatever plan is
+// currently installed, and Set may be called concurrently with a simulation
+// consulting Attempt (the service's POST /v1/admin/faults endpoint swaps
+// plans while the engine is stepping).
+//
+// Only per-attempt fates (failures, stragglers) are swappable: the
+// simulator reads PlannedOutages once at run start, so outage windows added
+// later must go through sim.Simulator.InjectOutage instead. Switch
+// therefore always reports the planned outages of the *initial* plan.
+type Switch struct {
+	initial sim.FaultInjector
+	current atomic.Pointer[injectorBox]
+}
+
+// injectorBox wraps the interface value so atomic.Pointer can hold it.
+type injectorBox struct{ fi sim.FaultInjector }
+
+// NewSwitch returns a Switch initially delegating to fi; a nil fi injects
+// nothing until Set installs a plan.
+func NewSwitch(fi sim.FaultInjector) *Switch {
+	s := &Switch{initial: fi}
+	s.current.Store(&injectorBox{fi: fi})
+	return s
+}
+
+// Set atomically replaces the active plan; a nil plan disables per-attempt
+// faults. Attempts already under way are unaffected.
+func (s *Switch) Set(fi sim.FaultInjector) {
+	s.current.Store(&injectorBox{fi: fi})
+}
+
+// Attempt implements sim.FaultInjector via the currently installed plan.
+func (s *Switch) Attempt(taskID string, attempt int) sim.AttemptFault {
+	if fi := s.current.Load().fi; fi != nil {
+		return fi.Attempt(taskID, attempt)
+	}
+	return sim.AttemptFault{}
+}
+
+// PlannedOutages implements sim.FaultInjector: the initial plan's windows
+// (the simulator reads them only once, at run start).
+func (s *Switch) PlannedOutages() []sim.Outage {
+	if s.initial != nil {
+		return s.initial.PlannedOutages()
+	}
+	return nil
+}

@@ -29,6 +29,7 @@ const (
 	LayerSolver  = "solver"
 	LayerManager = "manager"
 	LayerSim     = "sim"
+	LayerService = "service"
 )
 
 type fieldKind uint8
@@ -202,6 +203,26 @@ func (t *Telemetry) SetGauge(name string, v int64) {
 	t.mu.Lock()
 	t.gauges[name] = v
 	t.mu.Unlock()
+}
+
+// Snapshot returns copies of the counter and gauge registries, for metrics
+// exposition endpoints. Both maps are nil when telemetry is disabled. Safe
+// on a nil receiver and under concurrent Add/SetGauge calls.
+func (t *Telemetry) Snapshot() (counters, gauges map[string]int64) {
+	if !t.Enabled() {
+		return nil, nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	counters = make(map[string]int64, len(t.counters))
+	for k, v := range t.counters {
+		counters[k] = v
+	}
+	gauges = make(map[string]int64, len(t.gauges))
+	for k, v := range t.gauges {
+		gauges[k] = v
+	}
+	return counters, gauges
 }
 
 // Counter returns the current value of a counter (0 when disabled).

@@ -1,0 +1,740 @@
+// Package service is the online scheduling engine behind cmd/mrcpd: it
+// accepts an open stream of MapReduce job submissions with SLAs, drives a
+// resource manager (MRCP-RM by default) over the discrete-event simulator,
+// and answers status, schedule, and metrics queries while the run is in
+// flight.
+//
+// The engine owns the simulator's pacing through the Step/Finish clock
+// abstraction and runs in one of two modes:
+//
+//   - Virtual: events are processed as fast as possible. A run whose jobs
+//     are all submitted before Start is byte-identical to a plain
+//     sim.New+Run over the same job list — the golden determinism contract
+//     the service tests pin down.
+//   - Wall: each event waits until its simulated timestamp is due on the
+//     wall clock (scaled by Config.Speedup), so the daemon behaves like a
+//     live scheduler.
+//
+// Submissions never block on an in-flight solve: they land in an intake
+// queue under their own lock and are injected between simulator steps.
+// Arrival batching (coalesce window, max-pending and urgency flushes) is
+// the manager's job — see core.Config.BatchWindow and friends — and the
+// engine merely passes the configuration through.
+package service
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"mrcprm/internal/core"
+	"mrcprm/internal/faults"
+	"mrcprm/internal/obs"
+	"mrcprm/internal/sim"
+	"mrcprm/internal/workload"
+)
+
+// Mode selects how the engine paces the simulation clock.
+type Mode int
+
+const (
+	// Virtual processes events immediately; runs are deterministic.
+	Virtual Mode = iota
+	// Wall sleeps until each event is due in scaled wall-clock time.
+	Wall
+)
+
+func (m Mode) String() string {
+	if m == Wall {
+		return "wall"
+	}
+	return "virtual"
+}
+
+// Config assembles an engine.
+type Config struct {
+	// Cluster is the simulated system shape.
+	Cluster sim.Cluster
+	// Manager tunes the default MRCP-RM manager; ignored when RM is set.
+	Manager core.Config
+	// RM overrides the resource manager (e.g. the MinEDF-WC baseline).
+	RM sim.ResourceManager
+	// Mode selects virtual or wall pacing.
+	Mode Mode
+	// Speedup scales wall-clock pacing: simulated ms per wall ms (<=0 means
+	// 1). Ignored in Virtual mode.
+	Speedup float64
+	// Admission enables the fast lower-bound infeasibility check: a job
+	// whose execution-time lower bound provably overshoots its deadline is
+	// rejected at submission instead of entering the system.
+	Admission bool
+	// Faults is the initial fault plan; the engine wraps it in a
+	// faults.Switch so SetFaults can swap per-attempt fates at runtime.
+	Faults sim.FaultInjector
+	// Telemetry and TelemetrySampleMS attach a telemetry stream to the
+	// simulator and (when supported) the manager.
+	Telemetry         *obs.Telemetry
+	TelemetrySampleMS int64
+	// Observer receives task lifecycle notifications (e.g. a
+	// trace.Recorder for the determinism golden test).
+	Observer sim.Observer
+}
+
+// Sentinel errors surfaced to the HTTP layer.
+var (
+	// ErrClosed rejects submissions after the intake is closed.
+	ErrClosed = errors.New("service: intake closed")
+	// ErrRunning rejects a second Start.
+	ErrRunning = errors.New("service: engine already started")
+	// ErrStopped is the run error after a hard Stop.
+	ErrStopped = errors.New("service: engine stopped")
+)
+
+// jobEntry is the engine's record of one submission. The immutable fields
+// are set at Submit; injectErr is written by the run loop under mu.
+type jobEntry struct {
+	id       int
+	job      *workload.Job // nil when the submission was rejected
+	rejected *core.AdmissionError
+	// injectErr records a (should-not-happen) AddJob failure so the job
+	// does not silently vanish.
+	injectErr error
+}
+
+// Engine is the embeddable online resource-manager engine.
+type Engine struct {
+	cfg Config
+	rm  sim.ResourceManager
+	sw  *faults.Switch
+
+	// intakeMu guards submissions and the job registry; it is never held
+	// across a simulator step, so Submit cannot block on a solve.
+	intakeMu sync.Mutex
+	nextID   int
+	intake   []*workload.Job
+	entries  map[int]*jobEntry
+	order    []int
+	closed   bool
+	started  bool
+	rejects  int
+
+	// mu guards the simulator (and through it the manager) — stepping,
+	// injection, and every state query.
+	mu      sync.Mutex
+	sim     *sim.Simulator
+	metrics *sim.Metrics
+	runErr  error
+
+	simNow    atomic.Int64
+	wallStart time.Time
+
+	wake chan struct{}
+	stop chan struct{}
+	done chan struct{}
+	once sync.Once
+}
+
+// New assembles an engine; no goroutine runs until Start.
+func New(cfg Config) (*Engine, error) {
+	rm := cfg.RM
+	if rm == nil {
+		rm = core.New(cfg.Cluster, cfg.Manager)
+	}
+	s, err := sim.New(cfg.Cluster, rm, nil)
+	if err != nil {
+		return nil, err
+	}
+	sw := faults.NewSwitch(cfg.Faults)
+	if err := s.SetFaultInjector(sw); err != nil {
+		return nil, err
+	}
+	if cfg.Telemetry.Enabled() {
+		s.SetTelemetry(cfg.Telemetry, cfg.TelemetrySampleMS)
+		if im, ok := rm.(interface{ SetTelemetry(*obs.Telemetry) }); ok {
+			im.SetTelemetry(cfg.Telemetry)
+		}
+	}
+	if cfg.Observer != nil {
+		s.SetObserver(cfg.Observer)
+	}
+	if cfg.Speedup <= 0 {
+		cfg.Speedup = 1
+	}
+	return &Engine{
+		cfg:     cfg,
+		rm:      rm,
+		sw:      sw,
+		sim:     s,
+		entries: make(map[int]*jobEntry),
+		wake:    make(chan struct{}, 1),
+		stop:    make(chan struct{}),
+		done:    make(chan struct{}),
+	}, nil
+}
+
+// NowMS returns the engine's current simulated time: the simulator clock in
+// Virtual mode, scaled elapsed wall time in Wall mode.
+func (e *Engine) NowMS() int64 {
+	if e.cfg.Mode == Wall {
+		e.intakeMu.Lock()
+		started, at := e.started, e.wallStart
+		e.intakeMu.Unlock()
+		if !started {
+			return 0
+		}
+		return int64(float64(time.Since(at).Milliseconds()) * e.cfg.Speedup)
+	}
+	return e.simNow.Load()
+}
+
+// Submit accepts one job submission and returns its assigned ID. In Wall
+// mode the spec's arrival time is replaced with the submission instant; in
+// Virtual mode it is honored (clamped up to the simulation clock at
+// injection). A non-nil *core.AdmissionError return still carries a valid
+// ID: the rejection is recorded and queryable.
+func (e *Engine) Submit(spec workload.JobSpec) (int, error) {
+	now := e.NowMS()
+	e.intakeMu.Lock()
+	defer e.intakeMu.Unlock()
+	if e.closed {
+		return 0, ErrClosed
+	}
+	if e.cfg.Mode == Wall {
+		// Restamp the arrival to the wall clock and shift the SLA window
+		// with it, so client-supplied earliest starts and deadlines keep
+		// their meaning relative to submission time.
+		shift := now - spec.ArrivalMS
+		spec.ArrivalMS = now
+		if spec.EarliestStartMS > 0 {
+			spec.EarliestStartMS += shift
+		}
+		spec.DeadlineMS += shift
+	}
+	j, err := spec.Job(e.nextID)
+	if err != nil {
+		return 0, err
+	}
+	id := e.nextID
+	e.nextID++
+	entry := &jobEntry{id: id, job: j}
+	e.entries[id] = entry
+	e.order = append(e.order, id)
+	if e.cfg.Admission {
+		at := now
+		if j.Arrival > at {
+			at = j.Arrival
+		}
+		if aerr := core.CheckAdmission(e.cfg.Cluster, j, at); aerr != nil {
+			var ae *core.AdmissionError
+			errors.As(aerr, &ae)
+			entry.rejected = ae
+			entry.job = nil
+			e.rejects++
+			return id, aerr
+		}
+	}
+	e.intake = append(e.intake, j)
+	e.signal()
+	return id, nil
+}
+
+// Start launches the run loop. In Virtual mode submissions made before
+// Start form the initial arrival-ordered job list.
+func (e *Engine) Start() error {
+	e.intakeMu.Lock()
+	defer e.intakeMu.Unlock()
+	if e.started {
+		return ErrRunning
+	}
+	e.started = true
+	e.wallStart = time.Now()
+	go e.loop()
+	return nil
+}
+
+// CloseIntake stops accepting submissions; the run finishes outstanding
+// work (force-draining parked jobs if needed) and then ends. Safe to call
+// more than once and before Start.
+func (e *Engine) CloseIntake() {
+	e.intakeMu.Lock()
+	e.closed = true
+	e.intakeMu.Unlock()
+	e.signal()
+}
+
+// Stop aborts the run without finishing outstanding work. Wait returns
+// ErrStopped unless the run already ended.
+func (e *Engine) Stop() {
+	e.once.Do(func() { close(e.stop) })
+	e.signal()
+}
+
+// Done closes when the run loop has exited.
+func (e *Engine) Done() <-chan struct{} { return e.done }
+
+// Wait blocks until the run ends and returns its error, if any.
+func (e *Engine) Wait() error {
+	<-e.done
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.runErr
+}
+
+// Result returns the final metrics; valid only after Done.
+func (e *Engine) Result() (*sim.Metrics, error) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.metrics, e.runErr
+}
+
+// SetFaults swaps the per-attempt fault plan (failures, stragglers) at
+// runtime; nil disables injection. Outage windows go through InjectOutage.
+func (e *Engine) SetFaults(fi sim.FaultInjector) { e.sw.Set(fi) }
+
+// InjectOutage schedules a resource outage window starting no earlier than
+// the current simulated time.
+func (e *Engine) InjectOutage(res int, downAt, upAt int64) error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if now := e.sim.Now(); downAt < now {
+		upAt += now - downAt
+		downAt = now
+	}
+	if err := e.sim.InjectOutage(res, downAt, upAt); err != nil {
+		return err
+	}
+	e.signal()
+	return nil
+}
+
+// signal nudges the run loop without blocking.
+func (e *Engine) signal() {
+	select {
+	case e.wake <- struct{}{}:
+	default:
+	}
+}
+
+// loop is the run loop: inject intake, step the simulator, pace against
+// the wall clock when configured, drain and finish once the intake closes.
+func (e *Engine) loop() {
+	defer close(e.done)
+	drained := false
+	for {
+		select {
+		case <-e.stop:
+			e.end(nil, ErrStopped)
+			return
+		default:
+		}
+		e.drainIntake()
+		next, pending := e.peek()
+		if !pending {
+			if e.intakePending() {
+				continue // raced: a submission landed after drainIntake
+			}
+			if e.intakeClosed() {
+				if !drained && e.drainManager() {
+					drained = true
+					continue
+				}
+				e.finish()
+				return
+			}
+			e.sleep(0)
+			continue
+		}
+		if e.cfg.Mode == Wall {
+			if now := e.NowMS(); next > now {
+				d := time.Duration(float64(next-now) / e.cfg.Speedup * float64(time.Millisecond))
+				if d < time.Millisecond {
+					d = time.Millisecond // sleep(<=0) would wait indefinitely
+				}
+				e.sleep(d)
+				continue
+			}
+		}
+		e.mu.Lock()
+		_, err := e.sim.Step()
+		e.simNow.Store(e.sim.Now())
+		e.mu.Unlock()
+		if err != nil {
+			e.end(nil, err)
+			return
+		}
+	}
+}
+
+// drainIntake moves queued submissions into the simulator. The batch is
+// stable-sorted by effective arrival so a pre-Start submission stream
+// reproduces sim.New's arrival ordering exactly.
+func (e *Engine) drainIntake() {
+	e.intakeMu.Lock()
+	batch := e.intake
+	e.intake = nil
+	e.intakeMu.Unlock()
+	if len(batch) == 0 {
+		return
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	now := e.sim.Now()
+	for _, j := range batch {
+		if j.Arrival < now {
+			j.Arrival = now
+			if j.EarliestStart < now {
+				j.EarliestStart = now
+			}
+		}
+	}
+	sort.SliceStable(batch, func(a, b int) bool { return batch[a].Arrival < batch[b].Arrival })
+	for _, j := range batch {
+		if err := e.sim.AddJob(j); err != nil {
+			e.intakeMu.Lock()
+			if entry, ok := e.entries[j.ID]; ok {
+				entry.injectErr = err
+			}
+			e.intakeMu.Unlock()
+		}
+	}
+}
+
+// peek reports the next event's timestamp under the simulator lock.
+func (e *Engine) peek() (int64, bool) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.sim.NextEventAt()
+}
+
+func (e *Engine) intakePending() bool {
+	e.intakeMu.Lock()
+	defer e.intakeMu.Unlock()
+	return len(e.intake) > 0
+}
+
+func (e *Engine) intakeClosed() bool {
+	e.intakeMu.Lock()
+	defer e.intakeMu.Unlock()
+	return e.closed
+}
+
+// drainManager force-admits jobs the manager still holds parked (deferred
+// or batched) after the event queue ran dry; it reports whether a drain
+// was actually needed so the loop retries stepping once. In practice
+// parked jobs keep timers queued, so this is a shutdown safety net.
+func (e *Engine) drainManager() bool {
+	type drainer interface {
+		Drain(sim.Context) error
+		Outstanding() int
+	}
+	d, ok := e.rm.(drainer)
+	if !ok {
+		return false
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if d.Outstanding() == 0 {
+		return false
+	}
+	if err := d.Drain(e.sim); err != nil {
+		e.runErr = err
+		return false
+	}
+	return true
+}
+
+// sleep waits for a wake-up, a stop, or (when d > 0) the timeout.
+func (e *Engine) sleep(d time.Duration) {
+	if d <= 0 {
+		select {
+		case <-e.wake:
+		case <-e.stop:
+		}
+		return
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-e.wake:
+	case <-e.stop:
+	case <-t.C:
+	}
+}
+
+func (e *Engine) finish() {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.runErr != nil {
+		return // a drain error already ended the run
+	}
+	m, err := e.sim.Finish()
+	e.metrics, e.runErr = m, err
+}
+
+func (e *Engine) end(m *sim.Metrics, err error) {
+	e.mu.Lock()
+	e.metrics, e.runErr = m, err
+	e.mu.Unlock()
+}
+
+// --- Queries ---
+
+// JobState is the lifecycle state reported for a submission.
+type JobState string
+
+const (
+	StateRejected  JobState = "rejected"
+	StateQueued    JobState = "queued"
+	StateScheduled JobState = "scheduled"
+	StateRunning   JobState = "running"
+	StateCompleted JobState = "completed"
+	StateAbandoned JobState = "abandoned"
+)
+
+// TaskPlacement is one task's planned or actual placement.
+type TaskPlacement struct {
+	Task     string `json:"task"`
+	JobID    int    `json:"jobId"`
+	Type     string `json:"type"`
+	Resource int    `json:"resource"`
+	StartMS  int64  `json:"startMs"`
+	EndMS    int64  `json:"endMs"`
+	Started  bool   `json:"started"`
+	Done     bool   `json:"done"`
+}
+
+// JobStatus is the queryable view of one submission.
+type JobStatus struct {
+	ID    int      `json:"id"`
+	State JobState `json:"state"`
+	// Reason explains a rejection (admission check or injection failure).
+	Reason          string `json:"reason,omitempty"`
+	ArrivalMS       int64  `json:"arrivalMs"`
+	EarliestStartMS int64  `json:"earliestStartMs"`
+	DeadlineMS      int64  `json:"deadlineMs"`
+	MapTasks        int    `json:"mapTasks"`
+	ReduceTasks     int    `json:"reduceTasks"`
+	CompletedTasks  int    `json:"completedTasks"`
+	// CompletionMS is set once the job finished; Late reports whether it
+	// missed its deadline.
+	CompletionMS int64 `json:"completionMs,omitempty"`
+	Late         bool  `json:"late"`
+	// PredictedEndMS is the latest end over the job's current placements
+	// (0 while any task is unplaced); PredictedLateMS is how far that
+	// overshoots the deadline (0 when on time or unknown).
+	PredictedEndMS  int64           `json:"predictedEndMs,omitempty"`
+	PredictedLateMS int64           `json:"predictedLateMs,omitempty"`
+	Placements      []TaskPlacement `json:"placements,omitempty"`
+}
+
+// Job returns the status of one submission, with per-task placements.
+func (e *Engine) Job(id int) (JobStatus, bool) {
+	e.intakeMu.Lock()
+	entry, ok := e.entries[id]
+	e.intakeMu.Unlock()
+	if !ok {
+		return JobStatus{}, false
+	}
+	return e.status(entry, true), true
+}
+
+// Jobs returns the status of every submission in ID order, without
+// placements.
+func (e *Engine) Jobs() []JobStatus {
+	e.intakeMu.Lock()
+	ids := append([]int(nil), e.order...)
+	entries := make([]*jobEntry, len(ids))
+	for i, id := range ids {
+		entries[i] = e.entries[id]
+	}
+	e.intakeMu.Unlock()
+	out := make([]JobStatus, len(entries))
+	for i, entry := range entries {
+		out[i] = e.status(entry, false)
+	}
+	return out
+}
+
+func (e *Engine) status(entry *jobEntry, withPlacements bool) JobStatus {
+	if entry.rejected != nil {
+		return JobStatus{ID: entry.id, State: StateRejected, Reason: entry.rejected.Error(),
+			DeadlineMS: entry.rejected.Deadline}
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	j := entry.job
+	st := JobStatus{
+		ID:              entry.id,
+		ArrivalMS:       j.Arrival,
+		EarliestStartMS: j.EarliestStart,
+		DeadlineMS:      j.Deadline,
+		MapTasks:        len(j.MapTasks),
+		ReduceTasks:     len(j.ReduceTasks),
+	}
+	if entry.injectErr != nil {
+		st.State = StateRejected
+		st.Reason = entry.injectErr.Error()
+		return st
+	}
+	var (
+		anyStarted bool
+		allPlaced  = true
+		end        int64
+	)
+	for _, t := range j.Tasks() {
+		res, start, placed := e.sim.Placement(t)
+		switch {
+		case e.sim.Completed(t):
+			st.CompletedTasks++
+		case e.sim.Started(t):
+			anyStarted = true
+		}
+		if !placed {
+			allPlaced = false
+		} else if tEnd := start + e.sim.RunningExec(t); tEnd > end {
+			end = tEnd
+		}
+		if withPlacements && placed {
+			st.Placements = append(st.Placements, TaskPlacement{
+				Task: t.ID, JobID: j.ID, Type: t.Type.String(), Resource: res,
+				StartMS: start, EndMS: start + e.sim.RunningExec(t),
+				Started: e.sim.Started(t), Done: e.sim.Completed(t),
+			})
+		}
+	}
+	switch {
+	case e.sim.Abandoned(j):
+		st.State = StateAbandoned
+	default:
+		if at, done := e.sim.JobDone(j); done {
+			st.State = StateCompleted
+			st.CompletionMS = at
+			st.Late = at > j.Deadline
+			return st
+		}
+		switch {
+		case anyStarted || st.CompletedTasks > 0:
+			st.State = StateRunning
+		case allPlaced:
+			st.State = StateScheduled
+		default:
+			st.State = StateQueued
+		}
+		if allPlaced {
+			st.PredictedEndMS = end
+			if end > j.Deadline {
+				st.PredictedLateMS = end - j.Deadline
+			}
+		}
+	}
+	return st
+}
+
+// Schedule returns the current placement plan: every placed, not-yet-
+// completed task, ordered by start time then task ID.
+func (e *Engine) Schedule() []TaskPlacement {
+	e.intakeMu.Lock()
+	entries := make([]*jobEntry, 0, len(e.order))
+	for _, id := range e.order {
+		entries = append(entries, e.entries[id])
+	}
+	e.intakeMu.Unlock()
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	var out []TaskPlacement
+	for _, entry := range entries {
+		if entry.job == nil {
+			continue
+		}
+		for _, t := range entry.job.Tasks() {
+			res, start, placed := e.sim.Placement(t)
+			if !placed || e.sim.Completed(t) {
+				continue
+			}
+			out = append(out, TaskPlacement{
+				Task: t.ID, JobID: entry.job.ID, Type: t.Type.String(), Resource: res,
+				StartMS: start, EndMS: start + e.sim.RunningExec(t),
+				Started: e.sim.Started(t),
+			})
+		}
+	}
+	sort.Slice(out, func(a, b int) bool {
+		if out[a].StartMS != out[b].StartMS {
+			return out[a].StartMS < out[b].StartMS
+		}
+		return out[a].Task < out[b].Task
+	})
+	return out
+}
+
+// Snapshot is the engine-wide metrics view behind GET /v1/metrics.
+type Snapshot struct {
+	Mode      string `json:"mode"`
+	SimTimeMS int64  `json:"simTimeMs"`
+	Running   bool   `json:"running"`
+	Finished  bool   `json:"finished"`
+	Closed    bool   `json:"closed"`
+
+	Submitted int `json:"submitted"`
+	Rejected  int `json:"rejected"`
+
+	JobsArrived   int `json:"jobsArrived"`
+	JobsCompleted int `json:"jobsCompleted"`
+	LateJobs      int `json:"lateJobs"`
+	JobsAbandoned int `json:"jobsAbandoned"`
+	Outstanding   int `json:"outstanding"`
+
+	TasksFailed int `json:"tasksFailed,omitempty"`
+	TasksKilled int `json:"tasksKilled,omitempty"`
+	Outages     int `json:"outages,omitempty"`
+
+	Manager *core.Stats `json:"manager,omitempty"`
+
+	Counters map[string]int64 `json:"counters,omitempty"`
+	Gauges   map[string]int64 `json:"gauges,omitempty"`
+}
+
+// Metrics returns the current engine-wide snapshot; safe mid-run.
+func (e *Engine) Metrics() Snapshot {
+	e.intakeMu.Lock()
+	snap := Snapshot{
+		Mode:      e.cfg.Mode.String(),
+		Submitted: e.nextID,
+		Rejected:  e.rejects,
+		Running:   e.started,
+		Closed:    e.closed,
+	}
+	e.intakeMu.Unlock()
+	select {
+	case <-e.done:
+		snap.Finished = true
+		snap.Running = false
+	default:
+	}
+	e.mu.Lock()
+	m := e.sim.CurrentMetrics()
+	snap.SimTimeMS = e.sim.Now()
+	snap.Outstanding = e.sim.OutstandingJobs()
+	if st, ok := e.rm.(interface{ Stats() core.Stats }); ok {
+		stats := st.Stats()
+		snap.Manager = &stats
+	}
+	e.mu.Unlock()
+	snap.JobsArrived = m.JobsArrived
+	snap.JobsCompleted = m.JobsCompleted
+	snap.LateJobs = m.LateJobs
+	snap.JobsAbandoned = m.JobsAbandoned
+	snap.TasksFailed = m.TasksFailed
+	snap.TasksKilled = m.TasksKilled
+	snap.Outages = m.Outages
+	snap.Counters, snap.Gauges = e.cfg.Telemetry.Snapshot()
+	return snap
+}
+
+// String implements fmt.Stringer for logs.
+func (e *Engine) String() string {
+	return fmt.Sprintf("service.Engine(%s, %s)", e.rm.Name(), e.cfg.Mode)
+}

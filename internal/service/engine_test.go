@@ -1,0 +1,291 @@
+package service
+
+import (
+	"bytes"
+	"errors"
+	"sync"
+	"testing"
+	"time"
+
+	"mrcprm/internal/core"
+	"mrcprm/internal/sim"
+	"mrcprm/internal/stats"
+	"mrcprm/internal/trace"
+	"mrcprm/internal/workload"
+)
+
+// deterministicCfg disables the wall-clock solve budget so runs are a pure
+// function of the seed (same settings as the core and sim determinism
+// tests).
+func deterministicCfg() core.Config {
+	cfg := core.DefaultConfig()
+	cfg.SolveTimeLimit = 0
+	cfg.NodeLimit = 50_000
+	cfg.Workers = 1
+	return cfg
+}
+
+// TestVirtualRunMatchesSim is the golden determinism contract: a
+// virtual-clock engine run over a submitted job stream produces a
+// byte-identical executed schedule — and identical metrics fingerprints —
+// to a plain sim.New+Run over the same jobs.
+func TestVirtualRunMatchesSim(t *testing.T) {
+	wcfg := workload.DefaultSynthetic()
+	wcfg.NumResources = 10
+	jobs, err := wcfg.Generate(20, stats.NewStream(5, 6))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cluster := sim.Cluster{NumResources: 10, MapSlots: 2, ReduceSlots: 2}
+
+	ref := trace.NewRecorder()
+	s, err := sim.New(cluster, core.New(cluster, deterministicCfg()), jobs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.SetObserver(ref)
+	refM, err := s.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	rec := trace.NewRecorder()
+	e, err := New(Config{Cluster: cluster, Manager: deterministicCfg(), Observer: rec})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, j := range jobs {
+		id, err := e.Submit(workload.SpecOf(j))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if id != j.ID {
+			t.Fatalf("engine assigned id %d to job %d", id, j.ID)
+		}
+	}
+	if err := e.Start(); err != nil {
+		t.Fatal(err)
+	}
+	e.CloseIntake()
+	if err := e.Wait(); err != nil {
+		t.Fatal(err)
+	}
+	m, _ := e.Result()
+
+	var want, got bytes.Buffer
+	if err := ref.WriteCSV(&want); err != nil {
+		t.Fatal(err)
+	}
+	if err := rec.WriteCSV(&got); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(want.Bytes(), got.Bytes()) {
+		t.Fatalf("executed schedules differ: %d vs %d trace bytes", want.Len(), got.Len())
+	}
+	if m.LateJobs != refM.LateJobs {
+		t.Fatalf("late jobs %d, want %d", m.LateJobs, refM.LateJobs)
+	}
+	if m.Fingerprint() != refM.Fingerprint() {
+		t.Fatalf("metrics fingerprints differ: %x vs %x", m.Fingerprint(), refM.Fingerprint())
+	}
+}
+
+// TestConcurrentSubmissions exercises the intake path under the race
+// detector: submissions and status queries land from several goroutines
+// while the run loop is stepping (and solving) concurrently.
+func TestConcurrentSubmissions(t *testing.T) {
+	cluster := sim.Cluster{NumResources: 4, MapSlots: 2, ReduceSlots: 2}
+	cfg := deterministicCfg()
+	cfg.BatchWindow = 2 * time.Second
+	cfg.BatchMaxPending = 8
+	e, err := New(Config{Cluster: cluster, Manager: cfg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Start(); err != nil {
+		t.Fatal(err)
+	}
+	const goroutines, perG = 4, 10
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < perG; i++ {
+				spec := workload.JobSpec{
+					DeadlineMS:   3_600_000,
+					MapExecMS:    []int64{1000, 2000},
+					ReduceExecMS: []int64{1500},
+				}
+				if _, err := e.Submit(spec); err != nil {
+					t.Error(err)
+					return
+				}
+				if i%3 == 0 {
+					e.Metrics()
+					e.Jobs()
+					e.Schedule()
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	e.CloseIntake()
+	if err := e.Wait(); err != nil {
+		t.Fatal(err)
+	}
+	m, _ := e.Result()
+	total := goroutines * perG
+	if m.JobsArrived != total || m.JobsCompleted != total {
+		t.Fatalf("arrived %d completed %d, want %d both", m.JobsArrived, m.JobsCompleted, total)
+	}
+	for _, st := range e.Jobs() {
+		if st.State != StateCompleted {
+			t.Fatalf("job %d ended in state %s", st.ID, st.State)
+		}
+	}
+}
+
+func TestAdmissionControl(t *testing.T) {
+	cluster := sim.Cluster{NumResources: 1, MapSlots: 1, ReduceSlots: 1}
+	e, err := New(Config{Cluster: cluster, Manager: deterministicCfg(), Admission: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	id, err := e.Submit(workload.JobSpec{DeadlineMS: 1000, MapExecMS: []int64{5000}})
+	var ae *core.AdmissionError
+	if !errors.As(err, &ae) {
+		t.Fatalf("infeasible job accepted (err %v)", err)
+	}
+	st, ok := e.Job(id)
+	if !ok || st.State != StateRejected || st.Reason == "" {
+		t.Fatalf("rejected job status %+v", st)
+	}
+	id2, err := e.Submit(workload.JobSpec{DeadlineMS: 60_000, MapExecMS: []int64{5000}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Start(); err != nil {
+		t.Fatal(err)
+	}
+	e.CloseIntake()
+	if err := e.Wait(); err != nil {
+		t.Fatal(err)
+	}
+	st2, _ := e.Job(id2)
+	if st2.State != StateCompleted || st2.Late {
+		t.Fatalf("feasible job ended %+v", st2)
+	}
+	snap := e.Metrics()
+	if snap.Submitted != 2 || snap.Rejected != 1 || snap.JobsCompleted != 1 {
+		t.Fatalf("snapshot %+v", snap)
+	}
+}
+
+// TestWallClockMode runs a tiny stream against the wall clock at high
+// speedup; the daemon path must complete it and stamp submission-time
+// arrivals.
+func TestWallClockMode(t *testing.T) {
+	cluster := sim.Cluster{NumResources: 2, MapSlots: 2, ReduceSlots: 2}
+	e, err := New(Config{Cluster: cluster, Manager: deterministicCfg(), Mode: Wall, Speedup: 500})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Start(); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		// The client-supplied arrival must be replaced with the submission
+		// time, and the SLA window (here 1h after arrival) shifted with it.
+		spec := workload.JobSpec{
+			ArrivalMS:    999_999_999,
+			DeadlineMS:   999_999_999 + 3_600_000,
+			MapExecMS:    []int64{400, 400},
+			ReduceExecMS: []int64{200},
+		}
+		if _, err := e.Submit(spec); err != nil {
+			t.Fatal(err)
+		}
+	}
+	e.CloseIntake()
+	select {
+	case <-e.Done():
+	case <-time.After(30 * time.Second):
+		t.Fatal("wall-clock run did not finish")
+	}
+	if err := e.Wait(); err != nil {
+		t.Fatal(err)
+	}
+	m, _ := e.Result()
+	if m.JobsCompleted != 3 {
+		t.Fatalf("completed %d jobs, want 3", m.JobsCompleted)
+	}
+	for _, st := range e.Jobs() {
+		if st.ArrivalMS >= 999_999_999 {
+			t.Fatalf("job %d kept its client-supplied arrival %d", st.ID, st.ArrivalMS)
+		}
+		if got := st.DeadlineMS - st.ArrivalMS; got != 3_600_000 {
+			t.Fatalf("job %d SLA window %dms after restamp, want 3600000", st.ID, got)
+		}
+	}
+}
+
+func TestStopAborts(t *testing.T) {
+	cluster := sim.Cluster{NumResources: 2, MapSlots: 2, ReduceSlots: 2}
+	e, err := New(Config{Cluster: cluster, Manager: deterministicCfg(), Mode: Wall, Speedup: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Start(); err != nil {
+		t.Fatal(err)
+	}
+	// At speedup 1 this job takes minutes of wall time; Stop must abort it.
+	if _, err := e.Submit(workload.JobSpec{DeadlineMS: 3_600_000, MapExecMS: []int64{600_000}}); err != nil {
+		t.Fatal(err)
+	}
+	e.Stop()
+	select {
+	case <-e.Done():
+	case <-time.After(10 * time.Second):
+		t.Fatal("Stop did not end the run")
+	}
+	if err := e.Wait(); !errors.Is(err, ErrStopped) {
+		t.Fatalf("run error %v, want ErrStopped", err)
+	}
+}
+
+func TestSubmitAfterClose(t *testing.T) {
+	cluster := sim.Cluster{NumResources: 1, MapSlots: 1, ReduceSlots: 1}
+	e, err := New(Config{Cluster: cluster, Manager: deterministicCfg()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	e.CloseIntake()
+	if _, err := e.Submit(workload.JobSpec{DeadlineMS: 10_000, MapExecMS: []int64{100}}); !errors.Is(err, ErrClosed) {
+		t.Fatalf("submit after close returned %v, want ErrClosed", err)
+	}
+	if err := e.Start(); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Wait(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDoubleStart(t *testing.T) {
+	cluster := sim.Cluster{NumResources: 1, MapSlots: 1, ReduceSlots: 1}
+	e, err := New(Config{Cluster: cluster, Manager: deterministicCfg()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Start(); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Start(); !errors.Is(err, ErrRunning) {
+		t.Fatalf("second Start returned %v, want ErrRunning", err)
+	}
+	e.CloseIntake()
+	if err := e.Wait(); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,211 @@
+package service
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strconv"
+
+	"mrcprm/internal/core"
+	"mrcprm/internal/faults"
+	"mrcprm/internal/workload"
+)
+
+// NewHandler exposes the engine over HTTP/JSON:
+//
+//	POST /v1/jobs          submit a workload.JobSpec; 202 {"id":N}
+//	GET  /v1/jobs          every submission's status (no placements)
+//	GET  /v1/jobs/{id}     one submission, with placements and predicted
+//	                       lateness
+//	GET  /v1/schedule      the current placement plan
+//	GET  /v1/metrics       engine + manager + telemetry counters
+//	POST /v1/admin/faults  swap the fault plan or inject an outage
+//	POST /v1/admin/run     start the run loop (virtual mode);
+//	                       {"close":true} also closes the intake
+//	GET  /healthz          liveness + run state
+//
+// Error bodies are {"error":"..."}: 400 malformed, 404 unknown job, 409
+// double start, 422 admission rejection, 503 intake closed.
+func NewHandler(e *Engine) http.Handler {
+	s := &server{e: e}
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /healthz", s.healthz)
+	mux.HandleFunc("POST /v1/jobs", s.submit)
+	mux.HandleFunc("GET /v1/jobs", s.listJobs)
+	mux.HandleFunc("GET /v1/jobs/{id}", s.getJob)
+	mux.HandleFunc("GET /v1/schedule", s.schedule)
+	mux.HandleFunc("GET /v1/metrics", s.metrics)
+	mux.HandleFunc("POST /v1/admin/faults", s.faults)
+	mux.HandleFunc("POST /v1/admin/run", s.run)
+	return mux
+}
+
+type server struct{ e *Engine }
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetEscapeHTML(false)
+	_ = enc.Encode(v)
+}
+
+func writeError(w http.ResponseWriter, status int, err error) {
+	writeJSON(w, status, map[string]string{"error": err.Error()})
+}
+
+func (s *server) healthz(w http.ResponseWriter, r *http.Request) {
+	snap := s.e.Metrics()
+	writeJSON(w, http.StatusOK, map[string]any{
+		"status":   "ok",
+		"mode":     snap.Mode,
+		"running":  snap.Running,
+		"finished": snap.Finished,
+		"closed":   snap.Closed,
+	})
+}
+
+func (s *server) submit(w http.ResponseWriter, r *http.Request) {
+	var spec workload.JobSpec
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&spec); err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("parsing job spec: %w", err))
+		return
+	}
+	id, err := s.e.Submit(spec)
+	switch {
+	case errors.Is(err, ErrClosed):
+		writeError(w, http.StatusServiceUnavailable, err)
+	case err != nil:
+		var ae *core.AdmissionError
+		if errors.As(err, &ae) {
+			writeJSON(w, http.StatusUnprocessableEntity,
+				map[string]any{"id": id, "state": StateRejected, "error": err.Error()})
+			return
+		}
+		writeError(w, http.StatusBadRequest, err)
+	default:
+		writeJSON(w, http.StatusAccepted, map[string]any{"id": id, "state": StateQueued})
+	}
+}
+
+func (s *server) listJobs(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.e.Jobs())
+}
+
+func (s *server) getJob(w http.ResponseWriter, r *http.Request) {
+	id, err := strconv.Atoi(r.PathValue("id"))
+	if err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("bad job id %q", r.PathValue("id")))
+		return
+	}
+	st, ok := s.e.Job(id)
+	if !ok {
+		writeError(w, http.StatusNotFound, fmt.Errorf("no job %d", id))
+		return
+	}
+	writeJSON(w, http.StatusOK, st)
+}
+
+func (s *server) schedule(w http.ResponseWriter, r *http.Request) {
+	ps := s.e.Schedule()
+	if ps == nil {
+		ps = []TaskPlacement{}
+	}
+	writeJSON(w, http.StatusOK, ps)
+}
+
+func (s *server) metrics(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.e.Metrics())
+}
+
+// faultRequest is the body of POST /v1/admin/faults. With DurationMS > 0 it
+// injects one outage window; otherwise it swaps the per-attempt fault plan
+// (all-zero probabilities disable injection).
+type faultRequest struct {
+	// Per-attempt plan.
+	FailRate      float64 `json:"failRate"`
+	StragglerProb float64 `json:"stragglerProb"`
+	Seed          uint64  `json:"seed"`
+	// Outage window.
+	Resource   int   `json:"resource"`
+	DelayMS    int64 `json:"delayMs"`
+	DurationMS int64 `json:"durationMs"`
+}
+
+func (s *server) faults(w http.ResponseWriter, r *http.Request) {
+	var req faultRequest
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("parsing fault request: %w", err))
+		return
+	}
+	if req.DurationMS > 0 {
+		at := s.e.NowMS() + req.DelayMS
+		if err := s.e.InjectOutage(req.Resource, at, at+req.DurationMS); err != nil {
+			writeError(w, http.StatusBadRequest, err)
+			return
+		}
+		writeJSON(w, http.StatusOK, map[string]any{
+			"injected": "outage", "resource": req.Resource,
+			"downAtMs": at, "upAtMs": at + req.DurationMS,
+		})
+		return
+	}
+	if req.FailRate == 0 && req.StragglerProb == 0 {
+		s.e.SetFaults(nil)
+		writeJSON(w, http.StatusOK, map[string]any{"injected": "none"})
+		return
+	}
+	seed := req.Seed
+	if seed == 0 {
+		seed = 1
+	}
+	plan, err := faults.New(faults.Config{
+		TaskFailureProb: req.FailRate,
+		StragglerProb:   req.StragglerProb,
+		Seed1:           seed,
+		Seed2:           0xfa17,
+	})
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	s.e.SetFaults(plan)
+	writeJSON(w, http.StatusOK, map[string]any{
+		"injected": "attempts", "failRate": req.FailRate, "stragglerProb": req.StragglerProb,
+	})
+}
+
+// runRequest is the body of POST /v1/admin/run.
+type runRequest struct {
+	// Close also closes the intake, so the run ends once the submitted
+	// stream completes (the loadgen virtual-replay flow).
+	Close bool `json:"close"`
+}
+
+func (s *server) run(w http.ResponseWriter, r *http.Request) {
+	var req runRequest
+	if r.ContentLength != 0 {
+		dec := json.NewDecoder(r.Body)
+		dec.DisallowUnknownFields()
+		if err := dec.Decode(&req); err != nil {
+			writeError(w, http.StatusBadRequest, fmt.Errorf("parsing run request: %w", err))
+			return
+		}
+	}
+	err := s.e.Start()
+	if err != nil && !req.Close {
+		writeError(w, http.StatusConflict, err)
+		return
+	}
+	if req.Close {
+		s.e.CloseIntake()
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"started": err == nil, "closed": req.Close,
+	})
+}

@@ -118,6 +118,15 @@ type Simulator struct {
 	down      []bool
 	downSince []int64
 	abandoned map[*workload.Job]bool
+
+	// Stepped-execution state (the clock abstraction used by the online
+	// service): started flips on the first Step, completedAt records job
+	// completion instants for mid-run status queries, and outageUntil[r]
+	// tracks the latest known outage end so runtime injection can reject
+	// overlapping windows.
+	started     bool
+	completedAt map[*workload.Job]int64
+	outageUntil []int64
 }
 
 // Observer receives task lifecycle notifications; see internal/trace for a
@@ -218,6 +227,8 @@ func New(cluster Cluster, rm ResourceManager, jobs []*workload.Job) (*Simulator,
 		down:        make([]bool, cluster.NumResources),
 		downSince:   make([]int64, cluster.NumResources),
 		abandoned:   make(map[*workload.Job]bool),
+		completedAt: make(map[*workload.Job]int64),
+		outageUntil: make([]int64, cluster.NumResources),
 	}
 	for r := range s.activeSince {
 		s.activeSince[r] = -1
@@ -245,55 +256,104 @@ func New(cluster Cluster, rm ResourceManager, jobs []*workload.Job) (*Simulator,
 	return s, nil
 }
 
-// Run executes the simulation to completion and returns the metrics.
+// Run executes the simulation to completion and returns the metrics. It is
+// equivalent to draining Step and calling Finish; external drivers (the
+// online service) use those directly and own the pacing.
 func (s *Simulator) Run() (*Metrics, error) {
-	if s.injector != nil {
-		for _, o := range s.injector.PlannedOutages() {
-			s.queue.push(event{at: o.DownAt, kind: evResourceDown, res: o.Resource})
-			s.queue.push(event{at: o.UpAt, kind: evResourceUp, res: o.Resource})
-		}
-	}
 	for {
-		ev, ok := s.queue.pop()
-		if !ok {
-			break
-		}
-		if ev.at < s.clock {
-			return nil, fmt.Errorf("sim: time ran backwards (%d -> %d)", s.clock, ev.at)
-		}
-		if s.tel.Enabled() && ev.at >= s.nextSample {
-			// One sample per crossing, stamped at the first crossed
-			// boundary; long idle gaps yield one sample, not thousands.
-			s.emitSample(s.nextSample)
-			s.nextSample += s.sampleMS * ((ev.at-s.nextSample)/s.sampleMS + 1)
-		}
-		s.clock = ev.at
-		var err error
-		switch ev.kind {
-		case evJobArrival:
-			j := s.jobs[ev.jobIdx]
-			s.metrics.JobsArrived++
-			err = s.rm.OnJobArrival(s, j)
-		case evTimer:
-			if s.timers[ev.at] {
-				delete(s.timers, ev.at)
-				err = s.rm.OnTimer(s)
-			}
-		case evTaskStart:
-			err = s.handleTaskStart(ev)
-		case evTaskFinish:
-			err = s.handleTaskFinish(ev)
-		case evTaskFail:
-			err = s.handleTaskFail(ev)
-		case evResourceDown:
-			err = s.handleResourceDown(ev)
-		case evResourceUp:
-			err = s.handleResourceUp(ev)
-		}
+		more, err := s.Step()
 		if err != nil {
 			return nil, err
 		}
+		if !more {
+			break
+		}
 	}
+	return s.Finish()
+}
+
+// start performs the once-per-run setup deferred until the first event is
+// processed: planned outage windows enter the event queue here so jobs added
+// online (AddJob) before execution begins keep the same queue ordering as a
+// pre-loaded run.
+func (s *Simulator) start() {
+	s.started = true
+	if s.injector == nil {
+		return
+	}
+	for _, o := range s.injector.PlannedOutages() {
+		s.queue.push(event{at: o.DownAt, kind: evResourceDown, res: o.Resource})
+		s.queue.push(event{at: o.UpAt, kind: evResourceUp, res: o.Resource})
+		if o.UpAt > s.outageUntil[o.Resource] {
+			s.outageUntil[o.Resource] = o.UpAt
+		}
+	}
+}
+
+// Step processes the next pending event and reports whether any events
+// remain. It is the unit of the clock abstraction: Run calls it in a tight
+// loop (virtual time), while the online service paces calls against a wall
+// clock and interleaves job injection between them.
+func (s *Simulator) Step() (bool, error) {
+	if !s.started {
+		s.start()
+	}
+	ev, ok := s.queue.pop()
+	if !ok {
+		return false, nil
+	}
+	if ev.at < s.clock {
+		return false, fmt.Errorf("sim: time ran backwards (%d -> %d)", s.clock, ev.at)
+	}
+	if s.tel.Enabled() && ev.at >= s.nextSample {
+		// One sample per crossing, stamped at the first crossed
+		// boundary; long idle gaps yield one sample, not thousands.
+		s.emitSample(s.nextSample)
+		s.nextSample += s.sampleMS * ((ev.at-s.nextSample)/s.sampleMS + 1)
+	}
+	s.clock = ev.at
+	var err error
+	switch ev.kind {
+	case evJobArrival:
+		j := s.jobs[ev.jobIdx]
+		s.metrics.JobsArrived++
+		err = s.rm.OnJobArrival(s, j)
+	case evTimer:
+		if s.timers[ev.at] {
+			delete(s.timers, ev.at)
+			err = s.rm.OnTimer(s)
+		}
+	case evTaskStart:
+		err = s.handleTaskStart(ev)
+	case evTaskFinish:
+		err = s.handleTaskFinish(ev)
+	case evTaskFail:
+		err = s.handleTaskFail(ev)
+	case evResourceDown:
+		err = s.handleResourceDown(ev)
+	case evResourceUp:
+		err = s.handleResourceUp(ev)
+	}
+	if err != nil {
+		return false, err
+	}
+	return !s.queue.empty(), nil
+}
+
+// NextEventAt returns the timestamp of the next pending event, or false when
+// the queue is empty. Wall-clock drivers use it to sleep until the event is
+// due.
+func (s *Simulator) NextEventAt() (int64, bool) {
+	if s.queue.empty() {
+		return 0, false
+	}
+	return s.queue.h[0].at, true
+}
+
+// Finish validates that every job completed (or was abandoned), emits the
+// final telemetry, and returns the metrics. Call it once, after Step reports
+// no events remain.
+func (s *Simulator) Finish() (*Metrics, error) {
 	for j, n := range s.pending {
 		if n > 0 && !s.abandoned[j] {
 			return nil, fmt.Errorf("sim: run ended with job %d incomplete (%d tasks left)", j.ID, n)
@@ -311,6 +371,92 @@ func (s *Simulator) Run() (*Metrics, error) {
 	}
 	return &s.metrics, nil
 }
+
+// AddJob injects a job into a running (or not-yet-started) simulation; its
+// arrival event fires at j.Arrival, which must not lie in the past. This is
+// the online-submission hook: a pre-loaded run and a run whose jobs are
+// added in the same (arrival-sorted) order before the first Step process
+// identical event sequences.
+func (s *Simulator) AddJob(j *workload.Job) error {
+	if err := j.Validate(); err != nil {
+		return err
+	}
+	if j.Arrival < s.clock {
+		return fmt.Errorf("sim: job %d arrival %d lies in the past (now %d)", j.ID, j.Arrival, s.clock)
+	}
+	for _, t := range j.Tasks() {
+		if _, dup := s.tasks[t]; dup {
+			return fmt.Errorf("sim: task %s already registered", t.ID)
+		}
+		if t.Type == workload.MapTask && t.Req > s.cluster.MapSlots {
+			return fmt.Errorf("sim: task %s demand %d exceeds per-resource map capacity %d",
+				t.ID, t.Req, s.cluster.MapSlots)
+		}
+		if t.Type == workload.ReduceTask && t.Req > s.cluster.ReduceSlots {
+			return fmt.Errorf("sim: task %s demand %d exceeds per-resource reduce capacity %d",
+				t.ID, t.Req, s.cluster.ReduceSlots)
+		}
+	}
+	s.jobs = append(s.jobs, j)
+	for _, t := range j.Tasks() {
+		st := &taskState{task: t, job: j, key: len(s.byKey), res: -1}
+		s.tasks[t] = st
+		s.byKey = append(s.byKey, st)
+	}
+	s.pending[j] = j.NumTasks()
+	s.queue.push(event{at: j.Arrival, kind: evJobArrival, jobIdx: len(s.jobs) - 1})
+	return nil
+}
+
+// InjectOutage schedules a resource outage window at runtime (the service's
+// fault-injection endpoint). The window must start now or later and must not
+// overlap any planned or previously injected outage on the resource.
+func (s *Simulator) InjectOutage(res int, downAt, upAt int64) error {
+	if res < 0 || res >= s.cluster.NumResources {
+		return fmt.Errorf("sim: outage on invalid resource %d", res)
+	}
+	if downAt < s.clock || upAt <= downAt {
+		return fmt.Errorf("sim: outage window [%d,%d) on resource %d is invalid at time %d",
+			downAt, upAt, res, s.clock)
+	}
+	if !s.started {
+		s.start() // materialize planned outages so overlap checks see them
+	}
+	if s.down[res] || downAt < s.outageUntil[res] {
+		return fmt.Errorf("sim: outage window [%d,%d) overlaps an existing outage on resource %d",
+			downAt, upAt, res)
+	}
+	s.outageUntil[res] = upAt
+	s.queue.push(event{at: downAt, kind: evResourceDown, res: res})
+	s.queue.push(event{at: upAt, kind: evResourceUp, res: res})
+	return nil
+}
+
+// JobDone returns the completion instant of a job, or false while it is
+// still outstanding (or was abandoned).
+func (s *Simulator) JobDone(j *workload.Job) (int64, bool) {
+	at, ok := s.completedAt[j]
+	return at, ok
+}
+
+// Abandoned reports whether the job was given up on.
+func (s *Simulator) Abandoned(j *workload.Job) bool { return s.abandoned[j] }
+
+// OutstandingJobs counts arrived jobs that are neither completed nor
+// abandoned plus jobs whose arrival events are still queued.
+func (s *Simulator) OutstandingJobs() int {
+	n := 0
+	for j, left := range s.pending {
+		if left > 0 && !s.abandoned[j] {
+			n++
+		}
+	}
+	return n
+}
+
+// CurrentMetrics returns a snapshot of the metrics accumulated so far;
+// unlike Finish it may be called mid-run and performs no validation.
+func (s *Simulator) CurrentMetrics() Metrics { return s.metrics }
 
 // emitSample records one point of the sim time-series at simulated time at.
 // The scan over task states is O(tasks) but runs only once per sample
@@ -550,6 +696,7 @@ func (s *Simulator) closeActiveWindow(res int) {
 }
 
 func (s *Simulator) completeJob(j *workload.Job) {
+	s.completedAt[j] = s.clock
 	s.metrics.JobsCompleted++
 	rec := JobRecord{Job: j, Completion: s.clock, Done: true}
 	if rec.Late() {

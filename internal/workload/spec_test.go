@@ -1,0 +1,61 @@
+package workload
+
+import (
+	"reflect"
+	"testing"
+
+	"mrcprm/internal/stats"
+)
+
+// TestSpecRoundTrip: generator output shipped through SpecOf and rebuilt in
+// submission order is identical to the original, task IDs included.
+func TestSpecRoundTrip(t *testing.T) {
+	cfg := DefaultSynthetic()
+	cfg.NumMapHi = 8
+	cfg.NumReduceHi = 4
+	jobs, err := cfg.Generate(10, stats.NewStream(11, 12))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, j := range jobs {
+		rebuilt, err := SpecOf(j).Job(j.ID)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rebuilt.Arrival != j.Arrival || rebuilt.EarliestStart != j.EarliestStart ||
+			rebuilt.Deadline != j.Deadline {
+			t.Fatalf("SLA changed: %+v vs %+v", rebuilt, j)
+		}
+		if rebuilt.NumTasks() != j.NumTasks() {
+			t.Fatalf("task count changed: %d vs %d", rebuilt.NumTasks(), j.NumTasks())
+		}
+		for i, orig := range j.Tasks() {
+			got := rebuilt.Tasks()[i]
+			if got.ID != orig.ID || got.Exec != orig.Exec || got.Type != orig.Type ||
+				got.Req != orig.Req || got.JobID != orig.JobID {
+				t.Fatalf("task %d changed: %+v vs %+v", i, got, orig)
+			}
+		}
+	}
+}
+
+func TestSpecValidation(t *testing.T) {
+	if _, err := (JobSpec{DeadlineMS: 10}).Job(0); err == nil {
+		t.Fatal("spec without map tasks accepted")
+	}
+	if _, err := (JobSpec{MapExecMS: []int64{0}, DeadlineMS: 10}).Job(0); err == nil {
+		t.Fatal("zero exec time accepted")
+	}
+	// Earliest start before arrival clamps instead of failing.
+	s := JobSpec{ArrivalMS: 100, EarliestStartMS: 50, DeadlineMS: 10_000, MapExecMS: []int64{100}}
+	j, err := s.Job(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if j.EarliestStart != 100 {
+		t.Fatalf("earliest start %d, want clamped to 100", j.EarliestStart)
+	}
+	if !reflect.DeepEqual(SpecOf(j).MapExecMS, []int64{100}) {
+		t.Fatal("round trip lost the map task")
+	}
+}

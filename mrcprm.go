@@ -27,6 +27,8 @@ package mrcprm
 
 import (
 	"io"
+	"net/http"
+
 	"mrcprm/internal/core"
 	"mrcprm/internal/cp"
 	"mrcprm/internal/experiment"
@@ -34,6 +36,7 @@ import (
 	"mrcprm/internal/fifo"
 	"mrcprm/internal/minedf"
 	"mrcprm/internal/obs"
+	"mrcprm/internal/service"
 	"mrcprm/internal/sim"
 	"mrcprm/internal/stats"
 	"mrcprm/internal/trace"
@@ -248,6 +251,58 @@ func SimulateInstrumented(cluster Cluster, rm ResourceManager, jobs []*Job,
 		tel.Flush()
 	}
 	return m, rec, err
+}
+
+// Online scheduling service (the engine behind cmd/mrcpd).
+type (
+	// ServiceConfig assembles an online scheduling engine.
+	ServiceConfig = service.Config
+	// ServiceEngine accepts an open stream of job submissions and drives a
+	// resource manager over the simulator in virtual or wall-clock time.
+	ServiceEngine = service.Engine
+	// ServiceMode selects virtual or wall-clock pacing.
+	ServiceMode = service.Mode
+	// ServiceJobStatus is the queryable view of one submission.
+	ServiceJobStatus = service.JobStatus
+	// ServiceSnapshot is the engine-wide metrics view.
+	ServiceSnapshot = service.Snapshot
+	// JobSpec is the wire representation of a job submission.
+	JobSpec = workload.JobSpec
+	// AdmissionError reports a provably infeasible submission.
+	AdmissionError = core.AdmissionError
+)
+
+// Service clock modes.
+const (
+	ServiceVirtual = service.Virtual
+	ServiceWall    = service.Wall
+)
+
+// Service engine sentinel errors.
+var (
+	// ErrServiceClosed means intake has been closed to new submissions.
+	ErrServiceClosed = service.ErrClosed
+	// ErrServiceRunning means Start was called on a running engine.
+	ErrServiceRunning = service.ErrRunning
+	// ErrServiceStopped means the run was aborted by Stop.
+	ErrServiceStopped = service.ErrStopped
+)
+
+// NewServiceEngine assembles an online scheduling engine; call Start to
+// launch its run loop.
+func NewServiceEngine(cfg ServiceConfig) (*ServiceEngine, error) { return service.New(cfg) }
+
+// NewServiceHandler exposes the engine over HTTP/JSON (the cmd/mrcpd API).
+func NewServiceHandler(e *ServiceEngine) http.Handler { return service.NewHandler(e) }
+
+// JobSpecOf captures a job as a submission spec for the service API.
+func JobSpecOf(j *Job) JobSpec { return workload.SpecOf(j) }
+
+// CheckAdmission is the service's fast lower-bound feasibility test: a
+// non-nil *AdmissionError means the job provably cannot meet its deadline
+// on the cluster even with every slot idle.
+func CheckAdmission(cluster Cluster, j *Job, now int64) error {
+	return core.CheckAdmission(cluster, j, now)
 }
 
 // Stream is a deterministic random number stream.
