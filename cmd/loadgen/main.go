@@ -16,7 +16,7 @@
 // accepted != completed + abandoned, which makes the summary line a CI
 // assertion:
 //
-//	loadgen: submitted=40 accepted=40 rejected=0 completed=40 late=2 abandoned=0
+//	loadgen: submitted=40 accepted=40 rejected=0 completed=40 late=2 abandoned=0 policy=mrcp
 //
 // Usage:
 //
@@ -120,8 +120,8 @@ func main() {
 		time.Sleep(200 * time.Millisecond)
 	}
 
-	fmt.Printf("loadgen: submitted=%d accepted=%d rejected=%d completed=%d late=%d abandoned=%d\n",
-		submitted, accepted, rejected, snap.JobsCompleted, snap.LateJobs, snap.JobsAbandoned)
+	fmt.Printf("loadgen: submitted=%d accepted=%d rejected=%d completed=%d late=%d abandoned=%d policy=%s\n",
+		submitted, accepted, rejected, snap.JobsCompleted, snap.LateJobs, snap.JobsAbandoned, snap.Policy)
 	if accepted != snap.JobsCompleted+snap.JobsAbandoned {
 		fmt.Fprintf(os.Stderr, "accounting mismatch: accepted %d but %d completed + %d abandoned\n",
 			accepted, snap.JobsCompleted, snap.JobsAbandoned)

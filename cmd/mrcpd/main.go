@@ -31,6 +31,7 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
@@ -47,7 +48,9 @@ func main() {
 		m       = flag.Int("m", 10, "number of resources")
 		cmp     = flag.Int64("cmp", 2, "map slots per resource")
 		crd     = flag.Int64("crd", 2, "reduce slots per resource")
-		rmName  = flag.String("rm", "mrcp", "resource manager: mrcp, minedf, or fifo")
+		rmName  = flag.String("rm", "mrcp",
+			"resource manager: "+strings.Join(mrcprm.PolicyNames(), ", "))
+		listPolicies = flag.Bool("listpolicies", false, "print registered policy names and exit")
 
 		admission    = flag.Bool("admission", true, "reject provably infeasible submissions")
 		batchWindow  = flag.Duration("batchwindow", 0, "coalesce arrivals for this long before solving (0 = solve per arrival)")
@@ -60,6 +63,11 @@ func main() {
 	common.Parse()
 	defer common.Close()
 
+	if *listPolicies {
+		fmt.Println(strings.Join(mrcprm.PolicyNames(), "\n"))
+		return
+	}
+
 	cluster := mrcprm.Cluster{NumResources: *m, MapSlots: *cmp, ReduceSlots: *crd}
 	mcfg := mrcprm.DefaultConfig()
 	mcfg.Workers = common.Workers
@@ -70,6 +78,7 @@ func main() {
 
 	cfg := mrcprm.ServiceConfig{
 		Cluster:           cluster,
+		Policy:            *rmName,
 		Manager:           mcfg,
 		Speedup:           *speedup,
 		Admission:         *admission,
@@ -85,22 +94,12 @@ func main() {
 		fmt.Fprintf(os.Stderr, "unknown mode %q\n", *mode)
 		os.Exit(2)
 	}
-	switch *rmName {
-	case "mrcp":
-		// service defaults to MRCP-RM
-	case "minedf":
-		cfg.RM = mrcprm.NewMinEDF(cluster)
-	case "fifo":
-		cfg.RM = mrcprm.NewFIFO(cluster)
-	default:
-		fmt.Fprintf(os.Stderr, "unknown resource manager %q\n", *rmName)
-		os.Exit(2)
-	}
 
 	engine, err := mrcprm.NewServiceEngine(cfg)
 	if err != nil {
+		// An unknown -rm name surfaces here, listing the registered policies.
 		fmt.Fprintln(os.Stderr, err)
-		os.Exit(1)
+		os.Exit(2)
 	}
 	if cfg.Mode == mrcprm.ServiceWall {
 		if err := engine.Start(); err != nil {

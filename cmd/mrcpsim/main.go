@@ -1,11 +1,12 @@
 // Command mrcpsim runs one open-system simulation: a workload (Table 3
-// synthetic or Table 4 Facebook) against a cluster under either MRCP-RM or
-// the MinEDF-WC baseline, and prints the paper's metrics.
+// synthetic or Table 4 Facebook) against a cluster under any registered
+// resource-management policy, and prints the paper's metrics.
 //
 // Usage:
 //
 //	mrcpsim                              # Table 3 defaults under MRCP-RM
 //	mrcpsim -rm minedf                   # same workload, baseline manager
+//	mrcpsim -rm edf                      # greedy deadline-ordered baseline
 //	mrcpsim -workload facebook -fbjobs 200 -lambda 0.0003
 //	mrcpsim -emax 100 -dul 2 -jobs 500 -v
 //	mrcpsim -failrate 0.05 -straggler 0.02 -mtbf 20000 -mttr 120
@@ -27,7 +28,8 @@ import (
 func main() {
 	common := cli.New(cli.WithSeed(1), cli.WithWorkers(), cli.WithTelemetry(), cli.WithProfiling())
 	var (
-		rmName   = flag.String("rm", "mrcp", "resource manager: mrcp, minedf, or fifo")
+		rmName   = flag.String("rm", "mrcp",
+			"resource manager: "+strings.Join(mrcprm.PolicyNames(), ", "))
 		wl       = flag.String("workload", "synthetic", "workload: synthetic or facebook")
 		jobs     = flag.Int("jobs", 300, "number of jobs (synthetic)")
 		fbjobs   = flag.Int("fbjobs", 300, "number of jobs (facebook)")
@@ -100,18 +102,17 @@ func main() {
 		os.Exit(1)
 	}
 
-	var rm mrcprm.ResourceManager
-	switch *rmName {
-	case "mrcp":
+	// Policies come from the registry; -rm selects by name. MRCP-RM's
+	// policy-specific config rides along in Extra (other factories ignore it).
+	popts := mrcprm.PolicyOptions{}
+	if *rmName == "mrcp" {
 		mcfg := mrcprm.DefaultConfig()
 		mcfg.Workers = common.Workers
-		rm = mrcprm.NewManager(cluster, mcfg)
-	case "minedf":
-		rm = mrcprm.NewMinEDF(cluster)
-	case "fifo":
-		rm = mrcprm.NewFIFO(cluster)
-	default:
-		fmt.Fprintf(os.Stderr, "unknown resource manager %q\n", *rmName)
+		popts.Extra = mcfg
+	}
+	rm, err := mrcprm.NewPolicy(*rmName, cluster, popts)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
 		os.Exit(2)
 	}
 

@@ -18,7 +18,22 @@ import (
 	"time"
 
 	"mrcprm/internal/cp"
+	"mrcprm/internal/rmkit"
+	"mrcprm/internal/sim"
 )
+
+func init() {
+	rmkit.Register("mrcp", func(cluster sim.Cluster, opts rmkit.Options) (sim.ResourceManager, error) {
+		cfg, ok := opts.Extra.(Config)
+		if !ok {
+			cfg = DefaultConfig()
+		}
+		if opts.Retry != nil {
+			cfg.Retry = *opts.Retry
+		}
+		return New(cluster, cfg), nil
+	})
+}
 
 // SolveMode selects how matchmaking is handled.
 type SolveMode int
@@ -76,12 +91,9 @@ type Config struct {
 	// the window. Zero disables the trigger. Only meaningful with
 	// BatchWindow > 0.
 	BatchUrgencyLead time.Duration
-	// MaxTaskRetries caps the failed execution attempts of a single task;
-	// one more failure abandons the task's job. Zero means unlimited.
-	MaxTaskRetries int
-	// JobRetryBudget caps the total failed attempts across all tasks of one
-	// job before the job is abandoned. Zero means unlimited.
-	JobRetryBudget int
+	// Retry is the canonical fault-recovery budget (per-task retry cap,
+	// per-job retry budget) shared with every other policy via rmkit.
+	Retry rmkit.RetryPolicy
 	// StrictSolveLimits forwards cp.Params.StrictLimits: the solver may
 	// then return no solution when its budget expires before the first
 	// descent completes, exercising the greedy fallback path. The default
@@ -105,9 +117,9 @@ func DefaultConfig() Config {
 		Mode:           ModeCombined,
 		SolveTimeLimit: 200 * time.Millisecond,
 		NodeLimit:      100_000,
-		Ordering:       cp.OrderEDF,
-		DeferralLead:   30 * time.Second,
-		MaxTaskRetries: 4,
+		Ordering:     cp.OrderEDF,
+		DeferralLead: 30 * time.Second,
+		Retry:        rmkit.DefaultRetryPolicy(),
 	}
 }
 

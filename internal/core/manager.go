@@ -7,6 +7,7 @@ import (
 
 	"mrcprm/internal/cp"
 	"mrcprm/internal/obs"
+	"mrcprm/internal/rmkit"
 	"mrcprm/internal/sim"
 	"mrcprm/internal/workload"
 )
@@ -17,12 +18,13 @@ type Manager struct {
 	cfg     Config
 	cluster sim.Cluster
 
-	active   map[*workload.Job]*jobTracker
-	byID     map[int]*workload.Job // JobID -> active job, for O(1) completion lookup
-	order    []*workload.Job       // active jobs in arrival order (deterministic iteration)
-	deferred []*workload.Job       // Section V.E parking lot
-	batch    []*workload.Job       // arrivals awaiting the batch-window flush
-	batchAt  int64                 // when the pending batch flushes; 0 = none
+	// jobs owns per-job lifecycle state (retries, abandonment) in arrival
+	// order for deterministic iteration; the kernel's pending queues stay
+	// unused because every round re-derives its work set from the simulator.
+	jobs     *rmkit.Tracker
+	deferred []*workload.Job // Section V.E parking lot
+	batch    []*workload.Job // arrivals awaiting the batch-window flush
+	batchAt  int64           // when the pending batch flushes; 0 = none
 
 	// unitSlot remembers each scheduled task's unit slot so that, once the
 	// task starts, later rounds pin it to the same slot.
@@ -34,23 +36,12 @@ type Manager struct {
 	tel *obs.Telemetry
 }
 
-type jobTracker struct {
-	job       *workload.Job
-	tasksLeft int
-	// retries counts failed attempts charged against the job's budget;
-	// abandoned marks a job given up on (it stays tracked while attempts
-	// are still draining on the cluster, so their capacity stays modeled).
-	retries   int
-	abandoned bool
-}
-
 // New creates an MRCP-RM manager for the cluster.
 func New(cluster sim.Cluster, cfg Config) *Manager {
 	return &Manager{
 		cfg:      cfg,
 		cluster:  cluster,
-		active:   make(map[*workload.Job]*jobTracker),
-		byID:     make(map[int]*workload.Job),
+		jobs:     rmkit.NewTracker(nil),
 		unitSlot: make(map[*workload.Task]int),
 	}
 }
@@ -164,7 +155,7 @@ func (m *Manager) Drain(ctx sim.Context) error {
 // (scheduled or running, including abandoned jobs with draining attempts),
 // deferred, and batched.
 func (m *Manager) Outstanding() int {
-	return len(m.active) + len(m.deferred) + len(m.batch)
+	return m.jobs.Len() + len(m.deferred) + len(m.batch)
 }
 
 // OnTimer implements sim.ResourceManager: it releases deferred jobs whose
@@ -204,22 +195,21 @@ func (m *Manager) OnTimer(ctx sim.Context) error {
 // only maintains its bookkeeping.
 func (m *Manager) OnTaskComplete(ctx sim.Context, t *workload.Task) error {
 	delete(m.unitSlot, t)
-	j, ok := m.byID[t.JobID]
+	js, ok := m.jobs.ByID(t.JobID)
 	if !ok {
 		return fmt.Errorf("core: completion for unknown task %s", t.ID)
 	}
-	tr := m.active[j]
-	if tr.abandoned {
+	if js.Abandoned {
 		// Discarded output of a draining attempt; retire the ghost once
 		// nothing of the job remains on the cluster.
-		if !anyRunning(ctx, j) {
-			m.retire(j)
+		if !rmkit.AnyRunning(ctx, js.Job) {
+			m.jobs.Retire(js)
 		}
 		return nil
 	}
-	tr.tasksLeft--
-	if tr.tasksLeft == 0 {
-		m.retire(j)
+	js.TasksLeft--
+	if js.TasksLeft == 0 {
+		m.jobs.Retire(js)
 	}
 	return nil
 }
@@ -229,11 +219,11 @@ func (m *Manager) OnTaskComplete(ctx sim.Context, t *workload.Task) error {
 // exhausted its retry budget and is abandoned.
 func (m *Manager) OnTaskFailed(ctx sim.Context, t *workload.Task, _ int) error {
 	started := time.Now()
-	j, ok := m.byID[t.JobID]
+	js, ok := m.jobs.ByID(t.JobID)
 	if !ok {
 		return fmt.Errorf("core: failure for unknown task %s", t.ID)
 	}
-	if err := m.chargeRetry(ctx, m.active[j], t); err != nil {
+	if err := m.chargeRetry(ctx, js, t); err != nil {
 		return err
 	}
 	err := m.reschedule(ctx, "task_failed")
@@ -247,11 +237,11 @@ func (m *Manager) OnTaskFailed(ctx sim.Context, t *workload.Task, _ int) error {
 func (m *Manager) OnResourceDown(ctx sim.Context, _ int, killed, _ []*workload.Task) error {
 	started := time.Now()
 	for _, t := range killed {
-		j, ok := m.byID[t.JobID]
+		js, ok := m.jobs.ByID(t.JobID)
 		if !ok {
 			return fmt.Errorf("core: outage kill for unknown task %s", t.ID)
 		}
-		if err := m.chargeRetry(ctx, m.active[j], t); err != nil {
+		if err := m.chargeRetry(ctx, js, t); err != nil {
 			return err
 		}
 	}
@@ -281,60 +271,34 @@ func (m *Manager) OnTaskSlowdown(ctx sim.Context, _ *workload.Task) error {
 
 // chargeRetry books one failed attempt and abandons the job when it
 // exhausts the per-task retry cap or the per-job budget.
-func (m *Manager) chargeRetry(ctx sim.Context, tr *jobTracker, t *workload.Task) error {
-	if tr.abandoned {
+func (m *Manager) chargeRetry(ctx sim.Context, js *rmkit.JobState, t *workload.Task) error {
+	if js.Abandoned {
 		return nil
 	}
-	tr.retries++
 	m.stats.TaskRetries++
-	over := (m.cfg.MaxTaskRetries > 0 && ctx.Attempts(t) > m.cfg.MaxTaskRetries) ||
-		(m.cfg.JobRetryBudget > 0 && tr.retries > m.cfg.JobRetryBudget)
-	if !over {
+	if !js.ChargeRetry(m.cfg.Retry, ctx.Attempts(t)) {
 		return nil
 	}
-	if err := ctx.AbandonJob(tr.job); err != nil {
+	if err := ctx.AbandonJob(js.Job); err != nil {
 		return err
 	}
-	tr.abandoned = true
+	js.Abandoned = true
 	m.stats.JobsAbandoned++
-	for _, jt := range tr.job.Tasks() {
+	for _, jt := range js.Job.Tasks() {
 		// Keep the unit slots of still-draining attempts (combined-mode
 		// rounds pin them until they finish); drop the rest.
 		if !ctx.Started(jt) || ctx.Completed(jt) {
 			delete(m.unitSlot, jt)
 		}
 	}
-	if !anyRunning(ctx, tr.job) {
-		m.retire(tr.job)
+	if !rmkit.AnyRunning(ctx, js.Job) {
+		m.jobs.Retire(js)
 	}
 	return nil
 }
 
-// anyRunning reports whether any of the job's tasks is mid-execution.
-func anyRunning(ctx sim.Context, j *workload.Job) bool {
-	for _, t := range j.Tasks() {
-		if ctx.Started(t) && !ctx.Completed(t) {
-			return true
-		}
-	}
-	return false
-}
-
 func (m *Manager) admit(j *workload.Job) {
-	m.active[j] = &jobTracker{job: j, tasksLeft: j.NumTasks()}
-	m.byID[j.ID] = j
-	m.order = append(m.order, j)
-}
-
-func (m *Manager) retire(j *workload.Job) {
-	delete(m.active, j)
-	delete(m.byID, j.ID)
-	for i, other := range m.order {
-		if other == j {
-			m.order = append(m.order[:i], m.order[i+1:]...)
-			break
-		}
-	}
+	m.jobs.Admit(j)
 }
 
 // reschedule is the Table 2 algorithm: classify every incomplete task of
@@ -516,19 +480,19 @@ func (m *Manager) solve(bm *builtModel) (res cp.Result, err error) {
 // jobs contribute only their still-draining attempts (as capacity-holding
 // ghosts); ones with nothing left on the cluster are retired here.
 func (m *Manager) collectWork(ctx sim.Context) []*jobWork {
-	var gone []*workload.Job
-	for _, j := range m.order {
-		if m.active[j].abandoned && !anyRunning(ctx, j) {
-			gone = append(gone, j)
+	var gone []*rmkit.JobState
+	for _, js := range m.jobs.Active() {
+		if js.Abandoned && !rmkit.AnyRunning(ctx, js.Job) {
+			gone = append(gone, js)
 		}
 	}
-	for _, j := range gone {
-		m.retire(j)
+	for _, js := range gone {
+		m.jobs.Retire(js)
 	}
 
 	var work []*jobWork
-	for _, j := range m.order {
-		ghost := m.active[j].abandoned
+	for _, js := range m.jobs.Active() {
+		j, ghost := js.Job, js.Abandoned
 		w := &jobWork{job: j, ghost: ghost}
 		for _, t := range j.MapTasks {
 			switch {

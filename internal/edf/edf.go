@@ -1,0 +1,54 @@
+// Package edf implements a plain earliest-deadline-first resource manager:
+// jobs are served in deadline order, work-conservingly, with no allocation
+// model at all. It sits between the two existing baselines — deadline-aware
+// like MinEDF-WC but model-free like FIFO — so comparing the three isolates
+// how much of MinEDF-WC's SLA performance comes from deadline ordering
+// alone versus from its ARIA minimum-allocation model.
+//
+// The package is also the registry's proof of seam: it was added without
+// editing any other package (the kernel supplies the whole job lifecycle,
+// and init registers the policy by name).
+package edf
+
+import (
+	"mrcprm/internal/rmkit"
+	"mrcprm/internal/sim"
+)
+
+func init() {
+	rmkit.Register("edf", func(cluster sim.Cluster, opts rmkit.Options) (sim.ResourceManager, error) {
+		m := New(cluster)
+		if opts.Retry != nil {
+			m.Retry = *opts.Retry
+		}
+		return m, nil
+	})
+}
+
+// Manager is the greedy EDF scheduler; it implements sim.ResourceManager.
+// Tune the embedded Retry policy before the simulation starts.
+type Manager struct {
+	*rmkit.ListScheduler
+}
+
+// New creates an EDF manager for the cluster.
+func New(cluster sim.Cluster) *Manager {
+	m := &Manager{rmkit.NewListScheduler("edf", cluster, func(a, b *rmkit.JobState) bool {
+		return a.Job.Deadline < b.Job.Deadline
+	})}
+	m.Dispatch = m.dispatch
+	return m
+}
+
+// Name implements sim.ResourceManager.
+func (m *Manager) Name() string { return "EDF" }
+
+// dispatch fills free slots in strict deadline order.
+func (m *Manager) dispatch(ctx sim.Context) error {
+	for _, js := range m.Tracker.Active() {
+		if err := m.DispatchJob(ctx, js, -1, -1); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -21,6 +21,8 @@ import (
 
 	"mrcprm/internal/core"
 	"mrcprm/internal/obs"
+	_ "mrcprm/internal/policies" // register every built-in policy
+	"mrcprm/internal/rmkit"
 	"mrcprm/internal/sim"
 	"mrcprm/internal/stats"
 	"mrcprm/internal/workload"
@@ -39,6 +41,10 @@ type Options struct {
 	Policy stats.ReplicationPolicy
 	// ManagerConfig configures MRCP-RM.
 	ManagerConfig core.Config
+	// ComparePolicies lists the registry names of the policies the
+	// comparison experiments (fig2/fig3, faults) run side by side; empty
+	// reproduces the paper's MRCP-RM vs MinEDF-WC pairing.
+	ComparePolicies []string
 	// Telemetry, when non-nil, streams solver/manager/sim events from every
 	// replication into one JSONL sink. Events from different replications
 	// interleave; the per-replication "run_end" events delimit them.
@@ -71,6 +77,24 @@ func (o Options) replicationWorkers() int {
 		w = 1
 	}
 	return w
+}
+
+// comparePolicies resolves which policies the comparison experiments run.
+func (o Options) comparePolicies() []string {
+	if len(o.ComparePolicies) > 0 {
+		return o.ComparePolicies
+	}
+	return []string{"mrcp", "minedf"}
+}
+
+// newManager constructs a registered policy's manager, forwarding the
+// MRCP-RM configuration when it applies.
+func (o Options) newManager(policy string, cluster sim.Cluster) (sim.ResourceManager, error) {
+	popts := rmkit.Options{}
+	if policy == "mrcp" {
+		popts.Extra = o.ManagerConfig
+	}
+	return rmkit.New(policy, cluster, popts)
 }
 
 // instrument attaches the run's telemetry stream (if any) to a freshly
@@ -290,7 +314,10 @@ func runSyntheticCell(opts Options, cfg workload.SyntheticConfig, factor string,
 		if err != nil {
 			return nil, err
 		}
-		mgr := core.New(cluster, opts.ManagerConfig)
+		mgr, err := opts.newManager("mrcp", cluster)
+		if err != nil {
+			return nil, err
+		}
 		s, err := sim.New(cluster, mgr, jobs)
 		if err != nil {
 			return nil, err

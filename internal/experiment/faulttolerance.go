@@ -4,9 +4,7 @@ import (
 	"fmt"
 	"time"
 
-	"mrcprm/internal/core"
 	"mrcprm/internal/faults"
-	"mrcprm/internal/minedf"
 	"mrcprm/internal/sim"
 	"mrcprm/internal/stats"
 	"mrcprm/internal/workload"
@@ -17,11 +15,12 @@ import (
 // through the same injector code path).
 var FailureRates = []float64{0, 0.02, 0.05, 0.10}
 
-// runFaultSweep compares MRCP-RM against MinEDF-WC on the default Table 3
-// workload while a seeded injector fails a growing fraction of task
-// attempts. Both managers face the identical fault plan at each (rate,
-// replication) cell: attempt fates are a pure function of (seed, task ID,
-// attempt), so the comparison isolates the recovery policies.
+// runFaultSweep compares the configured policies (MRCP-RM vs MinEDF-WC by
+// default) on the default Table 3 workload while a seeded injector fails a
+// growing fraction of task attempts. Every policy faces the identical fault
+// plan at each (rate, replication) cell: attempt fates are a pure function
+// of (seed, task ID, attempt), so the comparison isolates the recovery
+// policies.
 func runFaultSweep(opts Options) (Result, error) {
 	started := time.Now()
 	r := Result{ID: "faults", Title: "Effect of task failure rate: MRCP-RM vs MinEDF-WC"}
@@ -32,24 +31,26 @@ func runFaultSweep(opts Options) (Result, error) {
 		ReduceSlots:  cfg.ReduceSlotsPerResource,
 	}
 	for _, rate := range FailureRates {
-		for _, mgrName := range []string{"MRCP-RM", "MinEDF-WC"} {
+		for _, policy := range opts.comparePolicies() {
+			probe, err := opts.newManager(policy, cluster)
+			if err != nil {
+				return r, err
+			}
 			point, err := runReplications(opts, func(rep int, rng *stats.Stream) (*sim.Metrics, error) {
 				jobs, err := cfg.Generate(opts.Jobs, rng)
 				if err != nil {
 					return nil, err
 				}
-				var rm sim.ResourceManager
-				if mgrName == "MRCP-RM" {
-					rm = core.New(cluster, opts.ManagerConfig)
-				} else {
-					rm = minedf.New(cluster)
+				rm, err := opts.newManager(policy, cluster)
+				if err != nil {
+					return nil, err
 				}
 				s, err := sim.New(cluster, rm, jobs)
 				if err != nil {
 					return nil, err
 				}
-				// Seeded per (master seed, replication) only, so both
-				// managers draw the same fault plan.
+				// Seeded per (master seed, replication) only, so every
+				// policy draws the same fault plan.
 				plan, err := faults.New(faults.Config{
 					TaskFailureProb: rate,
 					Seed1:           opts.Seed,
@@ -69,7 +70,7 @@ func runFaultSweep(opts Options) (Result, error) {
 			}
 			point.Factor = fmt.Sprintf("failrate=%g", rate)
 			point.FactorValue = rate
-			point.Manager = mgrName
+			point.Manager = probe.Name()
 			r.Points = append(r.Points, point)
 		}
 	}

@@ -8,314 +8,54 @@
 // It exists as a second baseline: comparing MRCP-RM or MinEDF-WC against
 // FIFO shows how much of their SLA performance comes from deadline
 // awareness rather than from mere work conservation.
+//
+// All job-lifecycle machinery (deferral, retry budgets, abandonment, slot
+// mirrors) comes from the shared rmkit kernel; this package only supplies
+// the queue discipline (arrival order) and the dispatch pass.
 package fifo
 
 import (
-	"fmt"
-	"sort"
-	"time"
-
+	"mrcprm/internal/rmkit"
 	"mrcprm/internal/sim"
-	"mrcprm/internal/workload"
 )
 
-// DefaultMaxTaskRetries is the per-task retry cap installed by New.
-const DefaultMaxTaskRetries = 4
-
-type jobState struct {
-	job         *workload.Job
-	pendingMaps []*workload.Task
-	pendingReds []*workload.Task
-	mapsLeft    int
-	tasksLeft   int
-	retries     int
-	abandoned   bool
+func init() {
+	rmkit.Register("fifo", func(cluster sim.Cluster, opts rmkit.Options) (sim.ResourceManager, error) {
+		m := New(cluster)
+		if opts.Retry != nil {
+			m.Retry = *opts.Retry
+		}
+		return m, nil
+	})
 }
 
 // Manager is the FIFO best-effort scheduler; it implements
-// sim.ResourceManager.
+// sim.ResourceManager. Tune the embedded Retry policy before the
+// simulation starts.
 type Manager struct {
-	cluster  sim.Cluster
-	active   []*jobState // arrival order
-	byTask   map[*workload.Task]*jobState
-	deferred []*workload.Job
-
-	// Slot mirrors; a down resource's mirrors are zeroed so dispatch
-	// skips it.
-	freeMap []int64
-	freeRed []int64
-
-	// MaxTaskRetries and JobRetryBudget cap failed attempts per task and
-	// per job; exceeding either abandons the job. Zero means unlimited.
-	MaxTaskRetries int
-	JobRetryBudget int
+	*rmkit.ListScheduler
 }
 
 // New creates a FIFO manager for the cluster.
 func New(cluster sim.Cluster) *Manager {
-	m := &Manager{
-		cluster:        cluster,
-		byTask:         make(map[*workload.Task]*jobState),
-		freeMap:        make([]int64, cluster.NumResources),
-		freeRed:        make([]int64, cluster.NumResources),
-		MaxTaskRetries: DefaultMaxTaskRetries,
-	}
-	for r := 0; r < cluster.NumResources; r++ {
-		m.freeMap[r] = cluster.MapSlots
-		m.freeRed[r] = cluster.ReduceSlots
-	}
+	// Admissions from the deferred queue slot in by arrival time for
+	// determinism.
+	m := &Manager{rmkit.NewListScheduler("fifo", cluster, func(a, b *rmkit.JobState) bool {
+		return a.Job.Arrival < b.Job.Arrival
+	})}
+	m.Dispatch = m.dispatch
 	return m
 }
 
 // Name implements sim.ResourceManager.
 func (m *Manager) Name() string { return "FIFO" }
 
-// OnJobArrival implements sim.ResourceManager.
-func (m *Manager) OnJobArrival(ctx sim.Context, j *workload.Job) error {
-	started := time.Now()
-	if j.EarliestStart > ctx.Now() {
-		m.deferred = append(m.deferred, j)
-		ctx.SetTimer(j.EarliestStart)
-	} else {
-		m.admit(j)
-	}
-	err := m.dispatch(ctx)
-	ctx.AddOverhead(time.Since(started))
-	return err
-}
-
-// OnTimer implements sim.ResourceManager.
-func (m *Manager) OnTimer(ctx sim.Context) error {
-	started := time.Now()
-	rest := m.deferred[:0]
-	for _, j := range m.deferred {
-		if j.EarliestStart <= ctx.Now() {
-			m.admit(j)
-		} else {
-			rest = append(rest, j)
-		}
-	}
-	m.deferred = rest
-	err := m.dispatch(ctx)
-	ctx.AddOverhead(time.Since(started))
-	return err
-}
-
-// OnTaskComplete implements sim.ResourceManager.
-func (m *Manager) OnTaskComplete(ctx sim.Context, t *workload.Task) error {
-	started := time.Now()
-	js, ok := m.byTask[t]
-	if !ok {
-		return fmt.Errorf("fifo: completion for unknown task %s", t.ID)
-	}
-	res, _, _ := ctx.Placement(t)
-	if t.Type == workload.MapTask {
-		js.mapsLeft--
-		m.freeMap[res]++
-	} else {
-		m.freeRed[res]++
-	}
-	if !js.abandoned {
-		js.tasksLeft--
-		if js.tasksLeft == 0 {
-			m.remove(js)
-		}
-	}
-	err := m.dispatch(ctx)
-	ctx.AddOverhead(time.Since(started))
-	return err
-}
-
-// OnTaskFailed implements sim.FaultHooks: free the mirrored slot and
-// re-queue the task, abandoning the job when a retry budget is exhausted.
-func (m *Manager) OnTaskFailed(ctx sim.Context, t *workload.Task, res int) error {
-	started := time.Now()
-	js, ok := m.byTask[t]
-	if !ok {
-		return fmt.Errorf("fifo: failure for unknown task %s", t.ID)
-	}
-	if t.Type == workload.MapTask {
-		m.freeMap[res]++
-	} else {
-		m.freeRed[res]++
-	}
-	if !js.abandoned {
-		if err := m.chargeRetry(ctx, js, t); err != nil {
-			return err
-		}
-	}
-	err := m.dispatch(ctx)
-	ctx.AddOverhead(time.Since(started))
-	return err
-}
-
-// OnResourceDown implements sim.FaultHooks: re-queue killed and evacuated
-// tasks and zero the down resource's mirrors so dispatch skips it.
-func (m *Manager) OnResourceDown(ctx sim.Context, res int, killed, evacuated []*workload.Task) error {
-	started := time.Now()
-	for _, t := range killed {
-		js, ok := m.byTask[t]
-		if !ok {
-			return fmt.Errorf("fifo: outage kill for unknown task %s", t.ID)
-		}
-		if js.abandoned {
-			continue
-		}
-		if err := m.chargeRetry(ctx, js, t); err != nil {
-			return err
-		}
-	}
-	for _, t := range evacuated {
-		js, ok := m.byTask[t]
-		if !ok {
-			return fmt.Errorf("fifo: evacuation of unknown task %s", t.ID)
-		}
-		if !js.abandoned {
-			m.requeue(js, t)
-		}
-	}
-	m.freeMap[res], m.freeRed[res] = 0, 0
-	err := m.dispatch(ctx)
-	ctx.AddOverhead(time.Since(started))
-	return err
-}
-
-// OnResourceUp implements sim.FaultHooks: restore the repaired resource's
-// capacity (nothing survives an outage on it).
-func (m *Manager) OnResourceUp(ctx sim.Context, res int) error {
-	started := time.Now()
-	m.freeMap[res] = m.cluster.MapSlots
-	m.freeRed[res] = m.cluster.ReduceSlots
-	err := m.dispatch(ctx)
-	ctx.AddOverhead(time.Since(started))
-	return err
-}
-
-// OnTaskSlowdown implements sim.FaultHooks as a no-op: FIFO dispatches
-// reactively at the current instant, so overruns cannot collide with
-// pre-planned starts.
-func (m *Manager) OnTaskSlowdown(sim.Context, *workload.Task) error { return nil }
-
-func (m *Manager) chargeRetry(ctx sim.Context, js *jobState, t *workload.Task) error {
-	js.retries++
-	over := (m.MaxTaskRetries > 0 && ctx.Attempts(t) > m.MaxTaskRetries) ||
-		(m.JobRetryBudget > 0 && js.retries > m.JobRetryBudget)
-	if !over {
-		m.requeue(js, t)
-		return nil
-	}
-	return m.abandon(ctx, js)
-}
-
-func (m *Manager) requeue(js *jobState, t *workload.Task) {
-	if t.Type == workload.MapTask {
-		js.pendingMaps = append(js.pendingMaps, t)
-	} else {
-		js.pendingReds = append(js.pendingReds, t)
-	}
-}
-
-// abandon gives up on a job: dispatched-but-not-started placements return
-// to the mirrors, the simulator drops its pending work, and the job leaves
-// the queue while its last attempts drain.
-func (m *Manager) abandon(ctx sim.Context, js *jobState) error {
-	for _, t := range js.job.Tasks() {
-		if ctx.Started(t) || ctx.Completed(t) {
-			continue
-		}
-		if res, _, ok := ctx.Placement(t); ok {
-			if t.Type == workload.MapTask {
-				m.freeMap[res]++
-			} else {
-				m.freeRed[res]++
-			}
-		}
-	}
-	if err := ctx.AbandonJob(js.job); err != nil {
-		return err
-	}
-	js.abandoned = true
-	js.pendingMaps, js.pendingReds = nil, nil
-	for i, other := range m.active {
-		if other == js {
-			m.active = append(m.active[:i], m.active[i+1:]...)
-			break
-		}
-	}
-	return nil
-}
-
-func (m *Manager) admit(j *workload.Job) {
-	js := &jobState{
-		job:         j,
-		pendingMaps: append([]*workload.Task(nil), j.MapTasks...),
-		pendingReds: append([]*workload.Task(nil), j.ReduceTasks...),
-		mapsLeft:    len(j.MapTasks),
-		tasksLeft:   j.NumTasks(),
-	}
-	for _, t := range j.Tasks() {
-		m.byTask[t] = js
-	}
-	// Arrival order; admissions from the deferred queue slot in by
-	// arrival time for determinism.
-	pos := sort.Search(len(m.active), func(i int) bool {
-		return m.active[i].job.Arrival > j.Arrival
-	})
-	m.active = append(m.active, nil)
-	copy(m.active[pos+1:], m.active[pos:])
-	m.active[pos] = js
-}
-
-func (m *Manager) remove(js *jobState) {
-	for i, other := range m.active {
-		if other == js {
-			m.active = append(m.active[:i], m.active[i+1:]...)
-			break
-		}
-	}
-	for _, t := range js.job.Tasks() {
-		delete(m.byTask, t)
-	}
-}
-
 // dispatch fills free slots in strict arrival order.
 func (m *Manager) dispatch(ctx sim.Context) error {
-	for _, js := range m.active {
-		for len(js.pendingMaps) > 0 {
-			r := firstFree(m.freeMap)
-			if r < 0 {
-				break
-			}
-			t := js.pendingMaps[0]
-			js.pendingMaps = js.pendingMaps[1:]
-			m.freeMap[r]--
-			if err := ctx.Schedule(t, r, ctx.Now()); err != nil {
-				return err
-			}
-		}
-		if js.mapsLeft == 0 {
-			for len(js.pendingReds) > 0 {
-				r := firstFree(m.freeRed)
-				if r < 0 {
-					break
-				}
-				t := js.pendingReds[0]
-				js.pendingReds = js.pendingReds[1:]
-				m.freeRed[r]--
-				if err := ctx.Schedule(t, r, ctx.Now()); err != nil {
-					return err
-				}
-			}
+	for _, js := range m.Tracker.Active() {
+		if err := m.DispatchJob(ctx, js, -1, -1); err != nil {
+			return err
 		}
 	}
 	return nil
-}
-
-func firstFree(free []int64) int {
-	for r, f := range free {
-		if f > 0 {
-			return r
-		}
-	}
-	return -1
 }

@@ -15,16 +15,28 @@
 // n*avg/k (lower) and (n-1)*avg/k + max (upper); the model uses the average
 // of the bounds. The minimum allocation is the smallest (s_m, s_r) pair,
 // by total slots, whose estimate meets the deadline.
+//
+// All job-lifecycle machinery (deferral, retry budgets, abandonment, slot
+// mirrors) comes from the shared rmkit kernel; this package supplies the
+// EDF queue discipline, the ARIA allocation model, and the two-pass
+// dispatch.
 package minedf
 
 import (
-	"fmt"
-	"sort"
-	"time"
-
+	"mrcprm/internal/rmkit"
 	"mrcprm/internal/sim"
 	"mrcprm/internal/workload"
 )
+
+func init() {
+	rmkit.Register("minedf", func(cluster sim.Cluster, opts rmkit.Options) (sim.ResourceManager, error) {
+		m := New(cluster)
+		if opts.Retry != nil {
+			m.Retry = *opts.Retry
+		}
+		return m, nil
+	})
+}
 
 // phaseProfile summarizes one phase (map or reduce) of a job.
 type phaseProfile struct {
@@ -60,318 +72,30 @@ func profileOf(tasks []*workload.Task) phaseProfile {
 	return p
 }
 
-// DefaultMaxTaskRetries is the per-task retry cap installed by New; it
-// matches core.DefaultConfig so the head-to-head comparison under faults
-// stays fair.
-const DefaultMaxTaskRetries = 4
-
-// jobState tracks one active job.
-type jobState struct {
-	job *workload.Job
-
-	pendingMaps []*workload.Task // not yet dispatched, longest first
-	pendingReds []*workload.Task
-	runningMaps int64
-	runningReds int64
-	mapsLeft    int // running or pending map tasks
-	tasksLeft   int
-
-	minMap int64 // current minimum slot allocation
-	minRed int64
-
-	// retries counts failed attempts charged against the job's budget;
-	// abandoned marks a job given up on while its last attempts drain.
-	retries   int
-	abandoned bool
-}
-
-func (js *jobState) mapsDone() bool { return js.mapsLeft == 0 }
-
-// Manager is the MinEDF-WC resource manager; it implements sim.ResourceManager.
+// Manager is the MinEDF-WC resource manager; it implements
+// sim.ResourceManager. Tune the embedded Retry policy before the
+// simulation starts.
 type Manager struct {
-	cluster  sim.Cluster
-	active   []*jobState // EDF order maintained on insert
-	byTask   map[*workload.Task]*jobState
-	deferred []*workload.Job // arrived, earliest start in the future
-
-	// Per-resource slot availability mirrors, maintained synchronously so
-	// the dispatch loop can fill several slots in one invocation. A down
-	// resource's mirrors are zeroed so dispatch skips it.
-	freeMap []int64
-	freeRed []int64
-
-	// MaxTaskRetries caps failed attempts of one task, and JobRetryBudget
-	// caps them across a whole job; exceeding either abandons the job.
-	// Zero means unlimited. Adjust before the simulation starts.
-	MaxTaskRetries int
-	JobRetryBudget int
+	*rmkit.ListScheduler
 }
 
 // New creates a MinEDF-WC manager for the given cluster.
 func New(cluster sim.Cluster) *Manager {
-	m := &Manager{
-		cluster:        cluster,
-		byTask:         make(map[*workload.Task]*jobState),
-		freeMap:        make([]int64, cluster.NumResources),
-		freeRed:        make([]int64, cluster.NumResources),
-		MaxTaskRetries: DefaultMaxTaskRetries,
-	}
-	for r := 0; r < cluster.NumResources; r++ {
-		m.freeMap[r] = cluster.MapSlots
-		m.freeRed[r] = cluster.ReduceSlots
-	}
+	m := &Manager{rmkit.NewListScheduler("minedf", cluster, func(a, b *rmkit.JobState) bool {
+		return a.Job.Deadline < b.Job.Deadline
+	})}
+	m.Dispatch = m.dispatch
 	return m
 }
 
 // Name implements sim.ResourceManager.
 func (m *Manager) Name() string { return "MinEDF-WC" }
 
-// OnJobArrival implements sim.ResourceManager.
-func (m *Manager) OnJobArrival(ctx sim.Context, j *workload.Job) error {
-	started := time.Now()
-	if j.EarliestStart > ctx.Now() {
-		m.deferred = append(m.deferred, j)
-		ctx.SetTimer(j.EarliestStart)
-	} else {
-		m.admit(j)
-	}
-	err := m.dispatch(ctx)
-	ctx.AddOverhead(time.Since(started))
-	return err
-}
-
-// OnTimer implements sim.ResourceManager: it admits deferred jobs whose
-// earliest start time has arrived.
-func (m *Manager) OnTimer(ctx sim.Context) error {
-	started := time.Now()
-	rest := m.deferred[:0]
-	for _, j := range m.deferred {
-		if j.EarliestStart <= ctx.Now() {
-			m.admit(j)
-		} else {
-			rest = append(rest, j)
-		}
-	}
-	m.deferred = rest
-	err := m.dispatch(ctx)
-	ctx.AddOverhead(time.Since(started))
-	return err
-}
-
-// OnTaskComplete implements sim.ResourceManager. Completions of abandoned
-// jobs' draining attempts still free their mirrored slots; their output is
-// discarded.
-func (m *Manager) OnTaskComplete(ctx sim.Context, t *workload.Task) error {
-	started := time.Now()
-	js, ok := m.byTask[t]
-	if !ok {
-		return fmt.Errorf("minedf: completion for unknown task %s", t.ID)
-	}
-	res, _, _ := ctx.Placement(t)
-	if t.Type == workload.MapTask {
-		js.runningMaps--
-		js.mapsLeft--
-		m.freeMap[res]++
-	} else {
-		js.runningReds--
-		m.freeRed[res]++
-	}
-	if !js.abandoned {
-		js.tasksLeft--
-		if js.tasksLeft == 0 {
-			m.remove(js)
-		}
-	}
-	err := m.dispatch(ctx)
-	ctx.AddOverhead(time.Since(started))
-	return err
-}
-
-// OnTaskFailed implements sim.FaultHooks: the attempt's slot is freed in
-// the mirrors and the task re-queued for another attempt, in EDF position
-// automatically (its job keeps its place in the active order). Exhausted
-// retry budgets abandon the job.
-func (m *Manager) OnTaskFailed(ctx sim.Context, t *workload.Task, res int) error {
-	started := time.Now()
-	js, ok := m.byTask[t]
-	if !ok {
-		return fmt.Errorf("minedf: failure for unknown task %s", t.ID)
-	}
-	if t.Type == workload.MapTask {
-		js.runningMaps--
-		m.freeMap[res]++
-	} else {
-		js.runningReds--
-		m.freeRed[res]++
-	}
-	if !js.abandoned {
-		if err := m.chargeRetry(ctx, js, t); err != nil {
-			return err
-		}
-	}
-	err := m.dispatch(ctx)
-	ctx.AddOverhead(time.Since(started))
-	return err
-}
-
-// OnResourceDown implements sim.FaultHooks: killed attempts are charged
-// against retry budgets and re-queued, evacuated placements re-queued for
-// free, and the down resource's slot mirrors zeroed so dispatch skips it.
-func (m *Manager) OnResourceDown(ctx sim.Context, res int, killed, evacuated []*workload.Task) error {
-	started := time.Now()
-	for _, t := range killed {
-		js, ok := m.byTask[t]
-		if !ok {
-			return fmt.Errorf("minedf: outage kill for unknown task %s", t.ID)
-		}
-		if t.Type == workload.MapTask {
-			js.runningMaps--
-		} else {
-			js.runningReds--
-		}
-		if js.abandoned {
-			continue
-		}
-		if err := m.chargeRetry(ctx, js, t); err != nil {
-			return err
-		}
-	}
-	for _, t := range evacuated {
-		js, ok := m.byTask[t]
-		if !ok {
-			return fmt.Errorf("minedf: evacuation of unknown task %s", t.ID)
-		}
-		if t.Type == workload.MapTask {
-			js.runningMaps--
-		} else {
-			js.runningReds--
-		}
-		if !js.abandoned {
-			m.requeue(js, t)
-		}
-	}
-	m.freeMap[res], m.freeRed[res] = 0, 0
-	err := m.dispatch(ctx)
-	ctx.AddOverhead(time.Since(started))
-	return err
-}
-
-// OnResourceUp implements sim.FaultHooks: the repaired resource's slots
-// become available again (nothing can be running there after an outage).
-func (m *Manager) OnResourceUp(ctx sim.Context, res int) error {
-	started := time.Now()
-	m.freeMap[res] = m.cluster.MapSlots
-	m.freeRed[res] = m.cluster.ReduceSlots
-	err := m.dispatch(ctx)
-	ctx.AddOverhead(time.Since(started))
-	return err
-}
-
-// OnTaskSlowdown implements sim.FaultHooks as a no-op: MinEDF-WC dispatches
-// purely reactively (tasks start at the current instant and slots free on
-// actual completion events), so an overrunning attempt cannot collide with
-// pre-planned work. Only the ARIA estimate degrades, which MinEDF-WC
-// cannot act on anyway.
-func (m *Manager) OnTaskSlowdown(sim.Context, *workload.Task) error { return nil }
-
-// chargeRetry books one failed attempt: the task is re-queued unless its
-// job exhausted a retry budget, in which case the job is abandoned.
-func (m *Manager) chargeRetry(ctx sim.Context, js *jobState, t *workload.Task) error {
-	js.retries++
-	over := (m.MaxTaskRetries > 0 && ctx.Attempts(t) > m.MaxTaskRetries) ||
-		(m.JobRetryBudget > 0 && js.retries > m.JobRetryBudget)
-	if !over {
-		m.requeue(js, t)
-		return nil
-	}
-	return m.abandon(ctx, js)
-}
-
-// requeue returns a failed/killed/evacuated task to its pending queue.
-func (m *Manager) requeue(js *jobState, t *workload.Task) {
-	if t.Type == workload.MapTask {
-		js.pendingMaps = append(js.pendingMaps, t)
-	} else {
-		js.pendingReds = append(js.pendingReds, t)
-	}
-}
-
-// abandon gives up on a job: dispatched-but-not-started placements are
-// reconciled back into the slot mirrors, the simulator drops its pending
-// work, and the job leaves the EDF order. Still-running attempts drain
-// through OnTaskComplete/OnTaskFailed with their output discarded.
-func (m *Manager) abandon(ctx sim.Context, js *jobState) error {
-	for _, t := range js.job.Tasks() {
-		if ctx.Started(t) || ctx.Completed(t) {
-			continue
-		}
-		if res, _, ok := ctx.Placement(t); ok {
-			if t.Type == workload.MapTask {
-				js.runningMaps--
-				m.freeMap[res]++
-			} else {
-				js.runningReds--
-				m.freeRed[res]++
-			}
-		}
-	}
-	if err := ctx.AbandonJob(js.job); err != nil {
-		return err
-	}
-	js.abandoned = true
-	js.pendingMaps, js.pendingReds = nil, nil
-	for i, other := range m.active {
-		if other == js {
-			m.active = append(m.active[:i], m.active[i+1:]...)
-			break
-		}
-	}
-	// byTask entries stay: late fail/kill notifications for this job's
-	// draining attempts must still resolve. Entries for tasks that never
-	// run again are reclaimed when the simulation ends with the manager.
-	return nil
-}
-
-// admit registers a job as active, in EDF position.
-func (m *Manager) admit(j *workload.Job) {
-	js := &jobState{
-		job:         j,
-		pendingMaps: append([]*workload.Task(nil), j.MapTasks...),
-		pendingReds: append([]*workload.Task(nil), j.ReduceTasks...),
-		mapsLeft:    len(j.MapTasks),
-		tasksLeft:   j.NumTasks(),
-	}
-	// Tasks dispatch in their natural order: like Hadoop, MinEDF-WC does
-	// not know task durations at dispatch time (the ARIA profile only
-	// feeds the allocation model), so it cannot run longest-first.
-	for _, t := range j.Tasks() {
-		m.byTask[t] = js
-	}
-	pos := sort.Search(len(m.active), func(i int) bool {
-		return m.active[i].job.Deadline > j.Deadline
-	})
-	m.active = append(m.active, nil)
-	copy(m.active[pos+1:], m.active[pos:])
-	m.active[pos] = js
-}
-
-func (m *Manager) remove(js *jobState) {
-	for i, other := range m.active {
-		if other == js {
-			m.active = append(m.active[:i], m.active[i+1:]...)
-			break
-		}
-	}
-	for _, t := range js.job.Tasks() {
-		delete(m.byTask, t)
-	}
-}
-
 // updateAllocations recomputes each active job's minimum slot allocation
 // from its remaining work and time to deadline.
 func (m *Manager) updateAllocations(now int64) {
-	for _, js := range m.active {
-		js.minMap, js.minRed = m.minAllocation(js, now)
+	for _, js := range m.Tracker.Active() {
+		js.AllocMap, js.AllocRed = m.minAllocation(js, now)
 	}
 }
 
@@ -379,13 +103,13 @@ func (m *Manager) updateAllocations(now int64) {
 // the ARIA model; if the deadline is unreachable even with the whole
 // cluster, it returns the maximum allocation (the job is served best
 // effort, matching MinEDF-WC's behavior for infeasible jobs).
-func (m *Manager) minAllocation(js *jobState, now int64) (int64, int64) {
-	mapsP := profileOf(js.pendingMaps)
-	redsP := profileOf(js.pendingReds)
-	totalMap := m.cluster.TotalMapSlots()
-	totalRed := m.cluster.TotalReduceSlots()
-	budget := float64(js.job.Deadline - now)
-	if js.mapsLeft > 0 && len(js.pendingMaps) < js.mapsLeft {
+func (m *Manager) minAllocation(js *rmkit.JobState, now int64) (int64, int64) {
+	mapsP := profileOf(js.PendingMaps)
+	redsP := profileOf(js.PendingReds)
+	totalMap := m.Cluster.TotalMapSlots()
+	totalRed := m.Cluster.TotalReduceSlots()
+	budget := float64(js.Job.Deadline - now)
+	if js.MapsLeft > 0 && len(js.PendingMaps) < js.MapsLeft {
 		// Maps still running contribute to the barrier; approximate their
 		// remainder with one average map duration.
 		budget -= mapsP.avg
@@ -428,65 +152,19 @@ func (m *Manager) minAllocation(js *jobState, now int64) (int64, int64) {
 // dispatch fills free slots: a first pass honors minimum allocations in
 // EDF order, a second pass is work-conserving.
 func (m *Manager) dispatch(ctx sim.Context) error {
-	now := ctx.Now()
-	m.updateAllocations(now)
+	m.updateAllocations(ctx.Now())
 	for _, workConserving := range []bool{false, true} {
-		for _, js := range m.active {
-			if err := m.dispatchJob(ctx, js, workConserving); err != nil {
+		for _, js := range m.Tracker.Active() {
+			mapCap, redCap := js.AllocMap, js.AllocRed
+			if workConserving {
+				mapCap, redCap = -1, -1
+			}
+			if err := m.DispatchJob(ctx, js, mapCap, redCap); err != nil {
 				return err
 			}
 		}
 	}
 	return nil
-}
-
-func (m *Manager) dispatchJob(ctx sim.Context, js *jobState, wc bool) error {
-	// Map tasks.
-	for len(js.pendingMaps) > 0 {
-		if !wc && js.runningMaps >= js.minMap {
-			break
-		}
-		r := firstFree(m.freeMap)
-		if r < 0 {
-			break
-		}
-		t := js.pendingMaps[0]
-		js.pendingMaps = js.pendingMaps[1:]
-		js.runningMaps++
-		m.freeMap[r]--
-		if err := ctx.Schedule(t, r, ctx.Now()); err != nil {
-			return err
-		}
-	}
-	// Reduce tasks start only after all of the job's maps completed.
-	if js.mapsDone() {
-		for len(js.pendingReds) > 0 {
-			if !wc && js.runningReds >= js.minRed {
-				break
-			}
-			r := firstFree(m.freeRed)
-			if r < 0 {
-				break
-			}
-			t := js.pendingReds[0]
-			js.pendingReds = js.pendingReds[1:]
-			js.runningReds++
-			m.freeRed[r]--
-			if err := ctx.Schedule(t, r, ctx.Now()); err != nil {
-				return err
-			}
-		}
-	}
-	return nil
-}
-
-func firstFree(free []int64) int {
-	for r, f := range free {
-		if f > 0 {
-			return r
-		}
-	}
-	return -1
 }
 
 func min64(a, b int64) int64 {

@@ -3,6 +3,7 @@ package minedf
 import (
 	"testing"
 
+	"mrcprm/internal/rmkit"
 	"mrcprm/internal/sim"
 	"mrcprm/internal/stats"
 	"mrcprm/internal/workload"
@@ -129,15 +130,15 @@ func TestMinAllocationModel(t *testing.T) {
 	// slots: lower 20, upper 28, avg 24 <= 25. Four slots: lower 25,
 	// upper 32.5, avg 28.75 > 25.
 	j := mkJob(0, 0, 0, 25_000, repeat(10_000, 10), nil)
-	js := &jobState{job: j, pendingMaps: j.MapTasks, mapsLeft: 10, tasksLeft: 10}
+	js := &rmkit.JobState{Job: j, PendingMaps: j.MapTasks, MapsLeft: 10, TasksLeft: 10}
 	sm, sr := mgr.minAllocation(js, 0)
 	if sm != 5 || sr != 0 {
 		t.Fatalf("allocation (%d,%d), want (5,0)", sm, sr)
 	}
 	// Impossible deadline: wide open.
-	js2 := &jobState{job: mkJob(1, 0, 0, 1_000, repeat(10_000, 10), nil)}
-	js2.pendingMaps = js2.job.MapTasks
-	js2.mapsLeft = 10
+	js2 := &rmkit.JobState{Job: mkJob(1, 0, 0, 1_000, repeat(10_000, 10), nil)}
+	js2.PendingMaps = js2.Job.MapTasks
+	js2.MapsLeft = 10
 	sm, _ = mgr.minAllocation(js2, 0)
 	if sm != 10 {
 		t.Fatalf("infeasible job should get max allocation, got %d", sm)

@@ -1,0 +1,14 @@
+// Package policies links every built-in resource-management policy into a
+// binary: blank-importing it runs each policy package's init, which
+// registers the policy with the rmkit registry. Entry points that construct
+// managers by name (cmd/mrcpsim, cmd/mrcpd, the experiment harness, the
+// public facade) import it once; adding a policy means adding one line
+// here and nothing anywhere else.
+package policies
+
+import (
+	_ "mrcprm/internal/core"   // mrcp: the paper's CP-based manager
+	_ "mrcprm/internal/edf"    // edf: greedy earliest-deadline-first baseline
+	_ "mrcprm/internal/fifo"   // fifo: deadline-blind best-effort baseline
+	_ "mrcprm/internal/minedf" // minedf: MinEDF-WC baseline (Verma et al.)
+)

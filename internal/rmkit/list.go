@@ -1,0 +1,275 @@
+package rmkit
+
+import (
+	"fmt"
+	"time"
+
+	"mrcprm/internal/sim"
+	"mrcprm/internal/workload"
+)
+
+// ListScheduler is the shared reactive-manager kernel: the Hadoop-style
+// slot-based schedulers (FIFO, EDF, MinEDF-WC) differ only in their queue
+// discipline and dispatch policy, so this type owns everything else — the
+// deferred-arrival queue, the job tracker, the slot mirrors, retry
+// charging and abandonment, and every simulator callback. A policy embeds
+// *ListScheduler, picks the queue order through NewListScheduler, and
+// supplies Dispatch.
+//
+// Dispatch fills free slots from the active queue after every lifecycle
+// event; DispatchJob is the standard per-job inner loop.
+type ListScheduler struct {
+	// Kind prefixes error messages ("fifo: completion for unknown task…").
+	Kind string
+	// Cluster is the simulated system shape.
+	Cluster sim.Cluster
+	// Retry is the fault-recovery budget; adjust before the run starts.
+	Retry RetryPolicy
+	// Tracker owns per-job lifecycle state; Slots mirrors free capacity.
+	Tracker *Tracker
+	Slots   *SlotMirror
+	// Dispatch fills free slots after a lifecycle event; the policy must
+	// set it before the simulation starts.
+	Dispatch func(ctx sim.Context) error
+
+	deferred []*workload.Job // arrived, earliest start in the future
+}
+
+// NewListScheduler assembles the kernel for a policy whose active queue is
+// ordered by less (nil = admission order). The default retry budget is
+// installed; tasks are queued on admission.
+func NewListScheduler(kind string, cluster sim.Cluster, less func(a, b *JobState) bool) *ListScheduler {
+	tr := NewTracker(less)
+	tr.QueuePending = true
+	return &ListScheduler{
+		Kind:    kind,
+		Cluster: cluster,
+		Retry:   DefaultRetryPolicy(),
+		Tracker: tr,
+		Slots:   NewSlotMirror(cluster),
+	}
+}
+
+// OnJobArrival implements sim.ResourceManager: jobs whose earliest start
+// time is in the future are parked until a timer releases them.
+func (ls *ListScheduler) OnJobArrival(ctx sim.Context, j *workload.Job) error {
+	started := time.Now()
+	if j.EarliestStart > ctx.Now() {
+		ls.deferred = append(ls.deferred, j)
+		ctx.SetTimer(j.EarliestStart)
+	} else {
+		ls.Tracker.Admit(j)
+	}
+	err := ls.Dispatch(ctx)
+	ctx.AddOverhead(time.Since(started))
+	return err
+}
+
+// OnTimer implements sim.ResourceManager: it admits deferred jobs whose
+// earliest start time has arrived.
+func (ls *ListScheduler) OnTimer(ctx sim.Context) error {
+	started := time.Now()
+	rest := ls.deferred[:0]
+	for _, j := range ls.deferred {
+		if j.EarliestStart <= ctx.Now() {
+			ls.Tracker.Admit(j)
+		} else {
+			rest = append(rest, j)
+		}
+	}
+	ls.deferred = rest
+	err := ls.Dispatch(ctx)
+	ctx.AddOverhead(time.Since(started))
+	return err
+}
+
+// OnTaskComplete implements sim.ResourceManager. Completions of abandoned
+// jobs' draining attempts still free their mirrored slots; their output is
+// discarded.
+func (ls *ListScheduler) OnTaskComplete(ctx sim.Context, t *workload.Task) error {
+	started := time.Now()
+	js, ok := ls.Tracker.ByTask(t)
+	if !ok {
+		return fmt.Errorf("%s: completion for unknown task %s", ls.Kind, t.ID)
+	}
+	res, _, _ := ctx.Placement(t)
+	if t.Type == workload.MapTask {
+		js.RunningMaps--
+		js.MapsLeft--
+	} else {
+		js.RunningReds--
+	}
+	ls.Slots.Release(t.Type, res)
+	if !js.Abandoned {
+		js.TasksLeft--
+		if js.TasksLeft == 0 {
+			ls.Tracker.Retire(js)
+		}
+	}
+	err := ls.Dispatch(ctx)
+	ctx.AddOverhead(time.Since(started))
+	return err
+}
+
+// OnTaskFailed implements sim.FaultHooks: the attempt's slot is freed in
+// the mirrors and the task re-queued for another attempt (its job keeps
+// its place in the active order). Exhausted retry budgets abandon the job.
+func (ls *ListScheduler) OnTaskFailed(ctx sim.Context, t *workload.Task, res int) error {
+	started := time.Now()
+	js, ok := ls.Tracker.ByTask(t)
+	if !ok {
+		return fmt.Errorf("%s: failure for unknown task %s", ls.Kind, t.ID)
+	}
+	if t.Type == workload.MapTask {
+		js.RunningMaps--
+	} else {
+		js.RunningReds--
+	}
+	ls.Slots.Release(t.Type, res)
+	if !js.Abandoned {
+		if err := ls.chargeRetry(ctx, js, t); err != nil {
+			return err
+		}
+	}
+	err := ls.Dispatch(ctx)
+	ctx.AddOverhead(time.Since(started))
+	return err
+}
+
+// OnResourceDown implements sim.FaultHooks: killed attempts are charged
+// against retry budgets and re-queued, evacuated placements re-queued for
+// free, and the down resource's slot mirrors zeroed so dispatch skips it.
+func (ls *ListScheduler) OnResourceDown(ctx sim.Context, res int, killed, evacuated []*workload.Task) error {
+	started := time.Now()
+	for _, t := range killed {
+		js, ok := ls.Tracker.ByTask(t)
+		if !ok {
+			return fmt.Errorf("%s: outage kill for unknown task %s", ls.Kind, t.ID)
+		}
+		if t.Type == workload.MapTask {
+			js.RunningMaps--
+		} else {
+			js.RunningReds--
+		}
+		if js.Abandoned {
+			continue
+		}
+		if err := ls.chargeRetry(ctx, js, t); err != nil {
+			return err
+		}
+	}
+	for _, t := range evacuated {
+		js, ok := ls.Tracker.ByTask(t)
+		if !ok {
+			return fmt.Errorf("%s: evacuation of unknown task %s", ls.Kind, t.ID)
+		}
+		if t.Type == workload.MapTask {
+			js.RunningMaps--
+		} else {
+			js.RunningReds--
+		}
+		if !js.Abandoned {
+			js.Requeue(t)
+		}
+	}
+	ls.Slots.Block(res)
+	err := ls.Dispatch(ctx)
+	ctx.AddOverhead(time.Since(started))
+	return err
+}
+
+// OnResourceUp implements sim.FaultHooks: the repaired resource's slots
+// become available again (nothing can be running there after an outage).
+func (ls *ListScheduler) OnResourceUp(ctx sim.Context, res int) error {
+	started := time.Now()
+	ls.Slots.Restore(res)
+	err := ls.Dispatch(ctx)
+	ctx.AddOverhead(time.Since(started))
+	return err
+}
+
+// OnTaskSlowdown implements sim.FaultHooks as a no-op: reactive schedulers
+// dispatch tasks at the current instant and free slots on actual
+// completion events, so an overrunning attempt cannot collide with
+// pre-planned work.
+func (ls *ListScheduler) OnTaskSlowdown(sim.Context, *workload.Task) error { return nil }
+
+// chargeRetry books one failed attempt: the task is re-queued unless its
+// job exhausted a retry budget, in which case the job is abandoned.
+func (ls *ListScheduler) chargeRetry(ctx sim.Context, js *JobState, t *workload.Task) error {
+	if !js.ChargeRetry(ls.Retry, ctx.Attempts(t)) {
+		js.Requeue(t)
+		return nil
+	}
+	return ls.Abandon(ctx, js)
+}
+
+// Abandon gives up on a job: dispatched-but-not-started placements are
+// reconciled back into the slot mirrors, the simulator drops its pending
+// work, and the job leaves the active queue while its last attempts drain
+// (lookup indices stay live so their notifications resolve).
+func (ls *ListScheduler) Abandon(ctx sim.Context, js *JobState) error {
+	for _, t := range js.Job.Tasks() {
+		if ctx.Started(t) || ctx.Completed(t) {
+			continue
+		}
+		if res, _, ok := ctx.Placement(t); ok {
+			if t.Type == workload.MapTask {
+				js.RunningMaps--
+			} else {
+				js.RunningReds--
+			}
+			ls.Slots.Release(t.Type, res)
+		}
+	}
+	if err := ctx.AbandonJob(js.Job); err != nil {
+		return err
+	}
+	js.Abandoned = true
+	js.PendingMaps, js.PendingReds = nil, nil
+	ls.Tracker.Dequeue(js)
+	return nil
+}
+
+// DispatchJob fills free slots with the job's pending tasks at the current
+// instant. mapCap and redCap bound the job's concurrently running tasks
+// per phase (an allocation-model policy's first pass); negative caps mean
+// unbounded (work-conserving). Reduce tasks start only after all of the
+// job's maps completed.
+func (ls *ListScheduler) DispatchJob(ctx sim.Context, js *JobState, mapCap, redCap int64) error {
+	for len(js.PendingMaps) > 0 {
+		if mapCap >= 0 && js.RunningMaps >= mapCap {
+			break
+		}
+		r := ls.Slots.FirstFree(workload.MapTask)
+		if r < 0 {
+			break
+		}
+		t := js.PendingMaps[0]
+		js.PendingMaps = js.PendingMaps[1:]
+		js.RunningMaps++
+		ls.Slots.Take(workload.MapTask, r)
+		if err := ctx.Schedule(t, r, ctx.Now()); err != nil {
+			return err
+		}
+	}
+	if js.MapsDone() {
+		for len(js.PendingReds) > 0 {
+			if redCap >= 0 && js.RunningReds >= redCap {
+				break
+			}
+			r := ls.Slots.FirstFree(workload.ReduceTask)
+			if r < 0 {
+				break
+			}
+			t := js.PendingReds[0]
+			js.PendingReds = js.PendingReds[1:]
+			js.RunningReds++
+			ls.Slots.Take(workload.ReduceTask, r)
+			if err := ctx.Schedule(t, r, ctx.Now()); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,66 @@
+package rmkit
+
+import (
+	"mrcprm/internal/sim"
+	"mrcprm/internal/workload"
+)
+
+// SlotMirror is the per-resource slot-availability bookkeeping reactive
+// schedulers keep in sync with their own dispatch decisions, so one
+// manager invocation can fill several slots without waiting for simulator
+// feedback. A down resource's counts are zeroed so dispatch skips it.
+type SlotMirror struct {
+	cluster sim.Cluster
+	freeMap []int64
+	freeRed []int64
+}
+
+// NewSlotMirror creates a mirror with every slot of the cluster free.
+func NewSlotMirror(cluster sim.Cluster) *SlotMirror {
+	s := &SlotMirror{
+		cluster: cluster,
+		freeMap: make([]int64, cluster.NumResources),
+		freeRed: make([]int64, cluster.NumResources),
+	}
+	for r := 0; r < cluster.NumResources; r++ {
+		s.freeMap[r] = cluster.MapSlots
+		s.freeRed[r] = cluster.ReduceSlots
+	}
+	return s
+}
+
+func (s *SlotMirror) free(tt workload.TaskType) []int64 {
+	if tt == workload.MapTask {
+		return s.freeMap
+	}
+	return s.freeRed
+}
+
+// Take marks one slot of the task type busy on the resource.
+func (s *SlotMirror) Take(tt workload.TaskType, res int) { s.free(tt)[res]-- }
+
+// Release returns one slot of the task type on the resource.
+func (s *SlotMirror) Release(tt workload.TaskType, res int) { s.free(tt)[res]++ }
+
+// FirstFree returns the lowest-numbered resource with a free slot of the
+// task type, or -1 when every slot is busy.
+func (s *SlotMirror) FirstFree(tt workload.TaskType) int {
+	for r, f := range s.free(tt) {
+		if f > 0 {
+			return r
+		}
+	}
+	return -1
+}
+
+// Block zeroes the resource's mirrors so dispatch skips it (outage).
+func (s *SlotMirror) Block(res int) {
+	s.freeMap[res], s.freeRed[res] = 0, 0
+}
+
+// Restore resets the resource's mirrors to full capacity (repair; nothing
+// survives an outage on the resource).
+func (s *SlotMirror) Restore(res int) {
+	s.freeMap[res] = s.cluster.MapSlots
+	s.freeRed[res] = s.cluster.ReduceSlots
+}

@@ -33,6 +33,8 @@ import (
 	"mrcprm/internal/core"
 	"mrcprm/internal/faults"
 	"mrcprm/internal/obs"
+	_ "mrcprm/internal/policies" // register every built-in policy
+	"mrcprm/internal/rmkit"
 	"mrcprm/internal/sim"
 	"mrcprm/internal/workload"
 )
@@ -58,9 +60,15 @@ func (m Mode) String() string {
 type Config struct {
 	// Cluster is the simulated system shape.
 	Cluster sim.Cluster
-	// Manager tunes the default MRCP-RM manager; ignored when RM is set.
+	// Policy selects a registered resource-management policy by name
+	// ("mrcp", "minedf", "fifo", "edf", ...); empty means "mrcp". Ignored
+	// when RM is set.
+	Policy string
+	// Manager tunes the default MRCP-RM manager; ignored unless the engine
+	// runs the "mrcp" policy.
 	Manager core.Config
-	// RM overrides the resource manager (e.g. the MinEDF-WC baseline).
+	// RM overrides the resource manager with a pre-built instance,
+	// bypassing the registry.
 	RM sim.ResourceManager
 	// Mode selects virtual or wall pacing.
 	Mode Mode
@@ -106,9 +114,10 @@ type jobEntry struct {
 
 // Engine is the embeddable online resource-manager engine.
 type Engine struct {
-	cfg Config
-	rm  sim.ResourceManager
-	sw  *faults.Switch
+	cfg    Config
+	rm     sim.ResourceManager
+	policy string // registry name, or the manager's display name for RM overrides
+	sw     *faults.Switch
 
 	// intakeMu guards submissions and the job registry; it is never held
 	// across a simulator step, so Submit cannot block on a solve.
@@ -139,9 +148,21 @@ type Engine struct {
 
 // New assembles an engine; no goroutine runs until Start.
 func New(cfg Config) (*Engine, error) {
-	rm := cfg.RM
+	rm, policy := cfg.RM, cfg.Policy
 	if rm == nil {
-		rm = core.New(cfg.Cluster, cfg.Manager)
+		if policy == "" {
+			policy = "mrcp"
+		}
+		popts := rmkit.Options{}
+		if policy == "mrcp" {
+			popts.Extra = cfg.Manager
+		}
+		var err error
+		if rm, err = rmkit.New(policy, cfg.Cluster, popts); err != nil {
+			return nil, err
+		}
+	} else if policy == "" {
+		policy = rm.Name()
 	}
 	s, err := sim.New(cfg.Cluster, rm, nil)
 	if err != nil {
@@ -166,6 +187,7 @@ func New(cfg Config) (*Engine, error) {
 	return &Engine{
 		cfg:     cfg,
 		rm:      rm,
+		policy:  policy,
 		sw:      sw,
 		sim:     s,
 		entries: make(map[int]*jobEntry),
@@ -673,6 +695,7 @@ func (e *Engine) Schedule() []TaskPlacement {
 // Snapshot is the engine-wide metrics view behind GET /v1/metrics.
 type Snapshot struct {
 	Mode      string `json:"mode"`
+	Policy    string `json:"policy"`
 	SimTimeMS int64  `json:"simTimeMs"`
 	Running   bool   `json:"running"`
 	Finished  bool   `json:"finished"`
@@ -702,6 +725,7 @@ func (e *Engine) Metrics() Snapshot {
 	e.intakeMu.Lock()
 	snap := Snapshot{
 		Mode:      e.cfg.Mode.String(),
+		Policy:    e.policy,
 		Submitted: e.nextID,
 		Rejected:  e.rejects,
 		Running:   e.started,

@@ -36,6 +36,8 @@ import (
 	"mrcprm/internal/fifo"
 	"mrcprm/internal/minedf"
 	"mrcprm/internal/obs"
+	_ "mrcprm/internal/policies" // register every built-in policy
+	"mrcprm/internal/rmkit"
 	"mrcprm/internal/service"
 	"mrcprm/internal/sim"
 	"mrcprm/internal/stats"
@@ -329,6 +331,32 @@ func NewMinEDF(cluster Cluster) ResourceManager { return minedf.New(cluster) }
 
 // NewFIFO creates the deadline-blind best-effort baseline.
 func NewFIFO(cluster Cluster) ResourceManager { return fifo.New(cluster) }
+
+// Policy registry (internal/rmkit): every resource-management policy
+// registers itself under a selection name, and entry points construct
+// managers by that name — adding a policy requires no edits outside its own
+// package.
+type (
+	// PolicyOptions carries the policy-agnostic construction knobs; policy
+	// specific configuration (e.g. Config for "mrcp") travels in Extra.
+	PolicyOptions = rmkit.Options
+	// RetryPolicy is the canonical fault-recovery budget every policy
+	// honors: a per-task retry cap and an optional per-job retry budget.
+	RetryPolicy = rmkit.RetryPolicy
+)
+
+// DefaultRetryPolicy returns the retry budgets every policy starts from.
+func DefaultRetryPolicy() RetryPolicy { return rmkit.DefaultRetryPolicy() }
+
+// NewPolicy constructs a registered policy's manager by name ("mrcp",
+// "minedf", "fifo", "edf", ...). An unknown name's error lists every
+// registered policy.
+func NewPolicy(name string, cluster Cluster, opts PolicyOptions) (ResourceManager, error) {
+	return rmkit.New(name, cluster, opts)
+}
+
+// PolicyNames returns every registered policy name, sorted.
+func PolicyNames() []string { return rmkit.Names() }
 
 // Simulate runs the job stream against the cluster under the manager and
 // returns the collected metrics.

@@ -1,0 +1,111 @@
+package mrcprm_test
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"mrcprm"
+)
+
+// newRegisteredPolicy builds one registered policy for tests; MRCP-RM gets
+// a single-threaded portfolio and a node-bounded (wall-clock-free) search
+// so results do not depend on the machine's core count or speed.
+func newRegisteredPolicy(t *testing.T, name string, cluster mrcprm.Cluster, opts mrcprm.PolicyOptions) mrcprm.ResourceManager {
+	t.Helper()
+	if name == "mrcp" {
+		cfg := mrcprm.DefaultConfig()
+		cfg.Workers = 1
+		cfg.SolveTimeLimit = 0
+		if opts.Retry != nil {
+			cfg.Retry = *opts.Retry
+		}
+		opts.Extra = cfg
+	}
+	rm, err := mrcprm.NewPolicy(name, cluster, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return rm
+}
+
+// Every registered policy — including ones this test file has never heard
+// of — must drive a contended workload to completion. MRCP-RM's late-job
+// count is pinned so the smoke test doubles as a regression gate.
+func TestEveryRegisteredPolicyRunsWorkload(t *testing.T) {
+	names := mrcprm.PolicyNames()
+	if len(names) < 4 {
+		t.Fatalf("expected at least mrcp, minedf, fifo, edf registered; got %v", names)
+	}
+	jobs, cluster := tightWorkload(t)
+	for _, name := range names {
+		t.Run(name, func(t *testing.T) {
+			rm := newRegisteredPolicy(t, name, cluster, mrcprm.PolicyOptions{})
+			m, err := mrcprm.Simulate(cluster, rm, jobs)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if m.JobsCompleted != len(jobs) {
+				t.Errorf("completed %d of %d jobs", m.JobsCompleted, len(jobs))
+			}
+			if m.JobsAbandoned != 0 {
+				t.Errorf("%d jobs abandoned in a fault-free run", m.JobsAbandoned)
+			}
+			if name == "mrcp" && m.N() != 2 {
+				t.Errorf("mrcp late jobs = %d, want 2 (pre-kernel baseline)", m.N())
+			}
+			t.Logf("%s: N=%d T=%.1fs", rm.Name(), m.N(), m.T())
+		})
+	}
+}
+
+// doomJob fails every attempt of one job's tasks (task IDs are
+// "t<job>_<phase><idx>") and leaves every other job untouched.
+type doomJob struct{ prefix string }
+
+func (d doomJob) Attempt(taskID string, _ int) mrcprm.AttemptFault {
+	if strings.HasPrefix(taskID, d.prefix) {
+		return mrcprm.AttemptFault{Fails: true, FailPoint: 0.5}
+	}
+	return mrcprm.AttemptFault{}
+}
+func (doomJob) PlannedOutages() []mrcprm.Outage { return nil }
+
+// All registered policies share rmkit's retry accounting, so the same fault
+// fingerprint must produce the identical abandonment decision everywhere:
+// exactly the doomed job goes, under the default budgets and under an
+// Options-supplied override alike.
+func TestPoliciesAgreeOnAbandonment(t *testing.T) {
+	jobs, cluster := faultTestWorkload(t)
+	doomed := jobs[5]
+	plan := doomJob{prefix: fmt.Sprintf("t%d_", doomed.ID)}
+	retries := []struct {
+		name string
+		opts mrcprm.PolicyOptions
+	}{
+		{"default-retry", mrcprm.PolicyOptions{}},
+		{"tight-retry", mrcprm.PolicyOptions{Retry: &mrcprm.RetryPolicy{MaxTaskRetries: 1}}},
+	}
+	for _, rp := range retries {
+		t.Run(rp.name, func(t *testing.T) {
+			for _, name := range mrcprm.PolicyNames() {
+				rm := newRegisteredPolicy(t, name, cluster, rp.opts)
+				m, err := mrcprm.SimulateWithFaults(cluster, rm, jobs, plan)
+				if err != nil {
+					t.Fatalf("%s: %v", name, err)
+				}
+				if m.JobsAbandoned != 1 {
+					t.Errorf("%s: abandoned %d jobs, want exactly the doomed one", name, m.JobsAbandoned)
+				}
+				if m.JobsCompleted != len(jobs)-1 {
+					t.Errorf("%s: completed %d of %d undoomed jobs", name, m.JobsCompleted, len(jobs)-1)
+				}
+				for _, r := range m.Records {
+					if r.Job.ID == doomed.ID {
+						t.Errorf("%s: doomed job %d has a completion record", name, doomed.ID)
+					}
+				}
+			}
+		})
+	}
+}
