@@ -6,22 +6,34 @@
 // POST /v1/admin/run {"close":true}, and polls until the run finishes. The
 // submitted stream is exactly what `mrcpsim -n <jobs> -seed <seed>`
 // generates, so the daemon's metrics are comparable to the offline
-// simulator's.
+// simulator's. With -verify the served final-metrics fingerprint is also
+// checked against a local deterministic replay of the accepted stream —
+// the daemon must then run with -deterministic and the same cluster shape.
 //
 // In -mode wall it replays the stream open-loop: each job is submitted
 // when its generated arrival time comes up on the (speedup-scaled) wall
 // clock, then intake is closed and the run polled to completion.
 //
-// Exit status is non-zero if any submission fails unexpectedly or if
-// accepted != completed + abandoned, which makes the summary line a CI
-// assertion:
+// In -mode stress it drives an open-loop arrival ramp (-rate0 to -rate1
+// jobs/s over -duration) with heavy-tailed job sizes (bounded Pareto task
+// multipliers) and periodic bursts against a wall-mode daemon, measuring
+// the admission path: p50/p95/p99 admission latency, shed (429) counts,
+// and the max sustainable rate (the highest 1-second offered rate the
+// daemon absorbed with zero sheds and p99 under -p99cap). -bench writes
+// the report as JSON (the committed BENCH_service.json).
 //
-//	loadgen: submitted=40 accepted=40 rejected=0 completed=40 late=2 abandoned=0 policy=mrcp
+// Exit status is non-zero if any submission fails unexpectedly, if
+// accepted != completed + abandoned, or if -verify finds a fingerprint
+// divergence — which makes the summary line a CI assertion:
+//
+//	loadgen: submitted=40 accepted=40 rejected=0 completed=40 late=2 abandoned=0 policy=mrcp fingerprint=8be0...
 //
 // Usage:
 //
 //	loadgen -addr http://localhost:8373 -jobs 40 -seed 3
 //	loadgen -mode wall -speedup 60 -jobs 20
+//	loadgen -jobs 40 -seed 3 -verify          # daemon: -mode virtual -deterministic
+//	loadgen -mode stress -rate0 5 -rate1 120 -duration 10s -bench BENCH_service.json
 package main
 
 import (
@@ -29,9 +41,11 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"math"
 	"net/http"
 	"os"
 	"sort"
+	"sync"
 	"time"
 
 	"mrcprm"
@@ -45,11 +59,30 @@ func main() {
 		jobs    = flag.Int("jobs", 20, "number of jobs to replay")
 		lambda  = flag.Float64("lambda", 0, "arrival rate override in jobs/s (0 = workload default)")
 		m       = flag.Int("m", 10, "cluster size assumed by the generator")
-		mode    = flag.String("mode", "virtual", "replay mode: virtual or wall")
+		mode    = flag.String("mode", "virtual", "replay mode: virtual, wall, or stress")
 		speedup = flag.Float64("speedup", 1, "wall mode: simulated ms per wall ms (match the daemon)")
 		timeout = flag.Duration("timeout", 5*time.Minute, "max time to wait for the run to finish")
+		verify  = flag.Bool("verify", false, "virtual mode: replay the accepted stream locally and require an identical metrics fingerprint (daemon must run -deterministic)")
+
+		rate0      = flag.Float64("rate0", 5, "stress: initial arrival rate in jobs/s")
+		rate1      = flag.Float64("rate1", 100, "stress: final arrival rate in jobs/s")
+		duration   = flag.Duration("duration", 10*time.Second, "stress: ramp duration")
+		burst      = flag.Int("burst", 10, "stress: jobs per burst (0 = no bursts)")
+		burstEvery = flag.Duration("burstevery", 3*time.Second, "stress: interval between bursts")
+		tailAlpha  = flag.Float64("tailalpha", 1.5, "stress: bounded-Pareto tail index for job-size multipliers")
+		p99Cap     = flag.Duration("p99cap", 50*time.Millisecond, "stress: per-second p99 admission latency bound for the sustainable-rate estimate")
+		bench      = flag.String("bench", "", "stress: write the report as JSON to this path")
 	)
 	common.Parse()
+
+	if *mode == "stress" {
+		os.Exit(stress(stressConfig{
+			addr: *addr, m: *m, seed: common.Seed,
+			rate0: *rate0, rate1: *rate1, duration: *duration,
+			burst: *burst, burstEvery: *burstEvery,
+			tailAlpha: *tailAlpha, p99Cap: *p99Cap, bench: *bench,
+		}))
+	}
 
 	wcfg := mrcprm.DefaultSyntheticWorkload()
 	wcfg.NumResources = *m
@@ -69,6 +102,13 @@ func main() {
 
 	client := &http.Client{Timeout: 30 * time.Second}
 	var submitted, accepted, rejected int
+	// acceptedJobs mirrors the daemon's admitted stream (spec + assigned ID)
+	// for the -verify local replay.
+	type acceptedJob struct {
+		id   int
+		spec mrcprm.JobSpec
+	}
+	var acceptedJobs []acceptedJob
 	start := time.Now()
 	for _, spec := range specs {
 		if *mode == "wall" {
@@ -81,6 +121,7 @@ func main() {
 			}
 		}
 		submitted++
+	resubmit:
 		status, body, err := postJSON(client, *addr+"/v1/jobs", spec)
 		switch {
 		case err != nil:
@@ -88,8 +129,27 @@ func main() {
 			os.Exit(1)
 		case status == http.StatusAccepted:
 			accepted++
+			var resp struct {
+				ID int `json:"id"`
+			}
+			if err := json.Unmarshal(body, &resp); err != nil {
+				fmt.Fprintf(os.Stderr, "submit: parsing accept body %q: %v\n", body, err)
+				os.Exit(1)
+			}
+			acceptedJobs = append(acceptedJobs, acceptedJob{id: resp.ID, spec: spec})
 		case status == http.StatusUnprocessableEntity:
 			rejected++
+		case status == http.StatusTooManyRequests && *mode == "wall":
+			// Honor the backpressure hint: the daemon drains in wall time,
+			// so waiting and retrying is meaningful (unlike virtual mode,
+			// where nothing drains until /v1/admin/run).
+			wait := retryAfter(body)
+			if time.Since(start)+wait > *timeout {
+				fmt.Fprintf(os.Stderr, "submit: still overloaded at timeout: %s\n", body)
+				os.Exit(1)
+			}
+			time.Sleep(wait)
+			goto resubmit
 		default:
 			fmt.Fprintf(os.Stderr, "submit: unexpected %d: %s\n", status, body)
 			os.Exit(1)
@@ -120,13 +180,304 @@ func main() {
 		time.Sleep(200 * time.Millisecond)
 	}
 
-	fmt.Printf("loadgen: submitted=%d accepted=%d rejected=%d completed=%d late=%d abandoned=%d policy=%s\n",
-		submitted, accepted, rejected, snap.JobsCompleted, snap.LateJobs, snap.JobsAbandoned, snap.Policy)
+	fmt.Printf("loadgen: submitted=%d accepted=%d rejected=%d completed=%d late=%d abandoned=%d policy=%s fingerprint=%s\n",
+		submitted, accepted, rejected, snap.JobsCompleted, snap.LateJobs, snap.JobsAbandoned, snap.Policy, snap.Fingerprint)
 	if accepted != snap.JobsCompleted+snap.JobsAbandoned {
 		fmt.Fprintf(os.Stderr, "accounting mismatch: accepted %d but %d completed + %d abandoned\n",
 			accepted, snap.JobsCompleted, snap.JobsAbandoned)
 		os.Exit(1)
 	}
+	if *verify {
+		cluster := mrcprm.Cluster{NumResources: *m, MapSlots: 2, ReduceSlots: 2}
+		opts := mrcprm.PolicyOptions{}
+		if snap.Policy == "mrcp" {
+			opts.Extra = mrcprm.DeterministicConfig()
+		}
+		rm, err := mrcprm.NewPolicy(snap.Policy, cluster, opts)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "verify: %v\n", err)
+			os.Exit(1)
+		}
+		ref := make([]*mrcprm.Job, 0, len(acceptedJobs))
+		for _, a := range acceptedJobs {
+			j, err := a.spec.Job(a.id)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "verify: rebuilding job %d: %v\n", a.id, err)
+				os.Exit(1)
+			}
+			ref = append(ref, j)
+		}
+		metrics, err := mrcprm.Simulate(cluster, rm, ref)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "verify: %v\n", err)
+			os.Exit(1)
+		}
+		want := fmt.Sprintf("%016x", metrics.Fingerprint())
+		if snap.Fingerprint != want {
+			fmt.Fprintf(os.Stderr, "verify: served fingerprint %s diverges from local replay %s\n",
+				snap.Fingerprint, want)
+			os.Exit(1)
+		}
+		fmt.Printf("loadgen: verify ok (fingerprint %s)\n", want)
+	}
+}
+
+// retryAfter extracts the retry hint from a 429 body, falling back to 1s.
+func retryAfter(body []byte) time.Duration {
+	var resp struct {
+		RetryAfterMS int64 `json:"retryAfterMs"`
+	}
+	if err := json.Unmarshal(body, &resp); err == nil && resp.RetryAfterMS > 0 {
+		return time.Duration(resp.RetryAfterMS) * time.Millisecond
+	}
+	return time.Second
+}
+
+// --- Stress mode ---
+
+type stressConfig struct {
+	addr       string
+	m          int
+	seed       uint64
+	rate0      float64
+	rate1      float64
+	duration   time.Duration
+	burst      int
+	burstEvery time.Duration
+	tailAlpha  float64
+	p99Cap     time.Duration
+	bench      string
+}
+
+// stressSample is one submission's outcome.
+type stressSample struct {
+	at      time.Duration // scheduled offset into the ramp
+	latency time.Duration
+	status  int
+	err     bool
+}
+
+// bucketReport is one second of the ramp in the bench JSON.
+type bucketReport struct {
+	Second   int     `json:"second"`
+	Offered  int     `json:"offered"`
+	Accepted int     `json:"accepted"`
+	Shed     int     `json:"shed"`
+	P99MS    float64 `json:"p99Ms"`
+}
+
+// benchReport is the committed BENCH_service.json shape.
+type benchReport struct {
+	Benchmark   string  `json:"benchmark"`
+	Rate0       float64 `json:"rate0JobsPerSec"`
+	Rate1       float64 `json:"rate1JobsPerSec"`
+	DurationSec float64 `json:"durationSec"`
+	TailAlpha   float64 `json:"tailAlpha"`
+	Burst       int     `json:"burst"`
+	Seed        uint64  `json:"seed"`
+
+	Submitted int `json:"submitted"`
+	Accepted  int `json:"accepted"`
+	Rejected  int `json:"rejected"`
+	Shed      int `json:"shed"`
+	Errors    int `json:"errors"`
+
+	LatencyP50MS float64 `json:"latencyP50Ms"`
+	LatencyP95MS float64 `json:"latencyP95Ms"`
+	LatencyP99MS float64 `json:"latencyP99Ms"`
+	LatencyMaxMS float64 `json:"latencyMaxMs"`
+
+	// MaxSustainableJobsPerSec is the highest 1-second offered rate the
+	// daemon absorbed with zero sheds and bucket p99 within the cap.
+	MaxSustainableJobsPerSec float64        `json:"maxSustainableJobsPerSec"`
+	P99CapMS                 float64        `json:"p99CapMs"`
+	Buckets                  []bucketReport `json:"buckets"`
+}
+
+// stress drives the open-loop ramp and returns the process exit code.
+func stress(cfg stressConfig) int {
+	// Size templates from the synthetic generator so exec times are
+	// realistic; the ramp then scales task counts heavy-tailed.
+	wcfg := mrcprm.DefaultSyntheticWorkload()
+	wcfg.NumResources = cfg.m
+	base, err := wcfg.Generate(50, mrcprm.NewStream(cfg.seed, 0xfeed))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 1
+	}
+
+	// Precompute the whole submission plan (times and specs) so the firing
+	// loop does no random-number work: open-loop means send times must not
+	// depend on responses.
+	rng := mrcprm.NewStream(cfg.seed, 0x57e55)
+	durS := cfg.duration.Seconds()
+	var times []time.Duration
+	for t := 0.0; t < durS; {
+		r := cfg.rate0 + (cfg.rate1-cfg.rate0)*t/durS
+		if r < 0.1 {
+			r = 0.1
+		}
+		t += rng.ExpFloat64() / r
+		if t < durS {
+			times = append(times, time.Duration(t*float64(time.Second)))
+		}
+	}
+	if cfg.burst > 0 && cfg.burstEvery > 0 {
+		for bt := cfg.burstEvery; bt < cfg.duration; bt += cfg.burstEvery {
+			for i := 0; i < cfg.burst; i++ {
+				times = append(times, bt)
+			}
+		}
+	}
+	sort.Slice(times, func(i, k int) bool { return times[i] < times[k] })
+	specs := make([]mrcprm.JobSpec, len(times))
+	for i := range specs {
+		specs[i] = stressSpec(base[rng.IntN(len(base))], rng.Float64(), cfg.tailAlpha)
+	}
+
+	client := &http.Client{Timeout: 10 * time.Second}
+	samples := make([]stressSample, len(times))
+	var wg sync.WaitGroup
+	start := time.Now()
+	for i, due := range times {
+		if wait := due - time.Since(start); wait > 0 {
+			time.Sleep(wait)
+		}
+		wg.Add(1)
+		go func(i int, due time.Duration) {
+			defer wg.Done()
+			t0 := time.Now()
+			status, _, err := postJSON(client, cfg.addr+"/v1/jobs", specs[i])
+			samples[i] = stressSample{at: due, latency: time.Since(t0), status: status, err: err != nil}
+		}(i, due)
+	}
+	wg.Wait()
+
+	rep := analyze(cfg, samples)
+	fmt.Printf("loadgen stress: submitted=%d accepted=%d rejected=%d shed=%d errors=%d p50=%.1fms p95=%.1fms p99=%.1fms sustainable=%.0f jobs/s\n",
+		rep.Submitted, rep.Accepted, rep.Rejected, rep.Shed, rep.Errors,
+		rep.LatencyP50MS, rep.LatencyP95MS, rep.LatencyP99MS, rep.MaxSustainableJobsPerSec)
+	if cfg.bench != "" {
+		buf, err := json.MarshalIndent(rep, "", "  ")
+		if err == nil {
+			err = os.WriteFile(cfg.bench, append(buf, '\n'), 0o644)
+		}
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "bench: %v\n", err)
+			return 1
+		}
+		fmt.Printf("loadgen stress: wrote %s\n", cfg.bench)
+	}
+	if rep.Errors > 0 {
+		fmt.Fprintf(os.Stderr, "stress: %d transport errors\n", rep.Errors)
+		return 1
+	}
+	return 0
+}
+
+// stressSpec builds one heavy-tailed submission from a template job: the
+// map phase is scaled by a bounded Pareto multiplier (tail index alpha,
+// support [1, 16]) and the deadline stretched proportionally so the job
+// stays individually feasible.
+func stressSpec(template *mrcprm.Job, u, alpha float64) mrcprm.JobSpec {
+	spec := mrcprm.JobSpecOf(template)
+	spec.ArrivalMS = 0 // the wall-mode daemon restamps at receipt
+	mult := math.Pow(1-u*(1-math.Pow(1.0/16, alpha)), -1/alpha)
+	n := int(math.Ceil(float64(len(spec.MapExecMS)) * mult))
+	if n > 64 {
+		n = 64
+	}
+	maps := make([]int64, n)
+	for i := range maps {
+		maps[i] = spec.MapExecMS[i%len(spec.MapExecMS)]
+	}
+	spec.MapExecMS = maps
+	window := spec.DeadlineMS - spec.ArrivalMS
+	spec.DeadlineMS = spec.ArrivalMS + int64(float64(window)*mult)
+	return spec
+}
+
+// analyze folds the samples into the bench report.
+func analyze(cfg stressConfig, samples []stressSample) *benchReport {
+	rep := &benchReport{
+		Benchmark: "service-stress", Rate0: cfg.rate0, Rate1: cfg.rate1,
+		DurationSec: cfg.duration.Seconds(), TailAlpha: cfg.tailAlpha,
+		Burst: cfg.burst, Seed: cfg.seed,
+		Submitted: len(samples),
+		P99CapMS:  float64(cfg.p99Cap.Milliseconds()),
+	}
+	var lats []time.Duration
+	nBuckets := int(cfg.duration.Seconds()) + 1
+	type bucket struct {
+		offered, accepted, shed int
+		lats                    []time.Duration
+	}
+	buckets := make([]bucket, nBuckets)
+	for _, s := range samples {
+		b := int(s.at.Seconds())
+		if b >= nBuckets {
+			b = nBuckets - 1
+		}
+		buckets[b].offered++
+		switch {
+		case s.err:
+			rep.Errors++
+			continue
+		case s.status == http.StatusAccepted:
+			rep.Accepted++
+			buckets[b].accepted++
+		case s.status == http.StatusUnprocessableEntity:
+			rep.Rejected++
+		case s.status == http.StatusTooManyRequests:
+			rep.Shed++
+			buckets[b].shed++
+		default:
+			rep.Errors++
+			continue
+		}
+		lats = append(lats, s.latency)
+		buckets[b].lats = append(buckets[b].lats, s.latency)
+	}
+	sort.Slice(lats, func(i, k int) bool { return lats[i] < lats[k] })
+	ms := func(d time.Duration) float64 { return float64(d) / float64(time.Millisecond) }
+	if len(lats) > 0 {
+		rep.LatencyP50MS = ms(percentile(lats, 0.50))
+		rep.LatencyP95MS = ms(percentile(lats, 0.95))
+		rep.LatencyP99MS = ms(percentile(lats, 0.99))
+		rep.LatencyMaxMS = ms(lats[len(lats)-1])
+	}
+	for i, b := range buckets {
+		if b.offered == 0 {
+			continue
+		}
+		sort.Slice(b.lats, func(x, y int) bool { return b.lats[x] < b.lats[y] })
+		p99 := time.Duration(0)
+		if len(b.lats) > 0 {
+			p99 = percentile(b.lats, 0.99)
+		}
+		rep.Buckets = append(rep.Buckets, bucketReport{
+			Second: i, Offered: b.offered, Accepted: b.accepted, Shed: b.shed, P99MS: ms(p99),
+		})
+		if b.shed == 0 && p99 <= cfg.p99Cap && float64(b.offered) > rep.MaxSustainableJobsPerSec {
+			rep.MaxSustainableJobsPerSec = float64(b.offered)
+		}
+	}
+	return rep
+}
+
+// percentile returns the q-quantile of sorted durations (nearest rank).
+func percentile(sorted []time.Duration, q float64) time.Duration {
+	if len(sorted) == 0 {
+		return 0
+	}
+	i := int(math.Ceil(q*float64(len(sorted)))) - 1
+	if i < 0 {
+		i = 0
+	}
+	if i >= len(sorted) {
+		i = len(sorted) - 1
+	}
+	return sorted[i]
 }
 
 func postJSON(client *http.Client, url string, body any) (int, []byte, error) {

@@ -12,8 +12,17 @@
 //     recorded stream is deterministic and byte-comparable to the offline
 //     simulator (see cmd/loadgen).
 //
+// Durability: -journal appends every accepted submission, fault switch,
+// and outage to a write-ahead journal before acknowledging it; after a
+// crash, -recover replays the journal into a fresh engine and finishes the
+// stream. With -deterministic (pinned solver settings) a recovered virtual
+// run's final metrics fingerprint is bit-identical to the uninterrupted
+// run's. -maxpending bounds the intake: excess submissions get 429 with a
+// Retry-After derived from the recent drain rate.
+//
 // API: POST /v1/jobs, GET /v1/jobs[/{id}], GET /v1/schedule,
-// GET /v1/metrics, POST /v1/admin/faults, POST /v1/admin/run, GET /healthz.
+// GET /v1/metrics, POST /v1/admin/faults, POST /v1/admin/run, GET /healthz,
+// GET /readyz.
 //
 // Usage:
 //
@@ -21,6 +30,8 @@
 //	mrcpd -mode virtual -addr :9000 -m 50
 //	mrcpd -speedup 60 -batchwindow 5s -batchmax 20
 //	mrcpd -rm minedf -admission=false
+//	mrcpd -mode virtual -deterministic -journal run.wal   # durable
+//	mrcpd -mode virtual -deterministic -journal run.wal -recover
 package main
 
 import (
@@ -59,6 +70,12 @@ func main() {
 		deferral     = flag.Duration("deferral", 30*time.Second, "park jobs whose earliest start is further away than this (0 = off)")
 
 		drainTimeout = flag.Duration("draintimeout", time.Minute, "max time to finish outstanding work on SIGTERM")
+
+		journal     = flag.String("journal", "", "write-ahead journal path (empty = no durability)")
+		journalSync = flag.String("journalsync", "always", "journal fsync policy: always, batch, or none")
+		doRecover   = flag.Bool("recover", false, "replay the -journal into a fresh engine before serving")
+		maxPending  = flag.Int("maxpending", 0, "shed submissions beyond this many accepted-but-unfinished jobs (0 = unbounded)")
+		determin    = flag.Bool("deterministic", false, "pin solver settings (no time limit, node budget, one worker) for reproducible runs")
 	)
 	common.Parse()
 	defer common.Close()
@@ -71,6 +88,9 @@ func main() {
 	cluster := mrcprm.Cluster{NumResources: *m, MapSlots: *cmp, ReduceSlots: *crd}
 	mcfg := mrcprm.DefaultConfig()
 	mcfg.Workers = common.Workers
+	if *determin {
+		mcfg = mrcprm.DeterministicConfig()
+	}
 	mcfg.BatchWindow = *batchWindow
 	mcfg.BatchMaxPending = *batchMax
 	mcfg.BatchUrgencyLead = *batchUrgency
@@ -84,6 +104,9 @@ func main() {
 		Admission:         *admission,
 		Telemetry:         common.Telemetry(),
 		TelemetrySampleMS: common.TelemetrySampleMS,
+		JournalPath:       *journal,
+		JournalSync:       *journalSync,
+		MaxPending:        *maxPending,
 	}
 	switch *mode {
 	case "wall":
@@ -95,7 +118,22 @@ func main() {
 		os.Exit(2)
 	}
 
-	engine, err := mrcprm.NewServiceEngine(cfg)
+	var engine *mrcprm.ServiceEngine
+	var err error
+	if *doRecover {
+		if *journal == "" {
+			fmt.Fprintln(os.Stderr, "-recover needs -journal")
+			os.Exit(2)
+		}
+		var info *mrcprm.ServiceRecoveryInfo
+		engine, info, err = mrcprm.RecoverServiceEngine(cfg)
+		if err == nil {
+			fmt.Printf("recovered  : %d records (%d accepted, %d rejected, %d fault switches, %d outages, closed=%v, torn=%dB)\n",
+				info.Records, info.Accepted, info.Rejected, info.FaultSwitches, info.Outages, info.Closed, info.TornBytes)
+		}
+	} else {
+		engine, err = mrcprm.NewServiceEngine(cfg)
+	}
 	if err != nil {
 		// An unknown -rm name surfaces here, listing the registered policies.
 		fmt.Fprintln(os.Stderr, err)
@@ -106,9 +144,26 @@ func main() {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}
+	} else if *doRecover {
+		// A recovered virtual run whose intake was already closed is sealed:
+		// finish the interrupted stream without waiting for a client to POST
+		// /v1/admin/run again.
+		var info mrcprm.ServiceSnapshot
+		if info = engine.Metrics(); info.Closed {
+			if err := engine.Start(); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+			fmt.Println("recovered  : intake was closed; resuming the interrupted run")
+		}
 	}
 
-	srv := &http.Server{Addr: *addr, Handler: mrcprm.NewServiceHandler(engine)}
+	srv := &http.Server{
+		Addr:              *addr,
+		Handler:           mrcprm.NewServiceHandler(engine),
+		ReadHeaderTimeout: 10 * time.Second,
+		IdleTimeout:       2 * time.Minute,
+	}
 	httpErr := make(chan error, 1)
 	go func() { httpErr <- srv.ListenAndServe() }()
 	fmt.Printf("mrcpd      : %s\n", cli.Version())

@@ -123,6 +123,19 @@ func DefaultConfig() Config {
 	}
 }
 
+// DeterministicConfig returns DefaultConfig with every wall-clock-dependent
+// solver knob pinned: no solve time limit (a deterministic node budget
+// bounds the search instead) and a single portfolio worker. Two runs over
+// the same job stream then produce byte-identical schedules — the setting
+// required for journal replay recovery and fingerprint verification.
+func DeterministicConfig() Config {
+	cfg := DefaultConfig()
+	cfg.SolveTimeLimit = 0
+	cfg.NodeLimit = 50_000
+	cfg.Workers = 1
+	return cfg
+}
+
 // Stats exposes counters accumulated by the manager across a run; useful
 // for the experiment harness and for tests.
 type Stats struct {

@@ -32,6 +32,17 @@ const (
 	LayerService = "service"
 )
 
+// Well-known counter and gauge names shared between the service engine and
+// its metrics consumers (/v1/metrics readers, smoke scripts).
+const (
+	// CounterServiceShed counts submissions rejected by the bounded-intake
+	// backpressure (Config.MaxPending).
+	CounterServiceShed = "service_shed_total"
+	// GaugeServicePending tracks the engine's current intake depth:
+	// accepted submissions not yet completed or abandoned.
+	GaugeServicePending = "service_pending_jobs"
+)
+
 type fieldKind uint8
 
 const (

@@ -36,6 +36,7 @@ import (
 	_ "mrcprm/internal/policies" // register every built-in policy
 	"mrcprm/internal/rmkit"
 	"mrcprm/internal/sim"
+	"mrcprm/internal/wal"
 	"mrcprm/internal/workload"
 )
 
@@ -89,6 +90,29 @@ type Config struct {
 	// Observer receives task lifecycle notifications (e.g. a
 	// trace.Recorder for the determinism golden test).
 	Observer sim.Observer
+
+	// JournalPath enables the write-ahead journal: accepted submissions,
+	// runtime fault switches, injected outages, intake close, and
+	// installed-timetable audit snapshots are appended to this file before
+	// they take effect, so a crashed daemon can be rebuilt with Recover.
+	// New refuses a non-empty journal (pass it to Recover instead).
+	JournalPath string
+	// JournalSync selects the fsync policy: "always" (default; every
+	// record hits stable storage before the submission is acknowledged),
+	// "batch" (fsync every 64 appends), or "none".
+	JournalSync string
+	// JournalTimetableEvery appends an installed-timetable audit record
+	// every N simulator steps (0 = only when the intake closes). Timetable
+	// records are forensic: replay re-derives placements deterministically
+	// and ignores them.
+	JournalTimetableEvery int
+
+	// MaxPending bounds the number of accepted-but-unfinished jobs
+	// (intake queue + outstanding work). Submissions beyond the bound are
+	// shed with ErrOverloaded instead of growing the queue without bound;
+	// the HTTP layer surfaces that as 429 with a Retry-After derived from
+	// the recent drain rate. 0 means unbounded.
+	MaxPending int
 }
 
 // Sentinel errors surfaced to the HTTP layer.
@@ -99,14 +123,42 @@ var (
 	ErrRunning = errors.New("service: engine already started")
 	// ErrStopped is the run error after a hard Stop.
 	ErrStopped = errors.New("service: engine stopped")
+	// ErrOverloaded rejects submissions shed by the MaxPending bound;
+	// errors returned by Submit match it via errors.Is and carry the queue
+	// state as an *OverloadError.
+	ErrOverloaded = errors.New("service: intake overloaded")
+	// ErrJournal wraps a write-ahead-journal append failure: the
+	// submission was NOT accepted (nothing unjournaled takes effect).
+	ErrJournal = errors.New("service: journal write failed")
 )
+
+// OverloadError reports a shed submission: the intake was at Max pending
+// jobs and the caller should retry after RetryAfter, which is derived from
+// the overshoot and the recently observed drain rate.
+type OverloadError struct {
+	Pending    int
+	Max        int
+	RetryAfter time.Duration
+}
+
+func (e *OverloadError) Error() string {
+	return fmt.Sprintf("service: intake overloaded (%d pending, max %d); retry after %s",
+		e.Pending, e.Max, e.RetryAfter)
+}
+
+// Is matches ErrOverloaded so callers can use errors.Is without the type.
+func (e *OverloadError) Is(target error) bool { return target == ErrOverloaded }
 
 // jobEntry is the engine's record of one submission. The immutable fields
 // are set at Submit; injectErr is written by the run loop under mu.
 type jobEntry struct {
-	id       int
-	job      *workload.Job // nil when the submission was rejected
-	rejected *core.AdmissionError
+	id  int
+	job *workload.Job // nil when the submission was rejected
+	// rejectReason is non-empty for admission rejections (kept as a plain
+	// string so journal replay can restore it without re-deriving the
+	// typed error); rejectDeadline preserves the reported deadline.
+	rejectReason   string
+	rejectDeadline int64
 	// injectErr records a (should-not-happen) AddJob failure so the job
 	// does not silently vanish.
 	injectErr error
@@ -129,6 +181,26 @@ type Engine struct {
 	closed   bool
 	started  bool
 	rejects  int
+	accepted int
+	shed     int
+	// closeLogged dedups the journal's close record (CloseIntake is
+	// idempotent; replay must see at most one).
+	closeLogged bool
+
+	// journal is the write-ahead journal (nil when durability is off).
+	// Appends happen under intakeMu on the submission path and from the
+	// run loop for timetable audits; wal.Journal serializes internally.
+	journal *wal.Journal
+	// scheduledFaults replays journaled mid-run fault switches: the run
+	// loop installs each spec once the simulation clock reaches its
+	// recorded instant. Owned by the loop goroutine after Start; populated
+	// only by Recover before it.
+	scheduledFaults []scheduledFault
+
+	// finished counts completed + abandoned jobs (updated by the run loop
+	// after every step); accepted - finished is the backpressure depth.
+	finished atomic.Int64
+	rate     rateTracker
 
 	// mu guards the simulator (and through it the manager) — stepping,
 	// injection, and every state query.
@@ -184,7 +256,7 @@ func New(cfg Config) (*Engine, error) {
 	if cfg.Speedup <= 0 {
 		cfg.Speedup = 1
 	}
-	return &Engine{
+	e := &Engine{
 		cfg:     cfg,
 		rm:      rm,
 		policy:  policy,
@@ -194,7 +266,28 @@ func New(cfg Config) (*Engine, error) {
 		wake:    make(chan struct{}, 1),
 		stop:    make(chan struct{}),
 		done:    make(chan struct{}),
-	}, nil
+	}
+	if cfg.JournalPath != "" {
+		pol, err := wal.ParseSyncPolicy(cfg.JournalSync)
+		if err != nil {
+			return nil, err
+		}
+		j, recs, err := wal.Open(cfg.JournalPath, wal.Options{Sync: pol})
+		if err != nil {
+			return nil, err
+		}
+		if len(recs) > 0 {
+			j.Close()
+			return nil, fmt.Errorf("service: journal %s already holds %d records; replay it with Recover or remove the file",
+				cfg.JournalPath, len(recs))
+		}
+		e.journal = j
+		if err := e.journalAppend(e.metaRecord()); err != nil {
+			j.Close()
+			return nil, err
+		}
+	}
+	return e, nil
 }
 
 // NowMS returns the engine's current simulated time: the simulator clock in
@@ -214,15 +307,27 @@ func (e *Engine) NowMS() int64 {
 
 // Submit accepts one job submission and returns its assigned ID. In Wall
 // mode the spec's arrival time is replaced with the submission instant; in
-// Virtual mode it is honored (clamped up to the simulation clock at
-// injection). A non-nil *core.AdmissionError return still carries a valid
-// ID: the rejection is recorded and queryable.
+// Virtual mode it is honored, clamped up to the current simulation clock.
+// A non-nil *core.AdmissionError return still carries a valid ID: the
+// rejection is recorded and queryable.
+//
+// When MaxPending is set and the intake is full the submission is shed
+// with an *OverloadError (no ID is consumed); when a journal is attached
+// the accepted submission is appended — and fsynced per the sync policy —
+// before Submit returns, so an acknowledged job survives a crash.
 func (e *Engine) Submit(spec workload.JobSpec) (int, error) {
 	now := e.NowMS()
 	e.intakeMu.Lock()
 	defer e.intakeMu.Unlock()
 	if e.closed {
 		return 0, ErrClosed
+	}
+	if max := e.cfg.MaxPending; max > 0 {
+		if depth := e.accepted - int(e.finished.Load()); depth >= max {
+			e.shed++
+			e.cfg.Telemetry.Add(obs.CounterServiceShed, 1)
+			return 0, &OverloadError{Pending: depth, Max: max, RetryAfter: e.retryAfter(depth - max + 1)}
+		}
 	}
 	if e.cfg.Mode == Wall {
 		// Restamp the arrival to the wall clock and shift the SLA window
@@ -234,6 +339,11 @@ func (e *Engine) Submit(spec workload.JobSpec) (int, error) {
 			spec.EarliestStartMS += shift
 		}
 		spec.DeadlineMS += shift
+	} else if spec.ArrivalMS < now {
+		// Clamp stale virtual arrivals at submission so the journaled spec
+		// is exactly the job the run admits (injection re-clamps only if
+		// the clock advanced in between, which replay does not reproduce).
+		spec.ArrivalMS = now
 	}
 	j, err := spec.Job(e.nextID)
 	if err != nil {
@@ -252,15 +362,38 @@ func (e *Engine) Submit(spec workload.JobSpec) (int, error) {
 		if aerr := core.CheckAdmission(e.cfg.Cluster, j, at); aerr != nil {
 			var ae *core.AdmissionError
 			errors.As(aerr, &ae)
-			entry.rejected = ae
+			entry.rejectReason = ae.Error()
+			entry.rejectDeadline = ae.Deadline
 			entry.job = nil
 			e.rejects++
+			if jerr := e.journalAppend(&journalRecord{
+				Kind: recSubmit, SimMS: now, ID: id, Spec: &spec, Rejected: entry.rejectReason,
+			}); jerr != nil {
+				e.rollbackSubmit(id)
+				return 0, jerr
+			}
 			return id, aerr
 		}
 	}
+	if jerr := e.journalAppend(&journalRecord{Kind: recSubmit, SimMS: now, ID: id, Spec: &spec}); jerr != nil {
+		e.rollbackSubmit(id)
+		return 0, jerr
+	}
+	e.accepted++
 	e.intake = append(e.intake, j)
 	e.signal()
 	return id, nil
+}
+
+// rollbackSubmit undoes the registry effects of a submission whose journal
+// append failed; called under intakeMu.
+func (e *Engine) rollbackSubmit(id int) {
+	if e.entries[id] != nil && e.entries[id].rejectReason != "" {
+		e.rejects--
+	}
+	delete(e.entries, id)
+	e.order = e.order[:len(e.order)-1]
+	e.nextID--
 }
 
 // Start launches the run loop. In Virtual mode submissions made before
@@ -282,7 +415,14 @@ func (e *Engine) Start() error {
 // more than once and before Start.
 func (e *Engine) CloseIntake() {
 	e.intakeMu.Lock()
+	logClose := !e.closed && !e.closeLogged
 	e.closed = true
+	if logClose {
+		e.closeLogged = true
+		// Best-effort: a failed append means recovery replays an open
+		// intake, which is safe (the operator re-closes it).
+		_ = e.journalAppend(&journalRecord{Kind: recClose, SimMS: e.simNow.Load()})
+	}
 	e.intakeMu.Unlock()
 	e.signal()
 }
@@ -321,9 +461,18 @@ func (e *Engine) SetFaults(fi sim.FaultInjector) { e.sw.Set(fi) }
 func (e *Engine) InjectOutage(res int, downAt, upAt int64) error {
 	e.mu.Lock()
 	defer e.mu.Unlock()
-	if now := e.sim.Now(); downAt < now {
+	now := e.sim.Now()
+	if downAt < now {
 		upAt += now - downAt
 		downAt = now
+	}
+	// Journal the clamped window before injecting (WAL discipline: nothing
+	// unjournaled takes effect) so replay schedules the exact same events.
+	if err := e.journalAppend(&journalRecord{
+		Kind: recOutage, SimMS: now,
+		Outage: &outageRecord{Resource: res, DownMS: downAt, UpMS: upAt},
+	}); err != nil {
+		return err
 	}
 	if err := e.sim.InjectOutage(res, downAt, upAt); err != nil {
 		return err
@@ -344,7 +493,10 @@ func (e *Engine) signal() {
 // the wall clock when configured, drain and finish once the intake closes.
 func (e *Engine) loop() {
 	defer close(e.done)
+	defer e.closeJournal()
 	drained := false
+	steps := 0
+	ttLogged := false // final timetable audit written after intake close
 	for {
 		select {
 		case <-e.stop:
@@ -352,6 +504,7 @@ func (e *Engine) loop() {
 			return
 		default:
 		}
+		e.applyScheduledFaults()
 		e.drainIntake()
 		next, pending := e.peek()
 		if !pending {
@@ -359,6 +512,10 @@ func (e *Engine) loop() {
 				continue // raced: a submission landed after drainIntake
 			}
 			if e.intakeClosed() {
+				if !ttLogged {
+					ttLogged = true
+					e.journalTimetable()
+				}
 				if !drained && e.drainManager() {
 					drained = true
 					continue
@@ -381,12 +538,48 @@ func (e *Engine) loop() {
 		}
 		e.mu.Lock()
 		_, err := e.sim.Step()
+		m := e.sim.CurrentMetrics()
 		e.simNow.Store(e.sim.Now())
 		e.mu.Unlock()
 		if err != nil {
 			e.end(nil, err)
 			return
 		}
+		e.observeProgress(&m)
+		steps++
+		if every := e.cfg.JournalTimetableEvery; every > 0 && steps%every == 0 {
+			e.journalTimetable()
+		}
+	}
+}
+
+// observeProgress folds one step's metrics into the backpressure state:
+// the finished count, the drain-rate window, and the queue-depth gauge.
+func (e *Engine) observeProgress(m *sim.Metrics) {
+	fin := int64(m.JobsCompleted + m.JobsAbandoned)
+	e.finished.Store(fin)
+	e.rate.observe(time.Now(), fin)
+	if e.cfg.Telemetry.Enabled() {
+		e.intakeMu.Lock()
+		depth := e.accepted - int(fin)
+		e.intakeMu.Unlock()
+		e.cfg.Telemetry.SetGauge(obs.GaugeServicePending, int64(depth))
+	}
+}
+
+// applyScheduledFaults installs journaled mid-run fault switches once the
+// simulation clock reaches their recorded instants. Only the run loop
+// touches the slice after Start.
+func (e *Engine) applyScheduledFaults() {
+	now := e.simNow.Load()
+	for len(e.scheduledFaults) > 0 && e.scheduledFaults[0].at <= now {
+		spec := e.scheduledFaults[0].spec
+		e.scheduledFaults = e.scheduledFaults[1:]
+		plan, err := spec.plan()
+		if err != nil {
+			continue // the original run validated it; be lenient on replay
+		}
+		e.sw.Set(plan)
 	}
 }
 
@@ -494,6 +687,106 @@ func (e *Engine) finish() {
 	}
 	m, err := e.sim.Finish()
 	e.metrics, e.runErr = m, err
+	if m != nil {
+		e.finished.Store(int64(m.JobsCompleted + m.JobsAbandoned))
+	}
+}
+
+// retryAfter derives a backoff hint for one shed submission: how long the
+// overshoot should take to drain at the recently observed completion rate,
+// clamped to [1s, 60s]. Called under intakeMu.
+func (e *Engine) retryAfter(excess int) time.Duration {
+	if excess < 1 {
+		excess = 1
+	}
+	d := time.Second
+	if r := e.rate.perSec(); r > 0 {
+		d = time.Duration(float64(excess) / r * float64(time.Second))
+	}
+	if d < time.Second {
+		d = time.Second
+	}
+	if d > time.Minute {
+		d = time.Minute
+	}
+	return d
+}
+
+// Ready reports whether the engine should receive traffic: false (with a
+// reason) once the run finished, while the intake is draining after
+// CloseIntake, or while the MaxPending bound is shedding load. Backing for
+// the HTTP /readyz endpoint, so orchestrators stop routing before hard
+// failure.
+func (e *Engine) Ready() (bool, string) {
+	select {
+	case <-e.done:
+		return false, "finished"
+	default:
+	}
+	e.intakeMu.Lock()
+	closed, depth := e.closed, e.accepted-int(e.finished.Load())
+	e.intakeMu.Unlock()
+	switch {
+	case closed:
+		return false, "draining"
+	case e.cfg.MaxPending > 0 && depth >= e.cfg.MaxPending:
+		return false, "overloaded"
+	}
+	return true, ""
+}
+
+// scheduledFault is one journaled mid-run fault switch awaiting replay.
+type scheduledFault struct {
+	at   int64
+	spec FaultSpec
+}
+
+// rateTracker keeps a short window of (wall time, finished jobs) samples
+// so shed responses can estimate the current drain rate.
+type rateTracker struct {
+	mu  sync.Mutex
+	pts []ratePoint
+}
+
+type ratePoint struct {
+	at  time.Time
+	fin int64
+}
+
+// rateWindow bounds how far back the drain-rate estimate looks.
+const rateWindow = 10 * time.Second
+
+func (t *rateTracker) observe(at time.Time, fin int64) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	n := len(t.pts)
+	if n > 0 && t.pts[n-1].fin == fin && at.Sub(t.pts[n-1].at) < 250*time.Millisecond {
+		return
+	}
+	t.pts = append(t.pts, ratePoint{at: at, fin: fin})
+	// Drop samples older than the window, always keeping two.
+	cut := 0
+	for cut < len(t.pts)-2 && at.Sub(t.pts[cut].at) > rateWindow {
+		cut++
+	}
+	t.pts = t.pts[cut:]
+}
+
+// perSec returns the drain rate in jobs per wall second over the sample
+// window, or 0 when unknown.
+func (t *rateTracker) perSec() float64 {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	n := len(t.pts)
+	if n < 2 {
+		return 0
+	}
+	dt := t.pts[n-1].at.Sub(t.pts[0].at).Seconds()
+	df := float64(t.pts[n-1].fin - t.pts[0].fin)
+	if dt <= 0 || df <= 0 {
+		return 0
+	}
+	return df / dt
 }
 
 func (e *Engine) end(m *sim.Metrics, err error) {
@@ -581,9 +874,9 @@ func (e *Engine) Jobs() []JobStatus {
 }
 
 func (e *Engine) status(entry *jobEntry, withPlacements bool) JobStatus {
-	if entry.rejected != nil {
-		return JobStatus{ID: entry.id, State: StateRejected, Reason: entry.rejected.Error(),
-			DeadlineMS: entry.rejected.Deadline}
+	if entry.rejectReason != "" {
+		return JobStatus{ID: entry.id, State: StateRejected, Reason: entry.rejectReason,
+			DeadlineMS: entry.rejectDeadline}
 	}
 	e.mu.Lock()
 	defer e.mu.Unlock()
@@ -703,6 +996,18 @@ type Snapshot struct {
 
 	Submitted int `json:"submitted"`
 	Rejected  int `json:"rejected"`
+	// Shed counts submissions bounced by the MaxPending backpressure
+	// bound; Pending is the current accepted-but-unfinished depth that
+	// bound applies to.
+	Shed       int `json:"shed"`
+	Pending    int `json:"pending"`
+	MaxPending int `json:"maxPending,omitempty"`
+	// Journal is the write-ahead journal path when durability is on.
+	Journal string `json:"journal,omitempty"`
+	// Fingerprint is the final metrics fingerprint (16 hex digits), set
+	// once the run finished; loadgen -verify compares it against an
+	// offline replay of the same stream.
+	Fingerprint string `json:"fingerprint,omitempty"`
 
 	JobsArrived   int `json:"jobsArrived"`
 	JobsCompleted int `json:"jobsCompleted"`
@@ -724,12 +1029,16 @@ type Snapshot struct {
 func (e *Engine) Metrics() Snapshot {
 	e.intakeMu.Lock()
 	snap := Snapshot{
-		Mode:      e.cfg.Mode.String(),
-		Policy:    e.policy,
-		Submitted: e.nextID,
-		Rejected:  e.rejects,
-		Running:   e.started,
-		Closed:    e.closed,
+		Mode:       e.cfg.Mode.String(),
+		Policy:     e.policy,
+		Submitted:  e.nextID,
+		Rejected:   e.rejects,
+		Shed:       e.shed,
+		Pending:    e.accepted - int(e.finished.Load()),
+		MaxPending: e.cfg.MaxPending,
+		Journal:    e.cfg.JournalPath,
+		Running:    e.started,
+		Closed:     e.closed,
 	}
 	e.intakeMu.Unlock()
 	select {
@@ -739,6 +1048,9 @@ func (e *Engine) Metrics() Snapshot {
 	default:
 	}
 	e.mu.Lock()
+	if snap.Finished && e.metrics != nil {
+		snap.Fingerprint = fmt.Sprintf("%016x", e.metrics.Fingerprint())
+	}
 	m := e.sim.CurrentMetrics()
 	snap.SimTimeMS = e.sim.Now()
 	snap.Outstanding = e.sim.OutstandingJobs()

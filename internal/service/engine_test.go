@@ -17,13 +17,7 @@ import (
 // deterministicCfg disables the wall-clock solve budget so runs are a pure
 // function of the seed (same settings as the core and sim determinism
 // tests).
-func deterministicCfg() core.Config {
-	cfg := core.DefaultConfig()
-	cfg.SolveTimeLimit = 0
-	cfg.NodeLimit = 50_000
-	cfg.Workers = 1
-	return cfg
-}
+func deterministicCfg() core.Config { return core.DeterministicConfig() }
 
 // TestVirtualRunMatchesSim is the golden determinism contract: a
 // virtual-clock engine run over a submitted job stream produces a

@@ -6,9 +6,9 @@ import (
 	"fmt"
 	"net/http"
 	"strconv"
+	"time"
 
 	"mrcprm/internal/core"
-	"mrcprm/internal/faults"
 	"mrcprm/internal/workload"
 )
 
@@ -24,13 +24,16 @@ import (
 //	POST /v1/admin/run     start the run loop (virtual mode);
 //	                       {"close":true} also closes the intake
 //	GET  /healthz          liveness + run state
+//	GET  /readyz           readiness: 503 while draining or shedding
 //
 // Error bodies are {"error":"..."}: 400 malformed, 404 unknown job, 409
-// double start, 422 admission rejection, 503 intake closed.
+// double start, 422 admission rejection, 429 shed by backpressure (with a
+// Retry-After header), 500 journal write failure, 503 intake closed.
 func NewHandler(e *Engine) http.Handler {
 	s := &server{e: e}
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /healthz", s.healthz)
+	mux.HandleFunc("GET /readyz", s.readyz)
 	mux.HandleFunc("POST /v1/jobs", s.submit)
 	mux.HandleFunc("GET /v1/jobs", s.listJobs)
 	mux.HandleFunc("GET /v1/jobs/{id}", s.getJob)
@@ -42,6 +45,10 @@ func NewHandler(e *Engine) http.Handler {
 }
 
 type server struct{ e *Engine }
+
+// maxBodyBytes caps POST bodies: a job spec or fault request is a few KB at
+// most, so anything near the cap is malformed or hostile.
+const maxBodyBytes = 1 << 20
 
 func writeJSON(w http.ResponseWriter, status int, v any) {
 	w.Header().Set("Content-Type", "application/json")
@@ -66,18 +73,38 @@ func (s *server) healthz(w http.ResponseWriter, r *http.Request) {
 	})
 }
 
+// readyz is the orchestrator-facing readiness probe: 200 while the engine
+// should receive traffic, 503 (with the reason) once it is finished,
+// draining after CloseIntake, or shedding at the MaxPending bound.
+func (s *server) readyz(w http.ResponseWriter, r *http.Request) {
+	if ok, reason := s.e.Ready(); !ok {
+		writeJSON(w, http.StatusServiceUnavailable, map[string]any{"ready": false, "reason": reason})
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"ready": true})
+}
+
 func (s *server) submit(w http.ResponseWriter, r *http.Request) {
 	var spec workload.JobSpec
-	dec := json.NewDecoder(r.Body)
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBodyBytes))
 	dec.DisallowUnknownFields()
 	if err := dec.Decode(&spec); err != nil {
 		writeError(w, http.StatusBadRequest, fmt.Errorf("parsing job spec: %w", err))
 		return
 	}
 	id, err := s.e.Submit(spec)
+	var oe *OverloadError
 	switch {
 	case errors.Is(err, ErrClosed):
 		writeError(w, http.StatusServiceUnavailable, err)
+	case errors.As(err, &oe):
+		w.Header().Set("Retry-After", strconv.Itoa(retryAfterSeconds(oe.RetryAfter)))
+		writeJSON(w, http.StatusTooManyRequests, map[string]any{
+			"error": err.Error(), "pending": oe.Pending, "maxPending": oe.Max,
+			"retryAfterMs": oe.RetryAfter.Milliseconds(),
+		})
+	case errors.Is(err, ErrJournal):
+		writeError(w, http.StatusInternalServerError, err)
 	case err != nil:
 		var ae *core.AdmissionError
 		if errors.As(err, &ae) {
@@ -89,6 +116,16 @@ func (s *server) submit(w http.ResponseWriter, r *http.Request) {
 	default:
 		writeJSON(w, http.StatusAccepted, map[string]any{"id": id, "state": StateQueued})
 	}
+}
+
+// retryAfterSeconds renders a backoff as whole seconds for the Retry-After
+// header, rounding up so clients never retry early.
+func retryAfterSeconds(d time.Duration) int {
+	secs := int((d + time.Second - 1) / time.Second)
+	if secs < 1 {
+		secs = 1
+	}
+	return secs
 }
 
 func (s *server) listJobs(w http.ResponseWriter, r *http.Request) {
@@ -137,7 +174,7 @@ type faultRequest struct {
 
 func (s *server) faults(w http.ResponseWriter, r *http.Request) {
 	var req faultRequest
-	dec := json.NewDecoder(r.Body)
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBodyBytes))
 	dec.DisallowUnknownFields()
 	if err := dec.Decode(&req); err != nil {
 		writeError(w, http.StatusBadRequest, fmt.Errorf("parsing fault request: %w", err))
@@ -146,7 +183,11 @@ func (s *server) faults(w http.ResponseWriter, r *http.Request) {
 	if req.DurationMS > 0 {
 		at := s.e.NowMS() + req.DelayMS
 		if err := s.e.InjectOutage(req.Resource, at, at+req.DurationMS); err != nil {
-			writeError(w, http.StatusBadRequest, err)
+			status := http.StatusBadRequest
+			if errors.Is(err, ErrJournal) {
+				status = http.StatusInternalServerError
+			}
+			writeError(w, status, err)
 			return
 		}
 		writeJSON(w, http.StatusOK, map[string]any{
@@ -155,26 +196,21 @@ func (s *server) faults(w http.ResponseWriter, r *http.Request) {
 		})
 		return
 	}
-	if req.FailRate == 0 && req.StragglerProb == 0 {
-		s.e.SetFaults(nil)
+	// Per-attempt plans go through ApplyFaults so the switch is journaled
+	// and replays at the same simulated instant on recovery.
+	spec := FaultSpec{FailRate: req.FailRate, StragglerProb: req.StragglerProb, Seed: req.Seed}
+	if err := s.e.ApplyFaults(spec); err != nil {
+		status := http.StatusBadRequest
+		if errors.Is(err, ErrJournal) {
+			status = http.StatusInternalServerError
+		}
+		writeError(w, status, err)
+		return
+	}
+	if !spec.enabled() {
 		writeJSON(w, http.StatusOK, map[string]any{"injected": "none"})
 		return
 	}
-	seed := req.Seed
-	if seed == 0 {
-		seed = 1
-	}
-	plan, err := faults.New(faults.Config{
-		TaskFailureProb: req.FailRate,
-		StragglerProb:   req.StragglerProb,
-		Seed1:           seed,
-		Seed2:           0xfa17,
-	})
-	if err != nil {
-		writeError(w, http.StatusBadRequest, err)
-		return
-	}
-	s.e.SetFaults(plan)
 	writeJSON(w, http.StatusOK, map[string]any{
 		"injected": "attempts", "failRate": req.FailRate, "stragglerProb": req.StragglerProb,
 	})
@@ -190,7 +226,7 @@ type runRequest struct {
 func (s *server) run(w http.ResponseWriter, r *http.Request) {
 	var req runRequest
 	if r.ContentLength != 0 {
-		dec := json.NewDecoder(r.Body)
+		dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBodyBytes))
 		dec.DisallowUnknownFields()
 		if err := dec.Decode(&req); err != nil {
 			writeError(w, http.StatusBadRequest, fmt.Errorf("parsing run request: %w", err))

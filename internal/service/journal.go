@@ -1,0 +1,340 @@
+package service
+
+// Durability layer: the engine's write-ahead journal and crash recovery.
+//
+// The journal (internal/wal) is a log of *inputs and decisions*, not of
+// simulator state: accepted and rejected submissions, runtime fault
+// switches, injected outages, and the intake close. Because a virtual-mode
+// run is a deterministic function of exactly those inputs (the golden
+// contract pinned by TestVirtualRunMatchesSim), recovery does not need
+// checkpoints — Recover rebuilds a fresh engine, replays the journaled
+// inputs, and re-runs; the result is bit-identical to the uninterrupted
+// run, fingerprint and all. Timetable records are the one exception: they
+// are forensic audit snapshots of the installed schedule (what was
+// promised to clients at crash time) and are ignored by replay.
+//
+// The bit-exactness guarantee targets the virtual-clock regime in which
+// submissions precede Start (the loadgen / CI replay flow) under
+// deterministic solver settings (core.DeterministicConfig). Mid-run
+// submissions and fault switches are replayed at their recorded simulated
+// instants, which reproduces the original run up to the clock position of
+// the racing intake drain; wall-mode journals recover every accepted job
+// but re-execute the stream on the recovered engine's own clock.
+
+import (
+	"encoding/json"
+	"fmt"
+
+	"mrcprm/internal/faults"
+	"mrcprm/internal/sim"
+	"mrcprm/internal/wal"
+	"mrcprm/internal/workload"
+)
+
+// Journal record kinds.
+const (
+	recMeta      = "meta"
+	recSubmit    = "submit"
+	recFaults    = "faults"
+	recOutage    = "outage"
+	recClose     = "close"
+	recTimetable = "timetable"
+)
+
+// journalRecord is the one-line JSON payload of every WAL record; Kind
+// selects which optional fields are meaningful.
+type journalRecord struct {
+	Kind  string `json:"kind"`
+	SimMS int64  `json:"simMs"`
+
+	// meta (first record of every journal).
+	Policy  string       `json:"policy,omitempty"`
+	Mode    string       `json:"mode,omitempty"`
+	Cluster *sim.Cluster `json:"cluster,omitempty"`
+
+	// submit.
+	ID       int               `json:"id"`
+	Spec     *workload.JobSpec `json:"spec,omitempty"`
+	Rejected string            `json:"rejected,omitempty"`
+
+	// faults.
+	Faults *FaultSpec `json:"faults,omitempty"`
+
+	// outage.
+	Outage *outageRecord `json:"outage,omitempty"`
+
+	// timetable (audit only; replay ignores it).
+	Placements []TaskPlacement `json:"placements,omitempty"`
+}
+
+// outageRecord is the journaled form of one injected outage window, with
+// the clamping already applied.
+type outageRecord struct {
+	Resource int   `json:"resource"`
+	DownMS   int64 `json:"downMs"`
+	UpMS     int64 `json:"upMs"`
+}
+
+// FaultSpec is the serializable per-attempt fault plan installed through
+// ApplyFaults (and POST /v1/admin/faults): the same knobs as the HTTP
+// body, journaled verbatim so recovery can rebuild the identical seeded
+// plan. The zero value disables injection.
+type FaultSpec struct {
+	FailRate      float64 `json:"failRate"`
+	StragglerProb float64 `json:"stragglerProb"`
+	Seed          uint64  `json:"seed,omitempty"`
+}
+
+func (s FaultSpec) enabled() bool { return s.FailRate > 0 || s.StragglerProb > 0 }
+
+// plan builds the seeded injector; nil for a disabled spec.
+func (s FaultSpec) plan() (sim.FaultInjector, error) {
+	if !s.enabled() {
+		return nil, nil
+	}
+	seed := s.Seed
+	if seed == 0 {
+		seed = 1
+	}
+	return faults.New(faults.Config{
+		TaskFailureProb: s.FailRate,
+		StragglerProb:   s.StragglerProb,
+		Seed1:           seed,
+		Seed2:           0xfa17,
+	})
+}
+
+// ApplyFaults journals and installs the per-attempt fault plan described
+// by spec; an all-zero spec disables injection. Unlike SetFaults (which
+// accepts an arbitrary injector and therefore cannot be journaled), plans
+// installed through ApplyFaults are replayed on recovery at the simulated
+// instant of the switch.
+func (e *Engine) ApplyFaults(spec FaultSpec) error {
+	plan, err := spec.plan()
+	if err != nil {
+		return err
+	}
+	if err := e.journalAppend(&journalRecord{
+		Kind: recFaults, SimMS: e.simNow.Load(), Faults: &spec,
+	}); err != nil {
+		return err
+	}
+	e.sw.Set(plan)
+	return nil
+}
+
+// metaRecord describes the engine shape; Recover refuses to replay a
+// journal into a mismatched configuration.
+func (e *Engine) metaRecord() *journalRecord {
+	cluster := e.cfg.Cluster
+	return &journalRecord{
+		Kind:    recMeta,
+		Policy:  e.policy,
+		Mode:    e.cfg.Mode.String(),
+		Cluster: &cluster,
+	}
+}
+
+// journalAppend marshals and appends one record; a nil journal is a no-op.
+// Append failures are wrapped in ErrJournal so the HTTP layer can map them
+// to a server-side 500 rather than a client error.
+func (e *Engine) journalAppend(rec *journalRecord) error {
+	if e.journal == nil {
+		return nil
+	}
+	b, err := json.Marshal(rec)
+	if err != nil {
+		return fmt.Errorf("%w: marshal %s record: %v", ErrJournal, rec.Kind, err)
+	}
+	if err := e.journal.Append(b); err != nil {
+		return fmt.Errorf("%w: %v", ErrJournal, err)
+	}
+	return nil
+}
+
+// journalTimetable appends an installed-timetable audit snapshot (every
+// placed, not-yet-completed task). Called from the run loop, which holds
+// neither engine lock at that point.
+func (e *Engine) journalTimetable() {
+	if e.journal == nil {
+		return
+	}
+	_ = e.journalAppend(&journalRecord{
+		Kind: recTimetable, SimMS: e.simNow.Load(), Placements: e.Schedule(),
+	})
+}
+
+// closeJournal syncs and closes the journal when the run loop exits; every
+// record that matters is already on disk by then.
+func (e *Engine) closeJournal() {
+	if e.journal != nil {
+		_ = e.journal.Close()
+	}
+}
+
+// RecoveryInfo summarizes what Recover replayed from a journal.
+type RecoveryInfo struct {
+	// Records is the total number of intact journal records replayed;
+	// TornBytes is the size of the discarded torn tail (0 for a clean
+	// journal).
+	Records   int
+	TornBytes int64
+	// Accepted and Rejected count replayed submissions by their journaled
+	// admission outcome.
+	Accepted int
+	Rejected int
+	// FaultSwitches and Outages count replayed runtime fault records;
+	// Timetables counts the audit snapshots that were skipped.
+	FaultSwitches int
+	Outages       int
+	Timetables    int
+	// Closed reports whether the journaled run had closed its intake: a
+	// recovered virtual engine can then simply be Started to finish the
+	// interrupted stream.
+	Closed bool
+}
+
+// Recover rebuilds an engine from the write-ahead journal at
+// cfg.JournalPath: it opens the journal (truncating any torn tail),
+// replays every journaled submission, fault switch, outage, and intake
+// close into a fresh engine built from cfg, and leaves the journal
+// attached so the recovered engine keeps appending where the crashed one
+// stopped. Start the returned engine to run the recovered stream; in
+// virtual mode with deterministic solver settings the finished metrics
+// fingerprint is bit-identical to the uninterrupted run's.
+func Recover(cfg Config) (*Engine, *RecoveryInfo, error) {
+	if cfg.JournalPath == "" {
+		return nil, nil, fmt.Errorf("service: Recover needs Config.JournalPath")
+	}
+	pol, err := wal.ParseSyncPolicy(cfg.JournalSync)
+	if err != nil {
+		return nil, nil, err
+	}
+	j, payloads, err := wal.Open(cfg.JournalPath, wal.Options{Sync: pol})
+	if err != nil {
+		return nil, nil, err
+	}
+	fresh := cfg
+	fresh.JournalPath = "" // New must not reopen (or refuse) the journal
+	e, err := New(fresh)
+	if err != nil {
+		j.Close()
+		return nil, nil, err
+	}
+	e.cfg.JournalPath = cfg.JournalPath // restore for Snapshot.Journal
+	info := &RecoveryInfo{TornBytes: j.Torn()}
+	for i, payload := range payloads {
+		var rec journalRecord
+		if err := json.Unmarshal(payload, &rec); err != nil {
+			j.Close()
+			return nil, nil, fmt.Errorf("service: journal record %d: %w", i, err)
+		}
+		if err := e.replay(&rec, info); err != nil {
+			j.Close()
+			return nil, nil, fmt.Errorf("service: journal record %d (%s): %w", i, rec.Kind, err)
+		}
+		info.Records++
+	}
+	if len(payloads) == 0 {
+		// An empty (or fully torn) journal recovers to a blank engine; it
+		// still needs the meta header for the next recovery.
+		e.journal = j
+		if err := e.journalAppend(e.metaRecord()); err != nil {
+			j.Close()
+			return nil, nil, err
+		}
+		return e, info, nil
+	}
+	e.journal = j
+	return e, info, nil
+}
+
+// replay applies one journal record to a not-yet-started engine.
+func (e *Engine) replay(rec *journalRecord, info *RecoveryInfo) error {
+	switch rec.Kind {
+	case recMeta:
+		if rec.Policy != e.policy {
+			return fmt.Errorf("journal was written by policy %q, engine runs %q", rec.Policy, e.policy)
+		}
+		if rec.Mode != e.cfg.Mode.String() {
+			return fmt.Errorf("journal was written in %s mode, engine runs %s", rec.Mode, e.cfg.Mode)
+		}
+		if rec.Cluster != nil && *rec.Cluster != e.cfg.Cluster {
+			return fmt.Errorf("journal cluster %+v does not match engine cluster %+v", *rec.Cluster, e.cfg.Cluster)
+		}
+		return nil
+	case recSubmit:
+		return e.replaySubmit(rec, info)
+	case recFaults:
+		if rec.Faults == nil {
+			return fmt.Errorf("faults record without a spec")
+		}
+		info.FaultSwitches++
+		if rec.SimMS <= 0 {
+			plan, err := rec.Faults.plan()
+			if err != nil {
+				return err
+			}
+			e.sw.Set(plan)
+			return nil
+		}
+		e.scheduledFaults = append(e.scheduledFaults, scheduledFault{at: rec.SimMS, spec: *rec.Faults})
+		return nil
+	case recOutage:
+		if rec.Outage == nil {
+			return fmt.Errorf("outage record without a window")
+		}
+		info.Outages++
+		e.mu.Lock()
+		defer e.mu.Unlock()
+		// The original run validated the window; a rejection here (e.g. an
+		// overlap the original also rejected after journaling) is skipped
+		// rather than fatal so recovery reproduces the effective state.
+		_ = e.sim.InjectOutage(rec.Outage.Resource, rec.Outage.DownMS, rec.Outage.UpMS)
+		return nil
+	case recClose:
+		info.Closed = true
+		e.intakeMu.Lock()
+		e.closed = true
+		e.closeLogged = true
+		e.intakeMu.Unlock()
+		return nil
+	case recTimetable:
+		info.Timetables++ // audit only: replay re-derives placements
+		return nil
+	}
+	return fmt.Errorf("unknown record kind %q", rec.Kind)
+}
+
+// replaySubmit restores one journaled submission, preserving its assigned
+// ID and admission outcome.
+func (e *Engine) replaySubmit(rec *journalRecord, info *RecoveryInfo) error {
+	if rec.Spec == nil {
+		return fmt.Errorf("submit record without a spec")
+	}
+	e.intakeMu.Lock()
+	defer e.intakeMu.Unlock()
+	if rec.ID != e.nextID {
+		return fmt.Errorf("submission id %d out of order (expected %d)", rec.ID, e.nextID)
+	}
+	e.nextID++
+	entry := &jobEntry{id: rec.ID}
+	e.entries[rec.ID] = entry
+	e.order = append(e.order, rec.ID)
+	if rec.Rejected != "" {
+		entry.rejectReason = rec.Rejected
+		entry.rejectDeadline = rec.Spec.DeadlineMS
+		e.rejects++
+		info.Rejected++
+		return nil
+	}
+	j, err := rec.Spec.Job(rec.ID)
+	if err != nil {
+		return err
+	}
+	entry.job = j
+	e.accepted++
+	e.intake = append(e.intake, j)
+	info.Accepted++
+	return nil
+}

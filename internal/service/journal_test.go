@@ -1,0 +1,463 @@
+package service
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"mrcprm/internal/core"
+	"mrcprm/internal/sim"
+	"mrcprm/internal/stats"
+	"mrcprm/internal/workload"
+)
+
+// testStream generates a deterministic job stream sized for fast runs.
+func testStream(t *testing.T, n int) ([]*workload.Job, sim.Cluster) {
+	t.Helper()
+	wcfg := workload.DefaultSynthetic()
+	wcfg.NumResources = 10
+	jobs, err := wcfg.Generate(n, stats.NewStream(5, 6))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return jobs, sim.Cluster{NumResources: 10, MapSlots: 2, ReduceSlots: 2}
+}
+
+// refFingerprint runs the stream through a plain simulator — the golden
+// equivalent of an uninterrupted deterministic engine run.
+func refFingerprint(t *testing.T, cluster sim.Cluster, jobs []*workload.Job) uint64 {
+	t.Helper()
+	s, err := sim.New(cluster, core.New(cluster, deterministicCfg()), jobs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := s.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m.Fingerprint()
+}
+
+// submitAll pushes the whole stream into the engine pre-Start.
+func submitAll(t *testing.T, e *Engine, jobs []*workload.Job) {
+	t.Helper()
+	for _, j := range jobs {
+		if _, err := e.Submit(workload.SpecOf(j)); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// TestKillRecoverEquivalence is the acceptance criterion for the journal: a
+// virtual-mode run interrupted at an arbitrary point and recovered from its
+// journal produces a metrics fingerprint byte-identical to the
+// uninterrupted run's.
+func TestKillRecoverEquivalence(t *testing.T) {
+	jobs, cluster := testStream(t, 20)
+	want := refFingerprint(t, cluster, jobs)
+
+	// The interruption instant is wall-clock arbitrary by construction:
+	// each subtest stops the engine at a different point in its run
+	// (including possibly before the first step and after the last).
+	for _, after := range []time.Duration{0, 2 * time.Millisecond, 20 * time.Millisecond} {
+		t.Run(after.String(), func(t *testing.T) {
+			path := filepath.Join(t.TempDir(), "run.wal")
+			cfg := Config{Cluster: cluster, Manager: deterministicCfg(),
+				JournalPath: path, JournalSync: "none"}
+			e, err := New(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			submitAll(t, e, jobs)
+			e.CloseIntake()
+			if err := e.Start(); err != nil {
+				t.Fatal(err)
+			}
+			time.Sleep(after)
+			e.Stop()
+			<-e.Done()
+
+			r, info, err := Recover(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if info.Accepted != len(jobs) || !info.Closed {
+				t.Fatalf("recovered %d accepted (want %d), closed=%v", info.Accepted, len(jobs), info.Closed)
+			}
+			if err := r.Start(); err != nil {
+				t.Fatal(err)
+			}
+			if err := r.Wait(); err != nil {
+				t.Fatal(err)
+			}
+			m, _ := r.Result()
+			if m.Fingerprint() != want {
+				t.Fatalf("recovered fingerprint %016x, uninterrupted %016x", m.Fingerprint(), want)
+			}
+		})
+	}
+}
+
+// TestRecoverReplaysFaultSwitch covers the recFaults path: a fault plan
+// installed through ApplyFaults before Start replays into an identical
+// recovered run (fault injection is seeded, hence deterministic).
+func TestRecoverReplaysFaultSwitch(t *testing.T) {
+	jobs, cluster := testStream(t, 5)
+	path := filepath.Join(t.TempDir(), "run.wal")
+	cfg := Config{Cluster: cluster, Manager: deterministicCfg(),
+		JournalPath: path, JournalSync: "none"}
+	spec := FaultSpec{FailRate: 0.05, StragglerProb: 0, Seed: 7}
+
+	e, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := e.ApplyFaults(spec); err != nil {
+		t.Fatal(err)
+	}
+	submitAll(t, e, jobs)
+	e.CloseIntake()
+	if err := e.Start(); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Wait(); err != nil {
+		t.Fatal(err)
+	}
+	m, _ := e.Result()
+	if m.TasksFailed == 0 {
+		t.Fatal("fault plan injected no failures; test is vacuous")
+	}
+
+	r, info, err := Recover(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.FaultSwitches != 1 {
+		t.Fatalf("recovered %d fault switches, want 1", info.FaultSwitches)
+	}
+	if err := r.Start(); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Wait(); err != nil {
+		t.Fatal(err)
+	}
+	rm, _ := r.Result()
+	if rm.Fingerprint() != m.Fingerprint() {
+		t.Fatalf("recovered fingerprint %016x, original %016x", rm.Fingerprint(), m.Fingerprint())
+	}
+}
+
+// frameOffsets returns the byte offset just past each record of a journal
+// file, so tests can truncate at exact record boundaries.
+func frameOffsets(t *testing.T, path string) []int64 {
+	t.Helper()
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var offs []int64
+	off := int64(0)
+	for off+8 <= int64(len(data)) {
+		n := int64(binary.LittleEndian.Uint32(data[off : off+4]))
+		off += 8 + n
+		offs = append(offs, off)
+	}
+	return offs
+}
+
+// TestRecoverTornTail journals a full run, truncates the file mid-record
+// and at a record boundary, and asserts the recovered engine reproduces the
+// fingerprint of the surviving submission prefix.
+func TestRecoverTornTail(t *testing.T) {
+	jobs, cluster := testStream(t, 12)
+	dir := t.TempDir()
+	path := filepath.Join(dir, "run.wal")
+	cfg := Config{Cluster: cluster, Manager: deterministicCfg(),
+		JournalPath: path, JournalSync: "none"}
+	e, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	submitAll(t, e, jobs)
+	// No close: the journal ends with the last submit record, so truncation
+	// points map cleanly onto the submission prefix.
+	e.Stop()
+	if err := e.Start(); err != nil {
+		t.Fatal(err)
+	}
+	<-e.Done()
+
+	offs := frameOffsets(t, path)
+	// Records: 1 meta + len(jobs) submits.
+	if len(offs) != 1+len(jobs) {
+		t.Fatalf("journal has %d records, want %d", len(offs), 1+len(jobs))
+	}
+	pristine, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	for _, tc := range []struct {
+		name   string
+		size   int64
+		prefix int // surviving submissions
+	}{
+		// Cut 5 bytes into the last submit record's payload.
+		{"mid-record", offs[len(offs)-1] - 5, len(jobs) - 1},
+		// Cut exactly at the boundary after the 8th submit record.
+		{"boundary", offs[8], 8},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			torn := filepath.Join(dir, tc.name+".wal")
+			if err := os.WriteFile(torn, pristine[:tc.size], 0o644); err != nil {
+				t.Fatal(err)
+			}
+			tcfg := cfg
+			tcfg.JournalPath = torn
+			r, info, err := Recover(tcfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if info.Accepted != tc.prefix {
+				t.Fatalf("recovered %d submissions, want %d", info.Accepted, tc.prefix)
+			}
+			if tc.name == "mid-record" && info.TornBytes == 0 {
+				t.Fatal("mid-record truncation not reported as torn")
+			}
+			r.CloseIntake()
+			if err := r.Start(); err != nil {
+				t.Fatal(err)
+			}
+			if err := r.Wait(); err != nil {
+				t.Fatal(err)
+			}
+			m, _ := r.Result()
+			want := refFingerprint(t, cluster, jobs[:tc.prefix])
+			if m.Fingerprint() != want {
+				t.Fatalf("prefix fingerprint %016x, want %016x", m.Fingerprint(), want)
+			}
+		})
+	}
+}
+
+// TestNewRefusesDirtyJournal pins the guard against silently appending a
+// second run to an existing journal.
+func TestNewRefusesDirtyJournal(t *testing.T) {
+	jobs, cluster := testStream(t, 3)
+	path := filepath.Join(t.TempDir(), "run.wal")
+	cfg := Config{Cluster: cluster, Manager: deterministicCfg(),
+		JournalPath: path, JournalSync: "none"}
+	e, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	submitAll(t, e, jobs)
+	e.Stop()
+	if err := e.Start(); err != nil {
+		t.Fatal(err)
+	}
+	<-e.Done()
+
+	if _, err := New(cfg); err == nil || !strings.Contains(err.Error(), "Recover") {
+		t.Fatalf("New on a dirty journal: %v, want a pointer to Recover", err)
+	}
+}
+
+// TestRecoverRejectsMismatchedConfig pins the meta-record guard: a journal
+// must not replay into an engine with a different policy or cluster.
+func TestRecoverRejectsMismatchedConfig(t *testing.T) {
+	jobs, cluster := testStream(t, 3)
+	path := filepath.Join(t.TempDir(), "run.wal")
+	cfg := Config{Cluster: cluster, Manager: deterministicCfg(),
+		JournalPath: path, JournalSync: "none"}
+	e, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	submitAll(t, e, jobs)
+	e.Stop()
+	if err := e.Start(); err != nil {
+		t.Fatal(err)
+	}
+	<-e.Done()
+
+	bad := cfg
+	bad.Policy = "minedf"
+	if _, _, err := Recover(bad); err == nil {
+		t.Fatal("Recover accepted a journal written by another policy")
+	}
+	bad = cfg
+	bad.Cluster.NumResources = 5
+	if _, _, err := Recover(bad); err == nil {
+		t.Fatal("Recover accepted a journal written for another cluster")
+	}
+}
+
+// TestBackpressureSheds covers the MaxPending bound: excess submissions are
+// shed with a typed, retry-hinted error and counted in the snapshot.
+func TestBackpressureSheds(t *testing.T) {
+	jobs, cluster := testStream(t, 6)
+	e, err := New(Config{Cluster: cluster, Manager: deterministicCfg(), MaxPending: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, j := range jobs[:4] {
+		if _, err := e.Submit(workload.SpecOf(j)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	_, err = e.Submit(workload.SpecOf(jobs[4]))
+	if !errors.Is(err, ErrOverloaded) {
+		t.Fatalf("5th submission: %v, want ErrOverloaded", err)
+	}
+	var oe *OverloadError
+	if !errors.As(err, &oe) {
+		t.Fatalf("5th submission error %T carries no *OverloadError", err)
+	}
+	if oe.Pending != 4 || oe.Max != 4 || oe.RetryAfter < time.Second {
+		t.Fatalf("overload detail %+v", oe)
+	}
+	if ok, reason := e.Ready(); ok || reason != "overloaded" {
+		t.Fatalf("Ready() = %v, %q during overload", ok, reason)
+	}
+	snap := e.Metrics()
+	if snap.Shed != 1 || snap.Pending != 4 || snap.MaxPending != 4 {
+		t.Fatalf("snapshot shed=%d pending=%d max=%d", snap.Shed, snap.Pending, snap.MaxPending)
+	}
+
+	// Finishing the run drains the depth; the shed count is cumulative.
+	e.CloseIntake()
+	if err := e.Start(); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Wait(); err != nil {
+		t.Fatal(err)
+	}
+	snap = e.Metrics()
+	if snap.Pending != 0 || snap.Shed != 1 {
+		t.Fatalf("post-run shed=%d pending=%d", snap.Shed, snap.Pending)
+	}
+}
+
+// TestReadyLifecycle pins the readiness reasons over an engine's life.
+func TestReadyLifecycle(t *testing.T) {
+	jobs, cluster := testStream(t, 2)
+	e, err := New(Config{Cluster: cluster, Manager: deterministicCfg()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok, _ := e.Ready(); !ok {
+		t.Fatal("fresh engine not ready")
+	}
+	submitAll(t, e, jobs)
+	e.CloseIntake()
+	if ok, reason := e.Ready(); ok || reason != "draining" {
+		t.Fatalf("Ready() = %v, %q after CloseIntake", ok, reason)
+	}
+	if err := e.Start(); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Wait(); err != nil {
+		t.Fatal(err)
+	}
+	if ok, reason := e.Ready(); ok || reason != "finished" {
+		t.Fatalf("Ready() = %v, %q after the run", ok, reason)
+	}
+}
+
+// TestHTTPBackpressureAndReadyz covers the HTTP surface of overload:
+// /readyz flips to 503 and submissions get 429 with a Retry-After header.
+func TestHTTPBackpressureAndReadyz(t *testing.T) {
+	jobs, cluster := testStream(t, 4)
+	e, err := New(Config{Cluster: cluster, Manager: deterministicCfg(), MaxPending: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(NewHandler(e))
+	defer srv.Close()
+
+	if got := getStatus(t, srv.URL+"/readyz"); got != http.StatusOK {
+		t.Fatalf("/readyz before load: %d", got)
+	}
+	for _, j := range jobs[:2] {
+		resp := postSpec(t, srv.URL, workload.SpecOf(j))
+		if resp.StatusCode != http.StatusAccepted {
+			t.Fatalf("submit: %d", resp.StatusCode)
+		}
+	}
+	resp := postSpec(t, srv.URL, workload.SpecOf(jobs[2]))
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("overloaded submit: %d, want 429", resp.StatusCode)
+	}
+	if ra := resp.Header.Get("Retry-After"); ra == "" {
+		t.Fatal("429 without Retry-After header")
+	}
+	if got := getStatus(t, srv.URL+"/readyz"); got != http.StatusServiceUnavailable {
+		t.Fatalf("/readyz during overload: %d, want 503", got)
+	}
+}
+
+func getStatus(t *testing.T, url string) int {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	return resp.StatusCode
+}
+
+// TestHTTPBodyCap pins the MaxBytesReader guard: an oversized submission
+// body is rejected as malformed rather than read unboundedly.
+func TestHTTPBodyCap(t *testing.T) {
+	_, cluster := testStream(t, 1)
+	e, err := New(Config{Cluster: cluster, Manager: deterministicCfg()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(NewHandler(e))
+	defer srv.Close()
+
+	huge := fmt.Sprintf(`{"arrivalMs":0,"deadlineMs":1,"mapExecMs":[1%s]}`,
+		strings.Repeat(",1", maxBodyBytes/2))
+	resp, err := http.Post(srv.URL+"/v1/jobs", "application/json", strings.NewReader(huge))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("oversized body: %d, want 400", resp.StatusCode)
+	}
+}
+
+func postSpec(t *testing.T, base string, spec workload.JobSpec) *http.Response {
+	t.Helper()
+	resp, err := http.Post(base+"/v1/jobs", "application/json", specReader(t, spec))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	return resp
+}
+
+func specReader(t *testing.T, spec workload.JobSpec) *strings.Reader {
+	t.Helper()
+	return strings.NewReader(fmt.Sprintf(
+		`{"arrivalMs":%d,"earliestStartMs":%d,"deadlineMs":%d,"mapExecMs":[%s]}`,
+		spec.ArrivalMS, spec.EarliestStartMS, spec.DeadlineMS, joinInt64(spec.MapExecMS)))
+}
+
+func joinInt64(xs []int64) string {
+	parts := make([]string, len(xs))
+	for i, x := range xs {
+		parts[i] = fmt.Sprint(x)
+	}
+	return strings.Join(parts, ",")
+}

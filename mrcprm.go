@@ -272,6 +272,15 @@ type (
 	JobSpec = workload.JobSpec
 	// AdmissionError reports a provably infeasible submission.
 	AdmissionError = core.AdmissionError
+	// ServiceOverloadError reports a submission shed by the MaxPending
+	// backpressure bound, carrying the queue state and a retry hint.
+	ServiceOverloadError = service.OverloadError
+	// ServiceRecoveryInfo summarizes what RecoverServiceEngine replayed
+	// from a write-ahead journal.
+	ServiceRecoveryInfo = service.RecoveryInfo
+	// ServiceFaultSpec is the journalable per-attempt fault plan installed
+	// through ServiceEngine.ApplyFaults.
+	ServiceFaultSpec = service.FaultSpec
 )
 
 // Service clock modes.
@@ -288,11 +297,26 @@ var (
 	ErrServiceRunning = service.ErrRunning
 	// ErrServiceStopped means the run was aborted by Stop.
 	ErrServiceStopped = service.ErrStopped
+	// ErrServiceOverloaded means the submission was shed by the MaxPending
+	// bound; errors.As yields the *ServiceOverloadError with the details.
+	ErrServiceOverloaded = service.ErrOverloaded
+	// ErrServiceJournal means a write-ahead-journal append failed; the
+	// submission was not accepted.
+	ErrServiceJournal = service.ErrJournal
 )
 
 // NewServiceEngine assembles an online scheduling engine; call Start to
 // launch its run loop.
 func NewServiceEngine(cfg ServiceConfig) (*ServiceEngine, error) { return service.New(cfg) }
+
+// RecoverServiceEngine rebuilds an engine from the write-ahead journal at
+// cfg.JournalPath, replaying every journaled submission, fault switch,
+// outage, and intake close. Start the returned engine to run the recovered
+// stream; in virtual mode with DeterministicConfig solver settings the
+// final metrics fingerprint is bit-identical to the uninterrupted run's.
+func RecoverServiceEngine(cfg ServiceConfig) (*ServiceEngine, *ServiceRecoveryInfo, error) {
+	return service.Recover(cfg)
+}
 
 // NewServiceHandler exposes the engine over HTTP/JSON (the cmd/mrcpd API).
 func NewServiceHandler(e *ServiceEngine) http.Handler { return service.NewHandler(e) }
@@ -322,6 +346,12 @@ func DefaultFacebookWorkload() FacebookWorkload { return workload.DefaultFaceboo
 
 // DefaultConfig returns the MRCP-RM configuration used by the experiments.
 func DefaultConfig() Config { return core.DefaultConfig() }
+
+// DeterministicConfig returns DefaultConfig with every wall-clock-dependent
+// solver knob pinned (no solve time limit, node-budget bound, one portfolio
+// worker), so identical job streams produce byte-identical schedules — the
+// setting journal-replay recovery and fingerprint verification require.
+func DeterministicConfig() Config { return core.DeterministicConfig() }
 
 // NewManager creates an MRCP-RM resource manager for the cluster.
 func NewManager(cluster Cluster, cfg Config) *Manager { return core.New(cluster, cfg) }
