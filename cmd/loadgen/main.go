@@ -17,10 +17,11 @@
 // In -mode stress it drives an open-loop arrival ramp (-rate0 to -rate1
 // jobs/s over -duration) with heavy-tailed job sizes (bounded Pareto task
 // multipliers) and periodic bursts against a wall-mode daemon, measuring
-// the admission path: p50/p95/p99 admission latency, shed (429) counts,
-// and the max sustainable rate (the highest 1-second offered rate the
-// daemon absorbed with zero sheds and p99 under -p99cap). -bench writes
-// the report as JSON (the committed BENCH_service.json).
+// the admission path: p50/p90/p95/p99 admission latency, shed (429)
+// counts, the max sustainable rate (the highest 1-second offered rate the
+// daemon absorbed with zero sheds and p99 under -p99cap), and end-to-end
+// job-latency quantiles scraped from the daemon's Prometheus endpoint.
+// -bench writes the report as JSON (the committed BENCH_service.json).
 //
 // Exit status is non-zero if any submission fails unexpectedly, if
 // accepted != completed + abandoned, or if -verify finds a fingerprint
@@ -283,9 +284,19 @@ type benchReport struct {
 	Errors    int `json:"errors"`
 
 	LatencyP50MS float64 `json:"latencyP50Ms"`
+	LatencyP90MS float64 `json:"latencyP90Ms"`
 	LatencyP95MS float64 `json:"latencyP95Ms"`
 	LatencyP99MS float64 `json:"latencyP99Ms"`
 	LatencyMaxMS float64 `json:"latencyMaxMs"`
+
+	// End-to-end job latency quantiles scraped from the daemon's
+	// mrcp_job_e2e_ms histogram after the ramp; zero when nothing
+	// completed by scrape time. Estimates carry the histogram's
+	// one-bucket-width (factor sqrt 2) accuracy.
+	E2EP50MS float64 `json:"e2eP50Ms,omitempty"`
+	E2EP90MS float64 `json:"e2eP90Ms,omitempty"`
+	E2EP95MS float64 `json:"e2eP95Ms,omitempty"`
+	E2ECount int64   `json:"e2eCount,omitempty"`
 
 	// MaxSustainableJobsPerSec is the highest 1-second offered rate the
 	// daemon absorbed with zero sheds and bucket p99 within the cap.
@@ -354,9 +365,14 @@ func stress(cfg stressConfig) int {
 	wg.Wait()
 
 	rep := analyze(cfg, samples)
-	fmt.Printf("loadgen stress: submitted=%d accepted=%d rejected=%d shed=%d errors=%d p50=%.1fms p95=%.1fms p99=%.1fms sustainable=%.0f jobs/s\n",
+	scrapeE2E(client, cfg.addr, rep)
+	fmt.Printf("loadgen stress: submitted=%d accepted=%d rejected=%d shed=%d errors=%d p50=%.1fms p90=%.1fms p95=%.1fms p99=%.1fms sustainable=%.0f jobs/s\n",
 		rep.Submitted, rep.Accepted, rep.Rejected, rep.Shed, rep.Errors,
-		rep.LatencyP50MS, rep.LatencyP95MS, rep.LatencyP99MS, rep.MaxSustainableJobsPerSec)
+		rep.LatencyP50MS, rep.LatencyP90MS, rep.LatencyP95MS, rep.LatencyP99MS, rep.MaxSustainableJobsPerSec)
+	if rep.E2ECount > 0 {
+		fmt.Printf("loadgen stress: e2e (n=%d, scraped) p50=%.0fms p90=%.0fms p95=%.0fms\n",
+			rep.E2ECount, rep.E2EP50MS, rep.E2EP90MS, rep.E2EP95MS)
+	}
 	if cfg.bench != "" {
 		buf, err := json.MarshalIndent(rep, "", "  ")
 		if err == nil {
@@ -442,6 +458,7 @@ func analyze(cfg stressConfig, samples []stressSample) *benchReport {
 	ms := func(d time.Duration) float64 { return float64(d) / float64(time.Millisecond) }
 	if len(lats) > 0 {
 		rep.LatencyP50MS = ms(percentile(lats, 0.50))
+		rep.LatencyP90MS = ms(percentile(lats, 0.90))
 		rep.LatencyP95MS = ms(percentile(lats, 0.95))
 		rep.LatencyP99MS = ms(percentile(lats, 0.99))
 		rep.LatencyMaxMS = ms(lats[len(lats)-1])
@@ -463,6 +480,39 @@ func analyze(cfg stressConfig, samples []stressSample) *benchReport {
 		}
 	}
 	return rep
+}
+
+// scrapeE2E pulls the daemon's end-to-end job-latency histogram off the
+// Prometheus endpoint and folds its quantiles into the report. Best
+// effort: a daemon predating /metrics, a scrape failure, or an empty
+// histogram (nothing completed yet) leaves the fields zero.
+func scrapeE2E(client *http.Client, addr string, rep *benchReport) {
+	resp, err := client.Get(addr + "/metrics")
+	if err != nil {
+		return
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return
+	}
+	scrape, err := mrcprm.ParsePrometheus(resp.Body)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "stress: bad /metrics exposition: %v\n", err)
+		return
+	}
+	ph, ok := scrape.Hists["mrcp_job_e2e_ms"]
+	if !ok || ph.Count == 0 {
+		return
+	}
+	h, err := ph.Snapshot("job_e2e_ms")
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "stress: e2e histogram: %v\n", err)
+		return
+	}
+	rep.E2ECount = h.Count
+	rep.E2EP50MS = h.Quantile(0.50)
+	rep.E2EP90MS = h.Quantile(0.90)
+	rep.E2EP95MS = h.Quantile(0.95)
 }
 
 // percentile returns the q-quantile of sorted durations (nearest rank).

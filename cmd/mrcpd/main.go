@@ -20,9 +20,16 @@
 // run's. -maxpending bounds the intake: excess submissions get 429 with a
 // Retry-After derived from the recent drain rate.
 //
-// API: POST /v1/jobs, GET /v1/jobs[/{id}], GET /v1/schedule,
-// GET /v1/metrics, POST /v1/admin/faults, POST /v1/admin/run, GET /healthz,
-// GET /readyz.
+// Observability: GET /metrics serves Prometheus text exposition (latency
+// and end-to-end histograms, job-flow counters, SLO burn gauges) backed by
+// an always-on in-process registry; -telemetry additionally streams JSONL
+// events (digest with obsreport). GET /v1/jobs/{id}/trace replays one
+// job's lifecycle timeline; /readyz flips to 503 "slo-burn" while the
+// deadline-miss rate exceeds -missbudget over the -slowindow window.
+//
+// API: POST /v1/jobs, GET /v1/jobs[/{id}[/trace]], GET /v1/schedule,
+// GET /v1/metrics, GET /metrics, POST /v1/admin/faults, POST /v1/admin/run,
+// GET /healthz, GET /readyz.
 //
 // Usage:
 //
@@ -76,6 +83,9 @@ func main() {
 		doRecover   = flag.Bool("recover", false, "replay the -journal into a fresh engine before serving")
 		maxPending  = flag.Int("maxpending", 0, "shed submissions beyond this many accepted-but-unfinished jobs (0 = unbounded)")
 		determin    = flag.Bool("deterministic", false, "pin solver settings (no time limit, node budget, one worker) for reproducible runs")
+
+		missBudget = flag.Float64("missbudget", 0.1, "SLO miss budget: the deadline-miss rate that flips /readyz to slo-burn")
+		sloWindow  = flag.Duration("slowindow", time.Minute, "simulated-time window for the SLO burn monitor")
 	)
 	common.Parse()
 	defer common.Close()
@@ -96,17 +106,25 @@ func main() {
 	mcfg.BatchUrgencyLead = *batchUrgency
 	mcfg.DeferralLead = *deferral
 
+	// Without -telemetry the daemon still keeps a registry-only handle
+	// (counters, gauges, histograms; no event stream) so GET /metrics has
+	// real histograms to serve.
+	tel := common.Telemetry()
+	if tel == nil {
+		tel = mrcprm.NewRegistryTelemetry()
+	}
 	cfg := mrcprm.ServiceConfig{
 		Cluster:           cluster,
 		Policy:            *rmName,
 		Manager:           mcfg,
 		Speedup:           *speedup,
 		Admission:         *admission,
-		Telemetry:         common.Telemetry(),
+		Telemetry:         tel,
 		TelemetrySampleMS: common.TelemetrySampleMS,
 		JournalPath:       *journal,
 		JournalSync:       *journalSync,
 		MaxPending:        *maxPending,
+		SLO:               mrcprm.SLOConfig{MissBudget: *missBudget, WindowMS: sloWindow.Milliseconds()},
 	}
 	switch *mode {
 	case "wall":
@@ -168,6 +186,8 @@ func main() {
 	go func() { httpErr <- srv.ListenAndServe() }()
 	fmt.Printf("mrcpd      : %s\n", cli.Version())
 	fmt.Printf("listening  : %s (%s mode, %s, m=%d)\n", *addr, *mode, *rmName, *m)
+	fmt.Printf("observe    : /metrics (prometheus), /v1/metrics (json + slo burn), /v1/jobs/{id}/trace; miss budget %.0f%% over %v\n",
+		100**missBudget, *sloWindow)
 
 	sigs := make(chan os.Signal, 1)
 	signal.Notify(sigs, syscall.SIGINT, syscall.SIGTERM)
@@ -213,6 +233,13 @@ serve:
 	shutdownCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
 	defer cancel()
 	_ = srv.Shutdown(shutdownCtx)
+
+	// Seal the telemetry stream before the deferred Close reports it: fold
+	// the final counter/gauge/histogram state into summary events stamped
+	// at the drained engine's clock, then flush. On the registry-only
+	// handle the events go to a discard sink and this is a no-op.
+	tel.EmitSummary(engine.NowMS())
+	tel.Flush()
 
 	metrics, runErr := engine.Result()
 	if runErr != nil && !errors.Is(runErr, mrcprm.ErrServiceStopped) {

@@ -34,6 +34,11 @@ type Manager struct {
 	// tel receives per-invocation spans and solver search events; nil (the
 	// default) disables all instrumentation at the cost of one branch.
 	tel *obs.Telemetry
+	// onReschedule, when set, fires after every reschedule round with its
+	// trigger and whether the CP solve degraded to the greedy fallback.
+	// Unlike telemetry it works without a sink; the SLA attribution
+	// monitor uses it to mark solver-degradation windows.
+	onReschedule func(now int64, reason string, fallback bool)
 }
 
 // New creates an MRCP-RM manager for the cluster.
@@ -55,6 +60,13 @@ func (m *Manager) Stats() Stats { return m.stats }
 // SetTelemetry attaches a telemetry core; a nil argument detaches it. Call
 // before the simulation starts.
 func (m *Manager) SetTelemetry(tel *obs.Telemetry) { m.tel = tel }
+
+// SetRescheduleObserver installs a callback fired after every reschedule
+// round (reason is the trigger; fallback reports greedy-EDF degradation).
+// Call before the simulation starts; a nil callback detaches.
+func (m *Manager) SetRescheduleObserver(fn func(now int64, reason string, fallback bool)) {
+	m.onReschedule = fn
+}
 
 // OnJobArrival implements sim.ResourceManager: Section V.E defers jobs
 // whose earliest start time is far in the future; everything else triggers
@@ -331,7 +343,9 @@ func (m *Manager) reschedule(ctx sim.Context, reason string) error {
 	}
 	telOn := m.tel.Enabled()
 	var sp *obs.Span
+	var wallStart time.Time
 	if telOn {
+		wallStart = time.Now()
 		var frozenN, pendingN int
 		for _, w := range work {
 			frozenN += len(w.frozenMaps) + len(w.frozenReds)
@@ -361,6 +375,10 @@ func (m *Manager) reschedule(ctx sim.Context, reason string) error {
 			sp.End(obs.Str("status", "fallback"), obs.Bool("fallback", true),
 				obs.Int("objective", -1),
 				obs.Int("predicted_late", predictedLateAfter(ctx, work, err)))
+			m.tel.Observe(obs.HistWallReschedule, float64(time.Since(wallStart).Nanoseconds())/1e6)
+		}
+		if m.onReschedule != nil {
+			m.onReschedule(now, reason, true)
 		}
 		return err
 	}
@@ -377,6 +395,10 @@ func (m *Manager) reschedule(ctx sim.Context, reason string) error {
 			obs.Bool("limit_hit", res.Search.LimitHit()),
 			obs.Int("objective", res.Objective),
 			obs.Int("predicted_late", predictedLateAfter(ctx, work, err)))
+		m.tel.Observe(obs.HistWallReschedule, float64(time.Since(wallStart).Nanoseconds())/1e6)
+	}
+	if m.onReschedule != nil {
+		m.onReschedule(now, reason, false)
 	}
 	return err
 }
@@ -416,6 +438,7 @@ func (m *Manager) emitSolve(now int64, res *cp.Result, solveErr error) {
 		obs.Wall("first_solution", st.TimeToFirst))
 	m.tel.Add("solver_solves", 1)
 	m.tel.Add("solver_nodes", st.Nodes)
+	m.tel.Observe(obs.HistWallSolve, float64(res.SolveTime.Nanoseconds())/1e6)
 }
 
 // predictedLateAfter counts non-ghost jobs whose just-installed timetable

@@ -20,6 +20,7 @@ package obs
 import (
 	"sort"
 	"strconv"
+	"strings"
 	"sync"
 	"time"
 )
@@ -41,6 +42,27 @@ const (
 	// GaugeServicePending tracks the engine's current intake depth:
 	// accepted submissions not yet completed or abandoned.
 	GaugeServicePending = "service_pending_jobs"
+)
+
+// Well-known histogram names. Names without the "wall_" prefix hold pure
+// simulated-time quantities and are deterministic run to run; "wall_" names
+// hold wall-clock latencies that vary.
+const (
+	// HistJobE2E is per-job end-to-end latency: completion minus arrival,
+	// in simulated ms.
+	HistJobE2E = "job_e2e_ms"
+	// HistJobLateness is per-job completion minus deadline in simulated
+	// ms; negative values (early finishes) land in the lowest bucket but
+	// keep the true Min/Sum.
+	HistJobLateness = "job_lateness_ms"
+	// HistWallAdmission is the wall-clock latency of one service
+	// admission decision (Submit), in ms.
+	HistWallAdmission = "wall_admission_ms"
+	// HistWallSolve is the wall-clock latency of one CP solve, in ms.
+	HistWallSolve = "wall_solve_ms"
+	// HistWallReschedule is the wall-clock duration of one full manager
+	// reschedule (model build + solve + install), in ms.
+	HistWallReschedule = "wall_reschedule_ms"
 )
 
 type fieldKind uint8
@@ -168,6 +190,7 @@ type Telemetry struct {
 	mu       sync.Mutex
 	counters map[string]int64
 	gauges   map[string]int64
+	hists    map[string]*Histogram
 }
 
 // New returns a telemetry core writing to the sink, or nil (the inert
@@ -180,6 +203,7 @@ func New(sink Sink) *Telemetry {
 		sink:     sink,
 		counters: make(map[string]int64),
 		gauges:   make(map[string]int64),
+		hists:    make(map[string]*Histogram),
 	}
 }
 
@@ -246,9 +270,66 @@ func (t *Telemetry) Counter(name string) int64 {
 	return t.counters[name]
 }
 
+// Observe records one value into the named streaming histogram, creating it
+// on first use. Histogram names follow the field-key convention: names
+// starting with "wall_" hold wall-clock-derived values that vary run to
+// run; all other histograms must be pure functions of the simulated
+// execution. Safe on a nil receiver (the guard path allocates nothing).
+func (t *Telemetry) Observe(name string, v float64) {
+	if !t.Enabled() {
+		return
+	}
+	t.Hist(name).Observe(v)
+}
+
+// Hist returns the named histogram, creating it on first use, or nil (the
+// inert histogram) when telemetry is disabled. Hot paths may cache the
+// returned pointer; Observe on it stays safe either way.
+func (t *Telemetry) Hist(name string) *Histogram {
+	if !t.Enabled() {
+		return nil
+	}
+	t.mu.Lock()
+	h := t.hists[name]
+	if h == nil {
+		h = &Histogram{}
+		t.hists[name] = h
+	}
+	t.mu.Unlock()
+	return h
+}
+
+// HistSnapshots returns snapshots of every registered histogram, sorted by
+// name (set on each snapshot). Nil when telemetry is disabled.
+func (t *Telemetry) HistSnapshots() []HistSnapshot {
+	if !t.Enabled() {
+		return nil
+	}
+	t.mu.Lock()
+	names := make([]string, 0, len(t.hists))
+	hs := make([]*Histogram, 0, len(t.hists))
+	for n := range t.hists {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		hs = append(hs, t.hists[n])
+	}
+	t.mu.Unlock()
+	out := make([]HistSnapshot, len(hs))
+	for i, h := range hs {
+		out[i] = h.Snapshot()
+		out[i].Name = names[i]
+	}
+	return out
+}
+
 // EmitSummary emits one "summary" event per registry (counters, gauges)
-// with the names in sorted order, then returns. Typically called once at
-// the end of a run with the final simulated time.
+// with the names in sorted order, plus one "hist" event per histogram
+// carrying its count and quantile estimates. Typically called once at the
+// end of a run with the final simulated time. For histograms named with
+// the "wall_" prefix, every value-derived key is itself "wall_"-prefixed
+// so determinism-aware consumers strip them like any wall field.
 func (t *Telemetry) EmitSummary(simMS int64) {
 	if !t.Enabled() {
 		return
@@ -262,6 +343,26 @@ func (t *Telemetry) EmitSummary(simMS int64) {
 	}
 	if len(gf) > 0 {
 		t.Emit(simMS, "obs", "gauges", gf...)
+	}
+	for _, s := range t.HistSnapshots() {
+		if s.Count == 0 {
+			continue
+		}
+		pfx := ""
+		if strings.HasPrefix(s.Name, "wall_") {
+			pfx = "wall_"
+		}
+		t.Emit(simMS, "obs", "hist",
+			Str("name", s.Name),
+			I64("count", s.Count),
+			F64(pfx+"sum", s.Sum),
+			F64(pfx+"min", s.Min),
+			F64(pfx+"max", s.Max),
+			F64(pfx+"p50", s.Quantile(0.50)),
+			F64(pfx+"p90", s.Quantile(0.90)),
+			F64(pfx+"p95", s.Quantile(0.95)),
+			F64(pfx+"p99", s.Quantile(0.99)),
+		)
 	}
 }
 

@@ -49,8 +49,26 @@ type Report struct {
 	WaitingRed  series
 	Outstanding series
 
+	// Streaming-histogram summaries ("obs/hist" events), keyed by
+	// histogram name. Wall-clock histograms carry wall_-prefixed value
+	// keys in the stream; the digest normalizes them away.
+	Hists map[string]HistDigest
+
+	// Deadline-miss attribution digest ("obs/slo_attribution" events).
+	Attributions  int
+	AttrByClass   map[string]int
+	AttrByOutcome map[string]int
+	AttrLateness  []float64
+
 	// Final run_end event, if present.
 	RunEnd map[string]float64
+}
+
+// HistDigest is one histogram's summary-event quantile table.
+type HistDigest struct {
+	Count              float64
+	Sum, Min, Max      float64
+	P50, P90, P95, P99 float64
 }
 
 type series struct {
@@ -78,9 +96,12 @@ func (s *series) mean() float64 {
 // lines are counted, not fatal, so a truncated file still digests.
 func ReadReport(r io.Reader) (*Report, error) {
 	rep := &Report{
-		KindCounts:   make(map[string]int),
-		StatusCounts: make(map[string]int),
-		ReasonCounts: make(map[string]int),
+		KindCounts:    make(map[string]int),
+		StatusCounts:  make(map[string]int),
+		ReasonCounts:  make(map[string]int),
+		Hists:         make(map[string]HistDigest),
+		AttrByClass:   make(map[string]int),
+		AttrByOutcome: make(map[string]int),
 	}
 	sc := bufio.NewScanner(r)
 	sc.Buffer(make([]byte, 0, 1<<20), 1<<20)
@@ -183,6 +204,35 @@ func (rep *Report) ingest(ev map[string]any) {
 		}
 		if v, ok := num("outstanding_jobs"); ok {
 			rep.Outstanding.add(v)
+		}
+	case "obs/hist":
+		name, _ := ev["name"].(string)
+		if name == "" {
+			return
+		}
+		// Wall-clock histograms prefix their value keys with wall_ so the
+		// determinism tests can strip them; accept either spelling.
+		val := func(key string) float64 {
+			if v, ok := num(key); ok {
+				return v
+			}
+			v, _ := num("wall_" + key)
+			return v
+		}
+		d := HistDigest{Sum: val("sum"), Min: val("min"), Max: val("max"),
+			P50: val("p50"), P90: val("p90"), P95: val("p95"), P99: val("p99")}
+		d.Count, _ = num("count")
+		rep.Hists[name] = d
+	case "obs/slo_attribution":
+		rep.Attributions++
+		if class, ok := ev["class"].(string); ok {
+			rep.AttrByClass[class]++
+		}
+		if outcome, ok := ev["outcome"].(string); ok {
+			rep.AttrByOutcome[outcome]++
+		}
+		if v, ok := num("lateness_ms"); ok {
+			rep.AttrLateness = append(rep.AttrLateness, v)
 		}
 	case "sim/run_end":
 		rep.RunEnd = make(map[string]float64)
@@ -318,6 +368,37 @@ func (rep *Report) Write(w io.Writer) error {
 		fmt.Fprintf(&b, "  outstanding jobs       mean=%.1f peak=%.0f\n", rep.Outstanding.mean(), rep.Outstanding.peak)
 	}
 
+	if len(rep.Hists) > 0 {
+		b.WriteString("\nhistograms\n")
+		for _, name := range sortedKeysH(rep.Hists) {
+			h := rep.Hists[name]
+			mean := 0.0
+			if h.Count > 0 {
+				mean = h.Sum / h.Count
+			}
+			fmt.Fprintf(&b, "  %-22s n=%.0f mean=%.2f p50=%.2f p90=%.2f p95=%.2f p99=%.2f max=%.2f\n",
+				name, h.Count, mean, h.P50, h.P90, h.P95, h.P99, h.Max)
+		}
+	}
+
+	if rep.Attributions > 0 {
+		b.WriteString("\ndeadline-miss attribution\n")
+		fmt.Fprintf(&b, "  attributed misses      %8d\n", rep.Attributions)
+		for _, k := range sortedKeys(rep.AttrByClass) {
+			n := rep.AttrByClass[k]
+			fmt.Fprintf(&b, "  class %-17s %8d  (%.1f%%)\n", k, n,
+				100*float64(n)/float64(rep.Attributions))
+		}
+		for _, k := range sortedKeys(rep.AttrByOutcome) {
+			fmt.Fprintf(&b, "  outcome %-15s %8d\n", k, rep.AttrByOutcome[k])
+		}
+		if len(rep.AttrLateness) > 0 {
+			fmt.Fprintf(&b, "  lateness ms            p50=%.0f p90=%.0f max=%.0f\n",
+				percentile(rep.AttrLateness, 0.50), percentile(rep.AttrLateness, 0.90),
+				maxOf(rep.AttrLateness))
+		}
+	}
+
 	if rep.RunEnd != nil {
 		b.WriteString("\nrun end\n")
 		for _, k := range sortedKeysF(rep.RunEnd) {
@@ -343,6 +424,15 @@ func WriteReport(r io.Reader, w io.Writer) error {
 }
 
 func sortedKeys(m map[string]int) []string {
+	ks := make([]string, 0, len(m))
+	for k := range m {
+		ks = append(ks, k)
+	}
+	sort.Strings(ks)
+	return ks
+}
+
+func sortedKeysH(m map[string]HistDigest) []string {
 	ks := make([]string, 0, len(m))
 	for k := range m {
 		ks = append(ks, k)

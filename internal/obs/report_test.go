@@ -74,6 +74,21 @@ func TestReportContents(t *testing.T) {
 	if got := percentile(rep.SolveWallMS, 0.99); got != 204 {
 		t.Errorf("p99 solve latency = %v, want 204", got)
 	}
+	if len(rep.Hists) != 3 {
+		t.Errorf("Hists = %d entries, want 3: %v", len(rep.Hists), rep.Hists)
+	}
+	if h := rep.Hists["job_e2e_ms"]; h.Count != 6 || h.P50 != 9051 {
+		t.Errorf("job_e2e_ms digest = %+v, want count 6 p50 9051", h)
+	}
+	// The wall_ histogram's value keys are wall_-prefixed in the stream;
+	// the digest must normalize them.
+	if h := rep.Hists["wall_solve_ms"]; h.Count != 2 || h.P90 != 204 {
+		t.Errorf("wall_solve_ms digest = %+v, want count 2 p90 204", h)
+	}
+	if rep.Attributions != 1 || rep.AttrByClass["fault_delay"] != 1 || rep.AttrByOutcome["late"] != 1 {
+		t.Errorf("attribution digest = %d %v %v, want 1 fault_delay late",
+			rep.Attributions, rep.AttrByClass, rep.AttrByOutcome)
+	}
 }
 
 func TestReportEmptyStream(t *testing.T) {

@@ -56,6 +56,14 @@ func (s *JSONLWriter) Count() int64 {
 	return s.n
 }
 
+// DiscardSink drops every event. Pair it with New to obtain a live
+// Telemetry whose counter/gauge/histogram registries work (for live
+// metrics exposition) without writing an event stream anywhere.
+type DiscardSink struct{}
+
+// Emit implements Sink.
+func (DiscardSink) Emit(*Event) {}
+
 // MemorySink is a Sink that keeps events in memory, for tests and for the
 // in-process report path.
 type MemorySink struct {

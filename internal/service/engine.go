@@ -25,7 +25,9 @@ package service
 import (
 	"errors"
 	"fmt"
+	"io"
 	"sort"
+	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -36,6 +38,7 @@ import (
 	_ "mrcprm/internal/policies" // register every built-in policy
 	"mrcprm/internal/rmkit"
 	"mrcprm/internal/sim"
+	"mrcprm/internal/slo"
 	"mrcprm/internal/wal"
 	"mrcprm/internal/workload"
 )
@@ -113,6 +116,13 @@ type Config struct {
 	// the HTTP layer surfaces that as 429 with a Retry-After derived from
 	// the recent drain rate. 0 means unbounded.
 	MaxPending int
+
+	// SLO tunes the deadline-miss attribution and burn monitor (miss
+	// budget, window, trace ring size). Zero values select the slo
+	// package defaults; the Telemetry field is overridden with the
+	// engine's own handle. The monitor always runs — traces and burn
+	// state are available even without a telemetry sink.
+	SLO slo.Config
 }
 
 // Sentinel errors surfaced to the HTTP layer.
@@ -170,6 +180,7 @@ type Engine struct {
 	rm     sim.ResourceManager
 	policy string // registry name, or the manager's display name for RM overrides
 	sw     *faults.Switch
+	mon    *slo.Monitor
 
 	// intakeMu guards submissions and the job registry; it is never held
 	// across a simulator step, so Submit cannot block on a solve.
@@ -250,8 +261,14 @@ func New(cfg Config) (*Engine, error) {
 			im.SetTelemetry(cfg.Telemetry)
 		}
 	}
-	if cfg.Observer != nil {
-		s.SetObserver(cfg.Observer)
+	sloCfg := cfg.SLO
+	sloCfg.Telemetry = cfg.Telemetry
+	mon := slo.NewMonitor(sloCfg)
+	s.SetObserver(sim.TeeObservers(cfg.Observer, mon))
+	if rs, ok := rm.(interface {
+		SetRescheduleObserver(func(now int64, reason string, fallback bool))
+	}); ok {
+		rs.SetRescheduleObserver(mon.OnReschedule)
 	}
 	if cfg.Speedup <= 0 {
 		cfg.Speedup = 1
@@ -261,6 +278,7 @@ func New(cfg Config) (*Engine, error) {
 		rm:      rm,
 		policy:  policy,
 		sw:      sw,
+		mon:     mon,
 		sim:     s,
 		entries: make(map[int]*jobEntry),
 		wake:    make(chan struct{}, 1),
@@ -316,6 +334,11 @@ func (e *Engine) NowMS() int64 {
 // the accepted submission is appended — and fsynced per the sync policy —
 // before Submit returns, so an acknowledged job survives a crash.
 func (e *Engine) Submit(spec workload.JobSpec) (int, error) {
+	if e.cfg.Telemetry.Enabled() {
+		defer func(start time.Time) {
+			e.cfg.Telemetry.Observe(obs.HistWallAdmission, float64(time.Since(start).Nanoseconds())/1e6)
+		}(time.Now())
+	}
 	now := e.NowMS()
 	e.intakeMu.Lock()
 	defer e.intakeMu.Unlock()
@@ -354,26 +377,31 @@ func (e *Engine) Submit(spec workload.JobSpec) (int, error) {
 	entry := &jobEntry{id: id, job: j}
 	e.entries[id] = entry
 	e.order = append(e.order, id)
-	if e.cfg.Admission {
-		at := now
-		if j.Arrival > at {
-			at = j.Arrival
+	// The admission lower bound doubles as the SLO monitor's
+	// infeasible-at-admission signal: with admission enforcement on, a
+	// failing job is rejected (and its trace records the shed); with it
+	// off, the job enters the system flagged so a later deadline miss is
+	// attributed to infeasibility rather than backlog or faults.
+	at := now
+	if j.Arrival > at {
+		at = j.Arrival
+	}
+	aerr := core.CheckAdmission(e.cfg.Cluster, j, at)
+	if e.cfg.Admission && aerr != nil {
+		var ae *core.AdmissionError
+		errors.As(aerr, &ae)
+		entry.rejectReason = ae.Error()
+		entry.rejectDeadline = ae.Deadline
+		entry.job = nil
+		e.rejects++
+		if jerr := e.journalAppend(&journalRecord{
+			Kind: recSubmit, SimMS: now, ID: id, Spec: &spec, Rejected: entry.rejectReason,
+		}); jerr != nil {
+			e.rollbackSubmit(id)
+			return 0, jerr
 		}
-		if aerr := core.CheckAdmission(e.cfg.Cluster, j, at); aerr != nil {
-			var ae *core.AdmissionError
-			errors.As(aerr, &ae)
-			entry.rejectReason = ae.Error()
-			entry.rejectDeadline = ae.Deadline
-			entry.job = nil
-			e.rejects++
-			if jerr := e.journalAppend(&journalRecord{
-				Kind: recSubmit, SimMS: now, ID: id, Spec: &spec, Rejected: entry.rejectReason,
-			}); jerr != nil {
-				e.rollbackSubmit(id)
-				return 0, jerr
-			}
-			return id, aerr
-		}
+		e.mon.JobShed(now, id, "infeasible")
+		return id, aerr
 	}
 	if jerr := e.journalAppend(&journalRecord{Kind: recSubmit, SimMS: now, ID: id, Spec: &spec}); jerr != nil {
 		e.rollbackSubmit(id)
@@ -381,6 +409,7 @@ func (e *Engine) Submit(spec workload.JobSpec) (int, error) {
 	}
 	e.accepted++
 	e.intake = append(e.intake, j)
+	e.mon.JobSubmitted(now, id, aerr != nil)
 	e.signal()
 	return id, nil
 }
@@ -714,8 +743,9 @@ func (e *Engine) retryAfter(excess int) time.Duration {
 
 // Ready reports whether the engine should receive traffic: false (with a
 // reason) once the run finished, while the intake is draining after
-// CloseIntake, or while the MaxPending bound is shedding load. Backing for
-// the HTTP /readyz endpoint, so orchestrators stop routing before hard
+// CloseIntake, while the MaxPending bound is shedding load, or while the
+// deadline-miss rate is burning through the SLO budget. Backing for the
+// HTTP /readyz endpoint, so orchestrators stop routing before hard
 // failure.
 func (e *Engine) Ready() (bool, string) {
 	select {
@@ -731,6 +761,8 @@ func (e *Engine) Ready() (bool, string) {
 		return false, "draining"
 	case e.cfg.MaxPending > 0 && depth >= e.cfg.MaxPending:
 		return false, "overloaded"
+	case e.mon.Burn(e.NowMS()).Burning:
+		return false, "slo-burn"
 	}
 	return true, ""
 }
@@ -1023,6 +1055,14 @@ type Snapshot struct {
 
 	Counters map[string]int64 `json:"counters,omitempty"`
 	Gauges   map[string]int64 `json:"gauges,omitempty"`
+
+	// SLO is the sliding-window deadline-miss burn state; the readiness
+	// probe reports "slo-burn" while SLO.Burning is set.
+	SLO *slo.BurnInfo `json:"slo,omitempty"`
+	// MissByClass counts attributed deadline misses (late completions plus
+	// abandonments) per attribution class; the values sum to
+	// LateJobs + JobsAbandoned once the run drains.
+	MissByClass map[string]int64 `json:"missByClass,omitempty"`
 }
 
 // Metrics returns the current engine-wide snapshot; safe mid-run.
@@ -1067,7 +1107,104 @@ func (e *Engine) Metrics() Snapshot {
 	snap.TasksKilled = m.TasksKilled
 	snap.Outages = m.Outages
 	snap.Counters, snap.Gauges = e.cfg.Telemetry.Snapshot()
+	burn := e.mon.Burn(snap.SimTimeMS)
+	snap.SLO = &burn
+	if by := missByClass(e.mon.AttributionTotals()); len(by) > 0 {
+		snap.MissByClass = by
+	}
 	return snap
+}
+
+// missByClass folds a monitor's attribution totals into one miss count per
+// class, dropping empty classes.
+func missByClass(tot slo.Totals) map[string]int64 {
+	var by map[string]int64
+	for _, class := range slo.Classes() {
+		if n := tot.LateByClass[class] + tot.AbandonedByClass[class]; n > 0 {
+			if by == nil {
+				by = make(map[string]int64)
+			}
+			by[class] = n
+		}
+	}
+	return by
+}
+
+// Trace returns one job's recorded lifecycle timeline plus how many early
+// events the bounded ring dropped; ok is false for unknown IDs.
+func (e *Engine) Trace(id int) (events []slo.TraceEvent, dropped int, ok bool) {
+	return e.mon.Trace(id)
+}
+
+// Burn returns the current SLO burn state at the engine's clock.
+func (e *Engine) Burn() slo.BurnInfo { return e.mon.Burn(e.NowMS()) }
+
+// WriteProm renders the engine's state as Prometheus text exposition
+// (format 0.0.4) under the mrcp_ namespace: every telemetry counter,
+// gauge, and histogram, plus engine-derived job-flow counters, queue
+// gauges, attribution counters, and the SLO burn gauges. The derived
+// families are present even when no telemetry sink is attached.
+func (e *Engine) WriteProm(w io.Writer) error {
+	counters, gauges := e.cfg.Telemetry.Snapshot()
+	if counters == nil {
+		counters = make(map[string]int64)
+	}
+	if gauges == nil {
+		gauges = make(map[string]int64)
+	}
+	e.intakeMu.Lock()
+	counters["jobs_submitted_total"] = int64(e.nextID)
+	counters["jobs_rejected_total"] = int64(e.rejects)
+	counters["jobs_shed_total"] = int64(e.shed)
+	gauges["pending_jobs"] = int64(e.accepted - int(e.finished.Load()))
+	e.intakeMu.Unlock()
+	e.mu.Lock()
+	m := e.sim.CurrentMetrics()
+	now := e.sim.Now()
+	outstanding := e.sim.OutstandingJobs()
+	e.mu.Unlock()
+	counters["jobs_arrived_total"] = int64(m.JobsArrived)
+	counters["jobs_completed_total"] = int64(m.JobsCompleted)
+	counters["jobs_late_total"] = int64(m.LateJobs)
+	counters["jobs_abandoned_total"] = int64(m.JobsAbandoned)
+	if m.TasksFailed > 0 {
+		counters["tasks_failed_total"] = int64(m.TasksFailed)
+	}
+	if m.TasksKilled > 0 {
+		counters["tasks_killed_total"] = int64(m.TasksKilled)
+	}
+	gauges["sim_time_ms"] = now
+	gauges["outstanding_jobs"] = int64(outstanding)
+	// Attribution counters are re-derived from the monitor (rather than
+	// read back from telemetry) so they are exposed even sink-less; when a
+	// sink is attached the telemetry registry holds identical values.
+	var missTotal int64
+	for class, n := range missByClass(e.mon.AttributionTotals()) {
+		counters[slo.CounterMiss+class] = n
+		missTotal += n
+	}
+	if missTotal > 0 {
+		counters["slo_miss_total"] = missTotal
+	}
+	b := e.mon.Burn(e.NowMS())
+	gauges["slo_window_finished"] = int64(b.Finished)
+	gauges["slo_window_missed"] = int64(b.Missed)
+	var burning int64
+	if b.Burning {
+		burning = 1
+	}
+	gauges["slo_burning"] = burning
+	if err := obs.WritePrometheus(w, "mrcp_", counters, gauges, e.cfg.Telemetry.HistSnapshots()); err != nil {
+		return err
+	}
+	// The two burn ratios are the only non-integer scalars; render them by
+	// hand in the same format the exposition writer uses.
+	_, err := fmt.Fprintf(w,
+		"# TYPE mrcp_slo_miss_rate gauge\nmrcp_slo_miss_rate %s\n"+
+			"# TYPE mrcp_slo_burn_rate gauge\nmrcp_slo_burn_rate %s\n",
+		strconv.FormatFloat(b.MissRate, 'g', -1, 64),
+		strconv.FormatFloat(b.BurnRate, 'g', -1, 64))
+	return err
 }
 
 // String implements fmt.Stringer for logs.

@@ -1,6 +1,7 @@
 package service
 
 import (
+	"bytes"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -9,6 +10,7 @@ import (
 	"time"
 
 	"mrcprm/internal/core"
+	"mrcprm/internal/slo"
 	"mrcprm/internal/workload"
 )
 
@@ -18,8 +20,10 @@ import (
 //	GET  /v1/jobs          every submission's status (no placements)
 //	GET  /v1/jobs/{id}     one submission, with placements and predicted
 //	                       lateness
+//	GET  /v1/jobs/{id}/trace  one submission's lifecycle timeline
 //	GET  /v1/schedule      the current placement plan
-//	GET  /v1/metrics       engine + manager + telemetry counters
+//	GET  /v1/metrics       engine + manager + telemetry counters + SLO burn
+//	GET  /metrics          Prometheus text exposition (format 0.0.4)
 //	POST /v1/admin/faults  swap the fault plan or inject an outage
 //	POST /v1/admin/run     start the run loop (virtual mode);
 //	                       {"close":true} also closes the intake
@@ -37,8 +41,10 @@ func NewHandler(e *Engine) http.Handler {
 	mux.HandleFunc("POST /v1/jobs", s.submit)
 	mux.HandleFunc("GET /v1/jobs", s.listJobs)
 	mux.HandleFunc("GET /v1/jobs/{id}", s.getJob)
+	mux.HandleFunc("GET /v1/jobs/{id}/trace", s.trace)
 	mux.HandleFunc("GET /v1/schedule", s.schedule)
 	mux.HandleFunc("GET /v1/metrics", s.metrics)
+	mux.HandleFunc("GET /metrics", s.prom)
 	mux.HandleFunc("POST /v1/admin/faults", s.faults)
 	mux.HandleFunc("POST /v1/admin/run", s.run)
 	return mux
@@ -156,6 +162,41 @@ func (s *server) schedule(w http.ResponseWriter, r *http.Request) {
 
 func (s *server) metrics(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, s.e.Metrics())
+}
+
+// prom serves the Prometheus scrape endpoint. The exposition is rendered
+// into a buffer first so a mid-write failure cannot leave a scraper with a
+// truncated 200 response.
+func (s *server) prom(w http.ResponseWriter, r *http.Request) {
+	var buf bytes.Buffer
+	if err := s.e.WriteProm(&buf); err != nil {
+		writeError(w, http.StatusInternalServerError, err)
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	w.WriteHeader(http.StatusOK)
+	_, _ = buf.WriteTo(w)
+}
+
+// trace serves one job's lifecycle timeline from the SLO monitor's bounded
+// per-job event ring.
+func (s *server) trace(w http.ResponseWriter, r *http.Request) {
+	id, err := strconv.Atoi(r.PathValue("id"))
+	if err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("bad job id %q", r.PathValue("id")))
+		return
+	}
+	events, dropped, ok := s.e.Trace(id)
+	if !ok {
+		writeError(w, http.StatusNotFound, fmt.Errorf("no trace for job %d", id))
+		return
+	}
+	if events == nil {
+		events = []slo.TraceEvent{}
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"jobId": id, "dropped": dropped, "events": events,
+	})
 }
 
 // faultRequest is the body of POST /v1/admin/faults. With DurationMS > 0 it

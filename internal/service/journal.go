@@ -25,6 +25,7 @@ import (
 	"encoding/json"
 	"fmt"
 
+	"mrcprm/internal/core"
 	"mrcprm/internal/faults"
 	"mrcprm/internal/sim"
 	"mrcprm/internal/wal"
@@ -326,6 +327,7 @@ func (e *Engine) replaySubmit(rec *journalRecord, info *RecoveryInfo) error {
 		entry.rejectDeadline = rec.Spec.DeadlineMS
 		e.rejects++
 		info.Rejected++
+		e.mon.JobShed(rec.SimMS, rec.ID, "infeasible")
 		return nil
 	}
 	j, err := rec.Spec.Job(rec.ID)
@@ -336,5 +338,12 @@ func (e *Engine) replaySubmit(rec *journalRecord, info *RecoveryInfo) error {
 	e.accepted++
 	e.intake = append(e.intake, j)
 	info.Accepted++
+	// Re-derive the infeasibility flag the original Submit computed so the
+	// recovered monitor attributes identically.
+	at := rec.SimMS
+	if j.Arrival > at {
+		at = j.Arrival
+	}
+	e.mon.JobSubmitted(rec.SimMS, rec.ID, core.CheckAdmission(e.cfg.Cluster, j, at) != nil)
 	return nil
 }

@@ -1,0 +1,107 @@
+package sim
+
+import "mrcprm/internal/workload"
+
+// TeeObservers fans lifecycle notifications out to several observers. The
+// simulator accepts exactly one Observer; the tee implements every optional
+// extension interface (FaultObserver, PlacementObserver, SlowdownObserver,
+// JobObserver) and forwards each event only to the sub-observers that
+// implement it, so attaching a tee never widens or narrows what any single
+// sub-observer would have seen on its own. Nil sub-observers are skipped;
+// a tee of zero or one live observers collapses to nil or that observer.
+func TeeObservers(obs ...Observer) Observer {
+	t := &tee{}
+	for _, o := range obs {
+		if o == nil {
+			continue
+		}
+		t.all = append(t.all, o)
+		if fo, ok := o.(FaultObserver); ok {
+			t.faults = append(t.faults, fo)
+		}
+		if po, ok := o.(PlacementObserver); ok {
+			t.places = append(t.places, po)
+		}
+		if so, ok := o.(SlowdownObserver); ok {
+			t.slows = append(t.slows, so)
+		}
+		if jo, ok := o.(JobObserver); ok {
+			t.jobs = append(t.jobs, jo)
+		}
+	}
+	switch len(t.all) {
+	case 0:
+		return nil
+	case 1:
+		return t.all[0]
+	}
+	return t
+}
+
+type tee struct {
+	all    []Observer
+	faults []FaultObserver
+	places []PlacementObserver
+	slows  []SlowdownObserver
+	jobs   []JobObserver
+}
+
+func (t *tee) TaskStarted(now int64, tk *workload.Task, j *workload.Job, res int) {
+	for _, o := range t.all {
+		o.TaskStarted(now, tk, j, res)
+	}
+}
+
+func (t *tee) TaskFinished(now int64, tk *workload.Task, j *workload.Job, res int) {
+	for _, o := range t.all {
+		o.TaskFinished(now, tk, j, res)
+	}
+}
+
+func (t *tee) TaskFailed(now int64, tk *workload.Task, j *workload.Job, res int) {
+	for _, o := range t.faults {
+		o.TaskFailed(now, tk, j, res)
+	}
+}
+
+func (t *tee) TaskKilled(now int64, tk *workload.Task, j *workload.Job, res int) {
+	for _, o := range t.faults {
+		o.TaskKilled(now, tk, j, res)
+	}
+}
+
+func (t *tee) ResourceDown(now int64, res int) {
+	for _, o := range t.faults {
+		o.ResourceDown(now, res)
+	}
+}
+
+func (t *tee) ResourceUp(now int64, res int) {
+	for _, o := range t.faults {
+		o.ResourceUp(now, res)
+	}
+}
+
+func (t *tee) TaskScheduled(now int64, tk *workload.Task, j *workload.Job, res int, start int64, replan bool) {
+	for _, o := range t.places {
+		o.TaskScheduled(now, tk, j, res, start, replan)
+	}
+}
+
+func (t *tee) TaskSlowdown(now int64, tk *workload.Task, j *workload.Job, res int, effExec, nominal int64) {
+	for _, o := range t.slows {
+		o.TaskSlowdown(now, tk, j, res, effExec, nominal)
+	}
+}
+
+func (t *tee) JobCompleted(now int64, j *workload.Job, latenessMS int64) {
+	for _, o := range t.jobs {
+		o.JobCompleted(now, j, latenessMS)
+	}
+}
+
+func (t *tee) JobAbandoned(now int64, j *workload.Job) {
+	for _, o := range t.jobs {
+		o.JobAbandoned(now, j)
+	}
+}

@@ -107,6 +107,9 @@ type Simulator struct {
 	activeSince []int64
 	observer    Observer
 	faultObs    FaultObserver
+	placeObs    PlacementObserver
+	slowObs     SlowdownObserver
+	jobObs      JobObserver
 
 	// Telemetry sampling state; inert when tel is nil.
 	tel        *obs.Telemetry
@@ -154,11 +157,45 @@ type FaultObserver interface {
 	ResourceUp(now int64, res int)
 }
 
+// PlacementObserver extends Observer with placement decisions: observers
+// that implement it see every Schedule call the manager makes, including
+// replacements of an existing plan (replan=true).
+type PlacementObserver interface {
+	Observer
+	// TaskScheduled fires when a placement is installed. replan is true
+	// when the task already had a pending placement that this one replaces.
+	TaskScheduled(now int64, t *workload.Task, j *workload.Job, res int, start int64, replan bool)
+}
+
+// SlowdownObserver extends Observer with straggler detection: it fires when
+// a just-started attempt is discovered to run slower than nominal.
+type SlowdownObserver interface {
+	Observer
+	// TaskSlowdown fires when an attempt starts with effective duration
+	// effExec stretched beyond the nominal exec time.
+	TaskSlowdown(now int64, t *workload.Task, j *workload.Job, res int, effExec, nominal int64)
+}
+
+// JobObserver extends Observer with job-level terminal events.
+type JobObserver interface {
+	Observer
+	// JobCompleted fires when the last task of a job finishes. latenessMS
+	// is completion minus deadline (negative when the job met its SLA).
+	JobCompleted(now int64, j *workload.Job, latenessMS int64)
+	// JobAbandoned fires when a job is given up on.
+	JobAbandoned(now int64, j *workload.Job)
+}
+
 // SetObserver attaches a lifecycle observer; call before Run. Observers
-// that also implement FaultObserver receive failure-path events.
+// that also implement FaultObserver, PlacementObserver, SlowdownObserver,
+// or JobObserver receive the corresponding extended events. Use
+// TeeObservers to attach more than one.
 func (s *Simulator) SetObserver(o Observer) {
 	s.observer = o
 	s.faultObs, _ = o.(FaultObserver)
+	s.placeObs, _ = o.(PlacementObserver)
+	s.slowObs, _ = o.(SlowdownObserver)
+	s.jobObs, _ = o.(JobObserver)
 }
 
 // SetTelemetry attaches a telemetry core; call before Run. The simulator
@@ -576,6 +613,9 @@ func (s *Simulator) handleTaskStart(ev event) error {
 		s.queue.push(event{at: s.clock + st.effExec, kind: evTaskFinish, taskKey: ev.taskKey, version: st.version})
 	}
 	if st.effExec > t.Exec {
+		if s.slowObs != nil {
+			s.slowObs.TaskSlowdown(s.clock, t, j, st.res, st.effExec, t.Exec)
+		}
 		// Straggler: the attempt will overrun its planned window; let the
 		// manager replan before later start events collide with it.
 		return s.rm.OnTaskSlowdown(s, t)
@@ -712,6 +752,15 @@ func (s *Simulator) completeJob(j *workload.Job) {
 		s.metrics.MakespanMS = s.clock
 	}
 	s.metrics.Records = append(s.metrics.Records, rec)
+	if s.tel.Enabled() {
+		// Both values are pure sim time, so these histograms are
+		// deterministic run to run.
+		s.tel.Observe(obs.HistJobE2E, float64(s.clock-j.Arrival))
+		s.tel.Observe(obs.HistJobLateness, float64(s.clock-j.Deadline))
+	}
+	if s.jobObs != nil {
+		s.jobObs.JobCompleted(s.clock, j, s.clock-j.Deadline)
+	}
 }
 
 // --- Context implementation ---
@@ -737,10 +786,14 @@ func (s *Simulator) Schedule(t *workload.Task, res int, start int64) error {
 	if res < 0 || res >= s.cluster.NumResources {
 		return fmt.Errorf("sim: task %s scheduled on invalid resource %d", t.ID, res)
 	}
+	replan := st.scheduled
 	st.res, st.start = res, start
 	st.scheduled = true
 	st.version++
 	s.queue.push(event{at: start, kind: evTaskStart, taskKey: st.key, version: st.version})
+	if s.placeObs != nil {
+		s.placeObs.TaskScheduled(s.clock, t, st.job, res, start, replan)
+	}
 	return nil
 }
 
@@ -841,6 +894,9 @@ func (s *Simulator) AbandonJob(j *workload.Job) error {
 	}
 	s.abandoned[j] = true
 	s.metrics.JobsAbandoned++
+	if s.jobObs != nil {
+		s.jobObs.JobAbandoned(s.clock, j)
+	}
 	for _, t := range j.Tasks() {
 		st := s.tasks[t]
 		if st.scheduled && !st.started {

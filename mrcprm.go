@@ -40,6 +40,7 @@ import (
 	"mrcprm/internal/rmkit"
 	"mrcprm/internal/service"
 	"mrcprm/internal/sim"
+	"mrcprm/internal/slo"
 	"mrcprm/internal/stats"
 	"mrcprm/internal/trace"
 	"mrcprm/internal/workflow"
@@ -211,11 +212,28 @@ type (
 	SearchStats = cp.SearchStats
 	// TelemetryReport is the digest obsreport renders from a JSONL stream.
 	TelemetryReport = obs.Report
+	// HistSnapshot is an immutable streaming-histogram snapshot with
+	// quantile estimation (one-bucket-width accuracy, factor sqrt 2).
+	HistSnapshot = obs.HistSnapshot
+	// PromScrape is the parsed content of one Prometheus text exposition
+	// payload (counters/gauges plus reconstructed histogram families).
+	PromScrape = obs.PromScrape
+	// PromHist is one scraped Prometheus histogram family.
+	PromHist = obs.PromHist
 )
 
 // NewJSONLTelemetry returns a telemetry handle that streams events to w as
 // JSON Lines. Call Flush (or EmitSummary then Flush) when the run ends.
 func NewJSONLTelemetry(w io.Writer) *Telemetry { return obs.New(obs.NewJSONLWriter(w)) }
+
+// NewRegistryTelemetry returns a telemetry handle with live counter, gauge,
+// and histogram registries but no event stream — the mrcpd default, so the
+// Prometheus endpoint serves histograms even without a -telemetry file.
+func NewRegistryTelemetry() *Telemetry { return obs.New(obs.DiscardSink{}) }
+
+// ParsePrometheus parses Prometheus text exposition format 0.0.4, strictly
+// enough to double as a well-formedness assertion in CI.
+func ParsePrometheus(r io.Reader) (*PromScrape, error) { return obs.ParsePrometheus(r) }
 
 // ReadTelemetryReport digests a telemetry JSONL stream into a report
 // (solve-latency percentiles, fallback rate, objective convergence, sim
@@ -281,6 +299,13 @@ type (
 	// ServiceFaultSpec is the journalable per-attempt fault plan installed
 	// through ServiceEngine.ApplyFaults.
 	ServiceFaultSpec = service.FaultSpec
+	// SLOConfig tunes the deadline-miss attribution and burn monitor
+	// (miss budget, sliding window, trace ring size).
+	SLOConfig = slo.Config
+	// SLOBurnInfo is a point-in-time view of the miss-budget burn monitor.
+	SLOBurnInfo = slo.BurnInfo
+	// SLOTraceEvent is one entry in a job's lifecycle timeline.
+	SLOTraceEvent = slo.TraceEvent
 )
 
 // Service clock modes.

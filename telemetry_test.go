@@ -65,7 +65,9 @@ func TestTelemetryDeterministic(t *testing.T) {
 	}
 	sa := wallFields.ReplaceAll(a, nil)
 	sb := wallFields.ReplaceAll(b, nil)
-	if bytes.Contains(sa, []byte(`"wall_`)) {
+	// Histogram names like "wall_solve_ms" appear as string *values* and are
+	// deterministic; only a surviving wall_ *key* means the pattern is stale.
+	if wallKey := regexp.MustCompile(`"wall_[a-z0-9_]+":`); wallKey.Match(sa) {
 		t.Fatal("wall_ field survived stripping; fix the wallFields pattern")
 	}
 	if !bytes.Equal(sa, sb) {
@@ -124,7 +126,7 @@ func TestTelemetryStreamShape(t *testing.T) {
 			t.Errorf("no events from layer %q: %v", l, layers)
 		}
 	}
-	for _, k := range []string{"manager/reschedule", "solver/solve", "sim/sample", "sim/run_end"} {
+	for _, k := range []string{"manager/reschedule", "solver/solve", "sim/sample", "sim/run_end", "obs/hist"} {
 		if kinds[k] == 0 {
 			t.Errorf("no %s events: %v", k, kinds)
 		}
@@ -137,6 +139,17 @@ func TestTelemetryStreamShape(t *testing.T) {
 	if rep.BadLines != 0 || rep.Reschedules == 0 || rep.Solves == 0 || rep.Samples == 0 {
 		t.Errorf("report did not digest the stream: %+v", rep)
 	}
+	// The end-of-run summary carries the streaming-histogram digests: every
+	// completed job observed into the sim-time end-to-end and lateness
+	// histograms, every solve into the wall-clock solve histogram.
+	for _, name := range []string{"job_e2e_ms", "job_lateness_ms", "wall_solve_ms"} {
+		if rep.Hists[name].Count == 0 {
+			t.Errorf("no %s histogram digest: %v", name, rep.Hists)
+		}
+	}
+	if n := int(rep.Hists["job_e2e_ms"].Count); n != int(rep.RunEnd["jobs_completed"]) {
+		t.Errorf("e2e histogram count %d != %v completed jobs", n, rep.RunEnd["jobs_completed"])
+	}
 }
 
 // TestTelemetryDisabledIsInert: a nil telemetry handle must be safe to use
@@ -145,6 +158,15 @@ func TestTelemetryDisabledIsInert(t *testing.T) {
 	var tel *mrcprm.Telemetry
 	if tel.Enabled() {
 		t.Fatal("nil telemetry reports Enabled")
+	}
+	// The histogram surface must be inert too: observing into and
+	// snapshotting a disabled handle is a no-op, not a panic.
+	tel.Observe("job_e2e_ms", 123)
+	if h := tel.Hist("job_e2e_ms"); h != nil {
+		t.Fatal("nil telemetry returned a live histogram")
+	}
+	if hs := tel.HistSnapshots(); len(hs) != 0 {
+		t.Fatalf("nil telemetry returned %d histogram snapshots", len(hs))
 	}
 	m := runInstrumented(t, nil)
 	if m.N() != 0 && m.Records == nil {
