@@ -376,7 +376,9 @@ func stress(cfg stressConfig) int {
 	if cfg.bench != "" {
 		buf, err := json.MarshalIndent(rep, "", "  ")
 		if err == nil {
-			err = os.WriteFile(cfg.bench, append(buf, '\n'), 0o644)
+			// Atomic write: CI reads this file while stress runs may still
+			// be in flight; a rename never exposes a torn JSON document.
+			err = cli.WriteFileAtomic(cfg.bench, append(buf, '\n'), 0o644)
 		}
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "bench: %v\n", err)

@@ -75,6 +75,9 @@ func main() {
 		batchMax     = flag.Int("batchmax", 0, "flush the arrival batch at this many pending jobs (0 = no cap)")
 		batchUrgency = flag.Duration("batchurgency", 0, "flush the batch when a job's latest feasible start is this close (0 = off)")
 		deferral     = flag.Duration("deferral", 30*time.Second, "park jobs whose earliest start is further away than this (0 = off)")
+		horizon      = flag.Duration("horizon", 0, "rolling horizon: park jobs whose latest feasible start is further away than this (0 = off)")
+		warmStart    = flag.Bool("warmstart", false, "seed each reschedule from the installed timetable")
+		solveCache   = flag.Bool("solvecache", false, "memoize solve results keyed by the full reschedule input")
 
 		drainTimeout = flag.Duration("draintimeout", time.Minute, "max time to finish outstanding work on SIGTERM")
 
@@ -105,6 +108,9 @@ func main() {
 	mcfg.BatchMaxPending = *batchMax
 	mcfg.BatchUrgencyLead = *batchUrgency
 	mcfg.DeferralLead = *deferral
+	mcfg.HorizonWindow = *horizon
+	mcfg.WarmStart = *warmStart
+	mcfg.SolveCache = *solveCache
 
 	// Without -telemetry the daemon still keeps a registry-only handle
 	// (counters, gauges, histograms; no event stream) so GET /metrics has

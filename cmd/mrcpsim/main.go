@@ -50,6 +50,10 @@ func main() {
 		mtbf      = flag.Float64("mtbf", 0, "mean time between resource outages (s, 0 = no outages)")
 		mttr      = flag.Float64("mttr", 60, "mean time to repair a down resource (s)")
 		faultSeed = flag.Uint64("faultseed", 0, "fault plan seed (0 = derive from -seed)")
+
+		horizon    = flag.Duration("horizon", 0, "mrcp: park jobs whose latest feasible start is further away than this (0 = off)")
+		warmStart  = flag.Bool("warmstart", false, "mrcp: seed each reschedule from the installed timetable")
+		solveCache = flag.Bool("solvecache", false, "mrcp: memoize solve results keyed by the full reschedule input")
 	)
 	common.Parse()
 	defer common.Close()
@@ -108,6 +112,9 @@ func main() {
 	if *rmName == "mrcp" {
 		mcfg := mrcprm.DefaultConfig()
 		mcfg.Workers = common.Workers
+		mcfg.HorizonWindow = *horizon
+		mcfg.WarmStart = *warmStart
+		mcfg.SolveCache = *solveCache
 		popts.Extra = mcfg
 	}
 	rm, err := mrcprm.NewPolicy(*rmName, cluster, popts)

@@ -1,0 +1,54 @@
+package cli
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestWriteFileAtomic(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "bench.json")
+
+	if err := WriteFileAtomic(path, []byte("{\"a\":1}\n"), 0o644); err != nil {
+		t.Fatalf("WriteFileAtomic: %v", err)
+	}
+	got, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("read back: %v", err)
+	}
+	if string(got) != "{\"a\":1}\n" {
+		t.Fatalf("content = %q", got)
+	}
+
+	// Overwrite replaces the content wholesale.
+	if err := WriteFileAtomic(path, []byte("second"), 0o644); err != nil {
+		t.Fatalf("overwrite: %v", err)
+	}
+	got, _ = os.ReadFile(path)
+	if string(got) != "second" {
+		t.Fatalf("after overwrite content = %q", got)
+	}
+
+	// No temp files left behind.
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 1 || entries[0].Name() != "bench.json" {
+		names := make([]string, 0, len(entries))
+		for _, e := range entries {
+			names = append(names, e.Name())
+		}
+		t.Fatalf("leftover files: %v", names)
+	}
+
+	// Failure (missing directory) must not create the target.
+	bad := filepath.Join(dir, "nosuch", "x.json")
+	if err := WriteFileAtomic(bad, []byte("x"), 0o644); err == nil {
+		t.Fatal("expected error writing into missing directory")
+	}
+	if _, err := os.Stat(bad); !os.IsNotExist(err) {
+		t.Fatalf("target should not exist, stat err = %v", err)
+	}
+}

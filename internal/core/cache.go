@@ -1,0 +1,202 @@
+package core
+
+import (
+	"encoding/binary"
+	"hash/fnv"
+
+	"mrcprm/internal/cp"
+	"mrcprm/internal/sim"
+	"mrcprm/internal/workload"
+)
+
+// The solve-result cache memoizes one reschedule's installed timetable
+// under a fingerprint of *everything* the solve depends on: the solver
+// parameters, the invocation time (start bounds and the model horizon are
+// now-relative), the down mask, the frozen-task and pending-job sets, and
+// the warm-start hint. A repeat trigger with an identical key — e.g. a
+// resource-up event that changes nothing about the pending frontier —
+// reinstalls the cached placements in their original order instead of
+// solving. Under DeterministicConfig a solve is a pure function of the key
+// contents, so a hit is bit-identical to the re-solve it replaces and run
+// fingerprints do not change with the cache on or off.
+
+// solveCacheCap bounds the cache; entries beyond it evict FIFO. Repeat
+// triggers arrive close to their original solve, so a small window is
+// enough and keeps retained task pointers bounded.
+const solveCacheCap = 128
+
+// cachedPlacement is one installed placement, in install order so a replay
+// issues the exact same ctx.Schedule sequence as the original round.
+type cachedPlacement struct {
+	task  *workload.Task
+	res   int
+	start int64
+	slot  int // combined-mode unit slot; -1 in direct mode
+}
+
+// cacheEntry is one memoized install: the placements of every schedulable
+// task and the solver's reported objective.
+type cacheEntry struct {
+	placements []cachedPlacement
+	objective  int
+}
+
+type solveCache struct {
+	entries map[uint64]*cacheEntry
+	order   []uint64 // insertion order, for FIFO eviction
+}
+
+func newSolveCache() *solveCache {
+	return &solveCache{entries: make(map[uint64]*cacheEntry)}
+}
+
+func (c *solveCache) get(key uint64) (*cacheEntry, bool) {
+	e, ok := c.entries[key]
+	return e, ok
+}
+
+func (c *solveCache) put(key uint64, e *cacheEntry) {
+	if _, ok := c.entries[key]; ok {
+		c.entries[key] = e
+		return
+	}
+	if len(c.order) >= solveCacheCap {
+		delete(c.entries, c.order[0])
+		c.order = c.order[1:]
+	}
+	c.entries[key] = e
+	c.order = append(c.order, key)
+}
+
+// hintPlacements snapshots the installed placement of every still-pending
+// task so the next solve can warm-start from it. Tasks without an
+// installed placement (fresh arrivals, failed attempts) carry no hint.
+func hintPlacements(ctx sim.Context, work []*jobWork) map[*workload.Task]cachedPlacement {
+	h := make(map[*workload.Task]cachedPlacement)
+	add := func(ts []*workload.Task) {
+		for _, t := range ts {
+			if res, start, ok := ctx.Placement(t); ok {
+				h[t] = cachedPlacement{task: t, res: res, start: start}
+			}
+		}
+	}
+	for _, w := range work {
+		add(w.pendingMaps)
+		add(w.pendingReds)
+	}
+	return h
+}
+
+// buildHint re-indexes the installed-timetable snapshot onto the freshly
+// built model. Returns nil when nothing survives to hint from (a fully
+// fresh frontier warm-starts nothing).
+func buildHint(bm *builtModel, hints map[*workload.Task]cachedPlacement) *cp.Hint {
+	if len(hints) == 0 {
+		return nil
+	}
+	n := len(bm.model.Intervals())
+	h := &cp.Hint{Starts: make([]int64, n), Res: make([]int, n)}
+	for i := range h.Starts {
+		h.Starts[i] = -1
+		h.Res[i] = -1
+	}
+	found := false
+	for t, iv := range bm.byTask {
+		if bm.frozen[t] {
+			continue
+		}
+		if p, ok := hints[t]; ok {
+			h.Starts[iv.ID()] = p.start
+			h.Res[iv.ID()] = p.res
+			found = true
+		}
+	}
+	if !found {
+		return nil
+	}
+	return h
+}
+
+// cacheKey fingerprints one reschedule's full solve input. Iteration is in
+// deterministic work order (arrival-ordered jobs, task-list order within a
+// job), so equal states hash equally.
+func (m *Manager) cacheKey(now int64, work []*jobWork, down []bool,
+	hints map[*workload.Task]cachedPlacement) uint64 {
+	h := fnv.New64a()
+	var buf [8]byte
+	u64 := func(v uint64) {
+		binary.LittleEndian.PutUint64(buf[:], v)
+		h.Write(buf[:])
+	}
+	i64 := func(v int64) { u64(uint64(v)) }
+	str := func(s string) {
+		u64(uint64(len(s)))
+		h.Write([]byte(s))
+	}
+	b := func(v bool) {
+		if v {
+			u64(1)
+		} else {
+			u64(0)
+		}
+	}
+
+	// Solver parameters that shape the model or the search.
+	i64(int64(m.cfg.Mode))
+	i64(int64(m.cfg.Ordering))
+	i64(m.cfg.NodeLimit)
+	i64(int64(m.cfg.SolveTimeLimit))
+	i64(int64(m.cfg.Workers))
+	b(m.cfg.StrictSolveLimits)
+	b(m.cfg.OpportunisticSolve)
+	b(m.cfg.WarmStart)
+
+	i64(now)
+	for _, d := range down {
+		b(d)
+	}
+
+	frozen := func(fz frozenTask) {
+		str(fz.task.ID)
+		i64(int64(fz.res))
+		i64(fz.start)
+		i64(fz.exec)
+		i64(int64(m.unitSlot[fz.task])) // pins the matchmaking replay
+	}
+	pending := func(t *workload.Task) {
+		str(t.ID)
+		i64(t.Exec)
+		i64(t.Req)
+		if p, ok := hints[t]; ok {
+			i64(int64(p.res))
+			i64(p.start)
+		} else {
+			i64(-1)
+			i64(-1)
+		}
+	}
+	for _, w := range work {
+		i64(int64(w.job.ID))
+		i64(w.job.EarliestStart)
+		i64(w.job.Deadline)
+		b(w.ghost)
+		i64(int64(w.completedMaps))
+		u64(0xa1) // section tags keep set boundaries unambiguous
+		for _, t := range w.pendingMaps {
+			pending(t)
+		}
+		u64(0xa2)
+		for i := range w.frozenMaps {
+			frozen(w.frozenMaps[i])
+		}
+		u64(0xa3)
+		for _, t := range w.pendingReds {
+			pending(t)
+		}
+		u64(0xa4)
+		for i := range w.frozenReds {
+			frozen(w.frozenReds[i])
+		}
+	}
+	return h.Sum64()
+}

@@ -108,6 +108,31 @@ type Config struct {
 	// cost of run-to-run reproducibility. The default (false) keeps every
 	// seeded solve deterministic.
 	OpportunisticSolve bool
+	// WarmStart seeds every CP solve's incumbent from the currently
+	// installed timetable (cp.Params.Hint): surviving tasks aim at their
+	// previous starts, so the solver opens near the prior objective and
+	// skips its branch-and-bound proof phase (see cp.Hint). Warm-started
+	// runs remain self-consistent (same stream ⇒ same fingerprint) but
+	// install different — not bit-identical — schedules than cold runs.
+	// The default (false) keeps every solve bit-identical to earlier
+	// releases.
+	WarmStart bool
+	// HorizonWindow bounds the modeled future: a job whose latest feasible
+	// start (deadline minus its SLALowerBound execution bound) lies beyond
+	// now + window is parked in the deferral queue instead of entering the
+	// model, and a timer admits it at latestFeasibleStart - window — i.e.
+	// while a full window of SLA slack still remains. Model size then
+	// scales with the window, not the backlog. Zero (the default)
+	// disables the window.
+	HorizonWindow time.Duration
+	// SolveCache caches each successful CP install keyed by a fingerprint
+	// of everything the solve depends on (frozen-task set, pending-job
+	// set, down mask, now, solver params, warm-start hint); a repeat
+	// trigger with an identical key reinstalls the cached timetable
+	// without solving. Because the key covers every solve input, a cache
+	// hit is bit-identical to the deterministic re-solve it replaces, so
+	// fingerprints do not change with the cache on or off. Default false.
+	SolveCache bool
 }
 
 // DefaultConfig returns the configuration used by the experiments: combined
@@ -166,4 +191,16 @@ type Stats struct {
 	// budgets; JobsAbandoned counts jobs given up after exhausting theirs.
 	TaskRetries   int
 	JobsAbandoned int
+	// WindowParked counts jobs parked by the rolling horizon window
+	// (Config.HorizonWindow) rather than the Section V.E deferral.
+	WindowParked int
+	// CacheHits counts reschedules satisfied by the solve-result cache;
+	// CacheMisses counts rounds that had to solve with the cache enabled.
+	CacheHits   int
+	CacheMisses int
+	// WarmStartRounds counts solves that entered the solver with a
+	// warm-start hint; WarmStartSeeded counts those whose hint repair
+	// produced the first incumbent.
+	WarmStartRounds int
+	WarmStartSeeded int
 }

@@ -30,6 +30,13 @@ type Manager struct {
 	// task starts, later rounds pin it to the same slot.
 	unitSlot map[*workload.Task]int
 
+	// cache is the solve-result cache (nil unless Config.SolveCache).
+	// capturing/captured record the install order of one round's
+	// placements so a cache hit can replay the identical sequence.
+	cache     *solveCache
+	capturing bool
+	captured  []cachedPlacement
+
 	stats Stats
 	// tel receives per-invocation spans and solver search events; nil (the
 	// default) disables all instrumentation at the cost of one branch.
@@ -43,12 +50,16 @@ type Manager struct {
 
 // New creates an MRCP-RM manager for the cluster.
 func New(cluster sim.Cluster, cfg Config) *Manager {
-	return &Manager{
+	m := &Manager{
 		cfg:      cfg,
 		cluster:  cluster,
 		jobs:     rmkit.NewTracker(nil),
 		unitSlot: make(map[*workload.Task]int),
 	}
+	if cfg.SolveCache {
+		m.cache = newSolveCache()
+	}
+	return m
 }
 
 // Name implements sim.ResourceManager.
@@ -69,19 +80,28 @@ func (m *Manager) SetRescheduleObserver(fn func(now int64, reason string, fallba
 }
 
 // OnJobArrival implements sim.ResourceManager: Section V.E defers jobs
-// whose earliest start time is far in the future; everything else triggers
-// a full matchmaking-and-scheduling round.
+// whose earliest start time is far in the future, the rolling horizon
+// window parks jobs with more than a window of SLA slack; everything else
+// triggers a full matchmaking-and-scheduling round.
 func (m *Manager) OnJobArrival(ctx sim.Context, j *workload.Job) error {
 	started := time.Now()
-	lead := m.cfg.DeferralLead.Milliseconds()
-	if lead > 0 && j.EarliestStart > ctx.Now()+lead {
+	if until := m.parkedUntil(ctx.Now(), j); until > 0 {
 		m.deferred = append(m.deferred, j)
-		m.stats.Deferred++
-		if m.tel.Enabled() {
-			m.tel.Emit(ctx.Now(), obs.LayerManager, "job_deferred",
-				obs.Int("job", j.ID), obs.I64("earliest_start_ms", j.EarliestStart))
+		lead := m.cfg.DeferralLead.Milliseconds()
+		if lead > 0 && j.EarliestStart > ctx.Now()+lead {
+			m.stats.Deferred++
+			if m.tel.Enabled() {
+				m.tel.Emit(ctx.Now(), obs.LayerManager, "job_deferred",
+					obs.Int("job", j.ID), obs.I64("earliest_start_ms", j.EarliestStart))
+			}
+		} else {
+			m.stats.WindowParked++
+			if m.tel.Enabled() {
+				m.tel.Emit(ctx.Now(), obs.LayerManager, "job_window_parked",
+					obs.Int("job", j.ID), obs.I64("admit_at_ms", until))
+			}
 		}
-		ctx.SetTimer(j.EarliestStart - lead)
+		ctx.SetTimer(until)
 		ctx.AddOverhead(time.Since(started))
 		return nil
 	}
@@ -170,15 +190,37 @@ func (m *Manager) Outstanding() int {
 	return m.jobs.Len() + len(m.deferred) + len(m.batch)
 }
 
+// parkedUntil returns the simulated time until which job j must stay
+// parked, or 0 when it should be admitted now. Two independent mechanisms
+// park jobs in the deferral queue: the Section V.E deferral of far-future
+// earliest starts (release at EarliestStart - lead), and the rolling
+// horizon window, which keeps a job out of the model while its latest
+// feasible start lfs = deadline - SLALowerBound lies beyond now + window
+// (release at lfs - window, i.e. with a full window of SLA slack left).
+// Both release times are static per job, so the single timer armed at
+// arrival suffices; a job parked by both waits for the later one.
+func (m *Manager) parkedUntil(now int64, j *workload.Job) int64 {
+	var until int64
+	if lead := m.cfg.DeferralLead.Milliseconds(); lead > 0 && j.EarliestStart > now+lead {
+		until = j.EarliestStart - lead
+	}
+	if w := m.cfg.HorizonWindow.Milliseconds(); w > 0 {
+		if lfs := j.Deadline - SLALowerBound(m.cluster, j); lfs > now+w && lfs-w > until {
+			until = lfs - w
+		}
+	}
+	return until
+}
+
 // OnTimer implements sim.ResourceManager: it releases deferred jobs whose
-// earliest start time is now close.
+// earliest start time is now close and window-parked jobs the advancing
+// horizon has reached.
 func (m *Manager) OnTimer(ctx sim.Context) error {
 	started := time.Now()
-	lead := m.cfg.DeferralLead.Milliseconds()
 	released := false
 	rest := m.deferred[:0]
 	for _, j := range m.deferred {
-		if j.EarliestStart <= ctx.Now()+lead {
+		if m.parkedUntil(ctx.Now(), j) == 0 {
 			m.admit(j)
 			released = true
 		} else {
@@ -337,37 +379,88 @@ func (m *Manager) reschedule(ctx sim.Context, reason string) error {
 	if len(work) == 0 {
 		return nil
 	}
-	bm, err := buildModel(m.cfg.Mode, now, m.cluster, work, down)
-	if err != nil {
-		return err
+	var frozenN, pendingN int
+	for _, w := range work {
+		frozenN += len(w.frozenMaps) + len(w.frozenReds)
+		pendingN += len(w.pendingMaps) + len(w.pendingReds)
 	}
 	telOn := m.tel.Enabled()
 	var sp *obs.Span
 	var wallStart time.Time
 	if telOn {
 		wallStart = time.Now()
-		var frozenN, pendingN int
-		for _, w := range work {
-			frozenN += len(w.frozenMaps) + len(w.frozenReds)
-			pendingN += len(w.pendingMaps) + len(w.pendingReds)
-		}
 		sp = m.tel.StartSpan(now, obs.LayerManager, "reschedule",
 			obs.Str("reason", reason),
 			obs.Str("mode", m.cfg.Mode.String()),
 			obs.Int("jobs", len(work)),
 			obs.Int("frozen_tasks", frozenN),
 			obs.Int("pending_tasks", pendingN))
+		m.tel.Observe(obs.HistSolveModelTasks, float64(frozenN+pendingN))
 	}
-	res, solveErr := m.solve(bm)
+
+	// Warm-start hint: the timetable installed by the previous round, also
+	// part of the cache key (the solve result depends on it).
+	var hints map[*workload.Task]cachedPlacement
+	if m.cfg.WarmStart {
+		hints = hintPlacements(ctx, work)
+	}
+
+	var key uint64
+	if m.cache != nil {
+		key = m.cacheKey(now, work, down, hints)
+		if ent, ok := m.cache.get(key); ok {
+			err := m.reinstall(ctx, ent)
+			m.stats.CacheHits++
+			m.stats.LateBound += ent.objective
+			if telOn {
+				m.tel.Add(obs.CounterSolveCacheHits, 1)
+				sp.End(obs.Str("status", "cache_hit"), obs.Bool("fallback", false),
+					obs.Int("objective", ent.objective),
+					obs.Int("predicted_late", predictedLateAfter(ctx, work, err)))
+				m.tel.Observe(obs.HistWallReschedule, float64(time.Since(wallStart).Nanoseconds())/1e6)
+			}
+			if m.onReschedule != nil {
+				m.onReschedule(now, reason, false)
+			}
+			return err
+		}
+		m.stats.CacheMisses++
+		if telOn {
+			m.tel.Add(obs.CounterSolveCacheMisses, 1)
+		}
+	}
+
+	bm, err := buildModel(m.cfg.Mode, now, m.cluster, work, down)
+	if err != nil {
+		if telOn {
+			sp.End(obs.Str("status", "model_error"), obs.Bool("fallback", false),
+				obs.Int("objective", -1), obs.Int("predicted_late", -1))
+		}
+		return err
+	}
+	var hint *cp.Hint
+	if m.cfg.WarmStart {
+		if hint = buildHint(bm, hints); hint != nil {
+			m.stats.WarmStartRounds++
+			if telOn {
+				m.tel.Add(obs.CounterWarmStartHinted, 1)
+			}
+		}
+	}
+	res, solveErr := m.solve(bm, hint)
 	m.stats.Rounds++
 	m.stats.SolverNodes += res.Nodes
+	if res.Search.HintSeeded {
+		m.stats.WarmStartSeeded++
+	}
 	if telOn {
-		m.emitSolve(now, &res, solveErr)
+		m.emitSolve(now, &res, solveErr, frozenN+pendingN, hint != nil)
 		m.tel.Add("manager_rounds", 1)
 	}
 	if solveErr != nil || !res.HasSolution() {
 		// Table 2 line 24 would reject the job; a production manager must
 		// keep placing work instead, so degrade to the greedy fallback.
+		// Fallback installs are never cached.
 		m.stats.FallbackRounds++
 		err := m.greedyFallback(ctx, now, work, down)
 		if telOn {
@@ -384,11 +477,25 @@ func (m *Manager) reschedule(ctx sim.Context, reason string) error {
 	}
 	m.stats.LateBound += res.Objective
 
+	if m.cache != nil {
+		m.capturing = true
+		m.captured = m.captured[:0]
+	}
 	switch m.cfg.Mode {
 	case ModeCombined:
 		err = m.installCombined(ctx, bm, &res, work)
 	default:
 		err = m.installDirect(ctx, bm, &res)
+	}
+	if m.cache != nil {
+		if err == nil {
+			m.cache.put(key, &cacheEntry{
+				placements: append([]cachedPlacement(nil), m.captured...),
+				objective:  res.Objective,
+			})
+		}
+		m.capturing = false
+		m.captured = m.captured[:0]
 	}
 	if telOn {
 		sp.End(obs.Str("status", res.Status.String()), obs.Bool("fallback", false),
@@ -403,9 +510,23 @@ func (m *Manager) reschedule(ctx sim.Context, reason string) error {
 	return err
 }
 
+// reinstall replays a cached round: the identical ctx.Schedule sequence
+// (and unit-slot bookkeeping) the original install performed.
+func (m *Manager) reinstall(ctx sim.Context, ent *cacheEntry) error {
+	for _, p := range ent.placements {
+		if p.slot >= 0 {
+			m.unitSlot[p.task] = p.slot
+		}
+		if err := ctx.Schedule(p.task, p.res, p.start); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
 // emitSolve streams one solve's search statistics: the full
 // objective-improvement timeline, then the summary event.
-func (m *Manager) emitSolve(now int64, res *cp.Result, solveErr error) {
+func (m *Manager) emitSolve(now int64, res *cp.Result, solveErr error, modelTasks int, hinted bool) {
 	for _, stp := range res.Search.Timeline {
 		m.tel.Emit(now, obs.LayerSolver, "objective",
 			obs.Int("round", stp.Round),
@@ -434,10 +555,17 @@ func (m *Manager) emitSolve(now int64, res *cp.Result, solveErr error) {
 		obs.Int("workers", st.Workers),
 		obs.Int("winner", st.Winner),
 		obs.I64("bound_imports", st.BoundImports),
+		obs.Int("model_tasks", modelTasks),
+		obs.Bool("warmstart", hinted),
+		obs.Bool("hint_seeded", st.HintSeeded),
+		obs.Int("hint_objective", st.HintObjective),
 		obs.Wall("solve", res.SolveTime),
 		obs.Wall("first_solution", st.TimeToFirst))
 	m.tel.Add("solver_solves", 1)
 	m.tel.Add("solver_nodes", st.Nodes)
+	if st.HintSeeded {
+		m.tel.Add(obs.CounterWarmStartSeeded, 1)
+	}
 	m.tel.Observe(obs.HistWallSolve, float64(res.SolveTime.Nanoseconds())/1e6)
 }
 
@@ -482,7 +610,7 @@ func predictedLateAfter(ctx sim.Context, work []*jobWork, installErr error) int 
 
 // solve runs the CP search, converting a solver panic into an error so the
 // caller can degrade gracefully.
-func (m *Manager) solve(bm *builtModel) (res cp.Result, err error) {
+func (m *Manager) solve(bm *builtModel, hint *cp.Hint) (res cp.Result, err error) {
 	defer func() {
 		if r := recover(); r != nil {
 			err = fmt.Errorf("core: CP solver panicked: %v", r)
@@ -495,6 +623,7 @@ func (m *Manager) solve(bm *builtModel) (res cp.Result, err error) {
 		StrictLimits:  m.cfg.StrictSolveLimits,
 		Workers:       m.cfg.Workers,
 		Opportunistic: m.cfg.OpportunisticSolve,
+		Hint:          hint,
 	})
 	return solver.Solve(), nil
 }
@@ -597,6 +726,9 @@ func (m *Manager) installCombined(ctx sim.Context, bm *builtModel, res *cp.Resul
 		if err := ctx.Schedule(p.task, a.res, a.start); err != nil {
 			return err
 		}
+		if m.capturing {
+			m.captured = append(m.captured, cachedPlacement{task: p.task, res: a.res, start: a.start, slot: a.slot})
+		}
 	}
 	return nil
 }
@@ -622,6 +754,9 @@ func (m *Manager) installDirect(ctx sim.Context, bm *builtModel, res *cp.Result)
 		}
 		if err := ctx.Schedule(it.task, r, res.Starts[it.iv.ID()]); err != nil {
 			return err
+		}
+		if m.capturing {
+			m.captured = append(m.captured, cachedPlacement{task: it.task, res: r, start: res.Starts[it.iv.ID()], slot: -1})
 		}
 	}
 	return nil

@@ -54,6 +54,11 @@ type Params struct {
 	// solves deterministic: fixed worker seeds, isolated searches, and the
 	// canonical merge make seeded node-limited runs byte-identical.
 	Opportunistic bool
+	// Hint warm-starts the solve from a prior assignment (see Hint). Nil
+	// (the default) leaves every search path bit-identical to a
+	// hint-unaware solver. A hint that does not cover the model's
+	// intervals is ignored.
+	Hint *Hint
 }
 
 // Status reports how a solve ended.
@@ -163,6 +168,11 @@ type SearchStats struct {
 	Workers      int
 	Winner       int
 	BoundImports int64
+	// HintSeeded reports that a warm-start hint descent produced the first
+	// incumbent (for portfolio solves: on the winning worker);
+	// HintObjective is that incumbent's objective, -1 when no hint seeded.
+	HintSeeded    bool
+	HintObjective int
 }
 
 // LimitHit reports whether any search budget fired.
@@ -238,6 +248,14 @@ type Solver struct {
 	// backtrack-free, so this stays bounded.
 	ignoreLimits bool
 
+	// hintActive marks the warm-start repair descent: pick targets, the
+	// placement lower bound, and the resource choice then follow
+	// params.Hint. hintSeeded records that the repair produced the first
+	// incumbent, with hintObjective its objective.
+	hintActive    bool
+	hintSeeded    bool
+	hintObjective int
+
 	// boost marks jobs whose tasks are scheduled ahead of others at equal
 	// earliest starts — the "squeaky wheel" improvement loop re-descends
 	// with the incumbent's late jobs boosted.
@@ -270,7 +288,8 @@ func NewSolver(m *Model, params Params) *Solver {
 	if params.NodeLimit == 0 {
 		params.NodeLimit = 200000
 	}
-	s := &Solver{m: m, params: params, nodeLimit: params.NodeLimit, provedLE: provedNothing}
+	s := &Solver{m: m, params: params, nodeLimit: params.NodeLimit,
+		provedLE: provedNothing, hintObjective: -1}
 	s.resCum = make(map[int]*cumulative)
 	s.taskCums = make([][]*cumulative, len(m.intervals))
 	for _, c := range m.cumuls {
@@ -342,11 +361,31 @@ func (s *Solver) solve() Result {
 		}
 	}
 
-	// Phase A: first descent — a greedy, backtrack-free schedule.
+	// Phase A: first descent — a greedy, backtrack-free schedule. With a
+	// warm-start hint the descent instead repairs the hinted assignment
+	// (see Hint); when that fails (e.g. a hint a root cut rejects), the
+	// canonical cold descent runs as if no hint was given.
 	rounds := 1
 	s.curRound = rounds
-	found, exhausted := s.dfs()
-	s.e.store.PopAll()
+	var found, exhausted bool
+	if s.params.Hint.covers(len(m.intervals)) {
+		s.hintActive = true
+		found, _ = s.dfs()
+		s.e.store.PopAll()
+		s.hintActive = false
+		if found {
+			s.hintSeeded = true
+			s.hintObjective = s.incumbent.Objective
+		} else {
+			rounds++
+			s.curRound = rounds
+			found, exhausted = s.dfs()
+			s.e.store.PopAll()
+		}
+	} else {
+		found, exhausted = s.dfs()
+		s.e.store.PopAll()
+	}
 	if !found {
 		st := StatusUnknown
 		if exhausted {
@@ -360,6 +399,17 @@ func (s *Solver) solve() Result {
 			s.provedLE = -1 // vacuous: nothing can be below zero
 		}
 		return s.finish(StatusOptimal, rounds, start)
+	}
+	if s.hintSeeded {
+		// Incremental contract: a hint-seeded solve is pure repair — one
+		// descent that re-validates the prior timetable around the delta.
+		// The incumbent already embodies a prior cold round's improvement
+		// and proof work; every extra pass here is a full O(n) descent
+		// over a model sized by the backlog, which is exactly the cost
+		// incremental solving exists to avoid. Improvement (Phase B) and
+		// the optimality proof (Phase C) stay with the interleaved cold
+		// solves.
+		return s.finish(StatusFeasible, rounds, start)
 	}
 
 	// Phase B: squeaky-wheel improvement — re-descend with the incumbent's
@@ -416,7 +466,6 @@ func (s *Solver) solve() Result {
 	if s.incumbent.Objective == 0 {
 		return s.finish(StatusOptimal, rounds, start)
 	}
-
 	// Phase C: branch and bound on Σ N_j, exact within the set-times
 	// search space, bounded by the node and time limits.
 	for {
@@ -495,6 +544,8 @@ func (s *Solver) searchStats(rounds int, start time.Time) SearchStats {
 		Workers:        1,
 		Winner:         0,
 		BoundImports:   s.boundImports,
+		HintSeeded:     s.hintSeeded,
+		HintObjective:  s.hintObjective,
 	}
 	if s.e != nil {
 		st.Propagations = s.e.propagations
@@ -589,7 +640,7 @@ func (s *Solver) pick() (decision, pickStatus) {
 		// tasks first (smaller startMax), leaving every slot busy with
 		// long work at random arrival instants and killing the system's
 		// responsiveness to tight new jobs.
-		key := [5]int64{m.StartMin(iv), boosted, s.orderKey(iv), jitter, int64(iv.id)}
+		key := [5]int64{s.targetStart(iv), boosted, s.orderKey(iv), jitter, int64(iv.id)}
 		if best == nil || lessKey(key, bestKey) {
 			best, bestKey = iv, key
 		}
@@ -601,9 +652,34 @@ func (s *Solver) pick() (decision, pickStatus) {
 		return decision{}, pickAllDone
 	}
 	if best.resVar != nil && m.ResFixedValue(best.resVar) < 0 {
+		if s.hintActive {
+			if r := s.params.Hint.res(best.id); r >= 0 && m.ResAllowed(best.resVar, r) {
+				return decision{iv: best, res: r}, pickFound
+			}
+		}
 		return decision{iv: best, res: s.pickResource(best)}, pickFound
 	}
 	return decision{iv: best, res: -1}, pickFound
+}
+
+// targetStart is the earliest start the descent aims at for iv: its
+// current StartMin or, during a warm-start repair descent, the hinted
+// start clamped into the interval's current bounds — so surviving tasks
+// stay where the previous round put them while remaining feasible.
+func (s *Solver) targetStart(iv *Interval) int64 {
+	m := s.m
+	st := m.StartMin(iv)
+	if s.hintActive {
+		if h := s.params.Hint.start(iv.id); h > st {
+			if mx := m.StartMax(iv); h > mx {
+				h = mx
+			}
+			if h > st {
+				st = h
+			}
+		}
+	}
+	return st
 }
 
 // orderKey computes the tie-breaking rank of a schedulable task.
@@ -636,12 +712,13 @@ func (s *Solver) pickResource(iv *Interval) int {
 	m := s.m
 	bestRes := -1
 	bestFit := int64(math.MaxInt64)
+	target := s.targetStart(iv)
 	s.resBuf = m.AppendResDomain(iv.resVar, s.resBuf[:0])
 	for _, r := range s.resBuf {
-		fit := m.StartMin(iv)
+		fit := target
 		if c, ok := s.resCum[r]; ok {
 			if err := c.refresh(m); err == nil {
-				fit = c.earliestFit(m, iv, m.StartMin(iv), false)
+				fit = c.earliestFit(m, iv, target, false)
 			} else {
 				fit = math.MaxInt64
 			}
@@ -716,7 +793,7 @@ func (s *Solver) applyLeft(d decision) error {
 // backtrack, never an invalid solution.
 func (s *Solver) placementStart(iv *Interval) int64 {
 	m := s.m
-	st := m.StartMin(iv)
+	st := s.targetStart(iv)
 	cums := s.taskCums[iv.id]
 	// Two rounds reach a fixpoint when the task sits on several timetables
 	// (it never does in the models built by this repository, but the

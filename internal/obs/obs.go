@@ -42,6 +42,15 @@ const (
 	// GaugeServicePending tracks the engine's current intake depth:
 	// accepted submissions not yet completed or abandoned.
 	GaugeServicePending = "service_pending_jobs"
+	// CounterSolveCacheHits / CounterSolveCacheMisses count solve-result
+	// cache lookups in the manager's reschedule path (core.Config.SolveCache).
+	CounterSolveCacheHits   = "solve_cache_hits"
+	CounterSolveCacheMisses = "solve_cache_misses"
+	// CounterWarmStartHinted counts solves entered with a warm-start hint;
+	// CounterWarmStartSeeded counts those whose hint repair produced the
+	// first incumbent (the warm-start hit rate's numerator).
+	CounterWarmStartHinted = "warmstart_hinted"
+	CounterWarmStartSeeded = "warmstart_seeded"
 )
 
 // Well-known histogram names. Names without the "wall_" prefix hold pure
@@ -63,6 +72,10 @@ const (
 	// HistWallReschedule is the wall-clock duration of one full manager
 	// reschedule (model build + solve + install), in ms.
 	HistWallReschedule = "wall_reschedule_ms"
+	// HistSolveModelTasks is the size of each reschedule's CP model in
+	// tasks (frozen + schedulable) — a pure simulated-state quantity, and
+	// the number the rolling horizon window is meant to bound.
+	HistSolveModelTasks = "solve_model_tasks"
 )
 
 type fieldKind uint8

@@ -41,6 +41,15 @@ type Report struct {
 	NodeLimitHits int
 	TimeLimitHits int
 
+	// Incremental-solving digest: CP model sizes (tasks per solve), the
+	// warm-start funnel (hinted solves and how many of their hints seeded
+	// the incumbent), and the final counter summary ("obs/counters"
+	// event), which carries the solve-cache hit/miss totals.
+	ModelTasks []float64
+	WarmSolves int
+	WarmSeeded int
+	Counters   map[string]float64
+
 	// Sim time-series envelope.
 	Samples     int
 	BusyMap     series
@@ -102,6 +111,7 @@ func ReadReport(r io.Reader) (*Report, error) {
 		Hists:         make(map[string]HistDigest),
 		AttrByClass:   make(map[string]int),
 		AttrByOutcome: make(map[string]int),
+		Counters:      make(map[string]float64),
 	}
 	sc := bufio.NewScanner(r)
 	sc.Buffer(make([]byte, 0, 1<<20), 1<<20)
@@ -187,6 +197,21 @@ func (rep *Report) ingest(ev map[string]any) {
 		}
 		if b, ok := ev["time_limit_hit"].(bool); ok && b {
 			rep.TimeLimitHits++
+		}
+		if v, ok := num("model_tasks"); ok {
+			rep.ModelTasks = append(rep.ModelTasks, v)
+		}
+		if b, ok := ev["warmstart"].(bool); ok && b {
+			rep.WarmSolves++
+		}
+		if b, ok := ev["hint_seeded"].(bool); ok && b {
+			rep.WarmSeeded++
+		}
+	case "obs/counters":
+		for k, v := range ev {
+			if f, ok := v.(float64); ok {
+				rep.Counters[k] = f
+			}
 		}
 	case "sim/sample":
 		rep.Samples++
@@ -355,6 +380,23 @@ func (rep *Report) Write(w io.Writer) error {
 		if len(rep.FirstObj) > 0 {
 			fmt.Fprintf(&b, "  objective convergence  first mean=%.2f -> final mean=%.2f (Δ=%.2f)\n",
 				mean(rep.FirstObj), mean(rep.FinalObj), mean(rep.FirstObj)-mean(rep.FinalObj))
+		}
+		if len(rep.ModelTasks) > 0 {
+			fmt.Fprintf(&b, "  model size tasks       p50=%.0f p90=%.0f p99=%.0f max=%.0f\n",
+				percentile(rep.ModelTasks, 0.50), percentile(rep.ModelTasks, 0.90),
+				percentile(rep.ModelTasks, 0.99), maxOf(rep.ModelTasks))
+		}
+		if rep.WarmSolves > 0 {
+			fmt.Fprintf(&b, "  warm-start hit rate    %7.1f%%  (%d seeded of %d hinted solves)\n",
+				100*float64(rep.WarmSeeded)/float64(rep.WarmSolves), rep.WarmSeeded, rep.WarmSolves)
+		}
+		cacheHits := rep.StatusCounts["cache_hit"]
+		if ch := rep.Counters["solve_cache_hits"]; int(ch) > cacheHits {
+			cacheHits = int(ch)
+		}
+		if lookups := cacheHits + int(rep.Counters["solve_cache_misses"]); lookups > 0 {
+			fmt.Fprintf(&b, "  solve cache hit rate   %7.1f%%  (%d of %d lookups)\n",
+				100*float64(cacheHits)/float64(lookups), cacheHits, lookups)
 		}
 	}
 

@@ -52,11 +52,24 @@ func TestReportContents(t *testing.T) {
 	if rep.BadLines != 1 {
 		t.Errorf("BadLines = %d, want 1", rep.BadLines)
 	}
-	if rep.Reschedules != 3 || rep.Fallbacks != 1 {
-		t.Errorf("reschedules/fallbacks = %d/%d, want 3/1", rep.Reschedules, rep.Fallbacks)
+	if rep.Reschedules != 4 || rep.Fallbacks != 1 {
+		t.Errorf("reschedules/fallbacks = %d/%d, want 4/1", rep.Reschedules, rep.Fallbacks)
 	}
 	if rep.Solves != 2 {
 		t.Errorf("Solves = %d, want 2", rep.Solves)
+	}
+	if rep.StatusCounts["cache_hit"] != 1 {
+		t.Errorf("cache_hit reschedules = %d, want 1", rep.StatusCounts["cache_hit"])
+	}
+	if len(rep.ModelTasks) != 2 || rep.ModelTasks[0] != 22 || rep.ModelTasks[1] != 36 {
+		t.Errorf("ModelTasks = %v, want [22 36]", rep.ModelTasks)
+	}
+	if rep.WarmSolves != 1 || rep.WarmSeeded != 1 {
+		t.Errorf("warm solves/seeded = %d/%d, want 1/1", rep.WarmSolves, rep.WarmSeeded)
+	}
+	if rep.Counters["solve_cache_hits"] != 1 || rep.Counters["solve_cache_misses"] != 3 {
+		t.Errorf("cache counters = %v/%v, want 1/3",
+			rep.Counters["solve_cache_hits"], rep.Counters["solve_cache_misses"])
 	}
 	if rep.Samples != 4 {
 		t.Errorf("Samples = %d, want 4", rep.Samples)
