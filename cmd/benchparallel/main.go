@@ -146,7 +146,9 @@ func main() {
 		os.Stdout.Write(enc)
 		return
 	}
-	if err := os.WriteFile(*out, enc, 0o644); err != nil {
+	// Atomic write: CI may read the bench JSON while a rerun is in flight;
+	// a rename never exposes a torn document.
+	if err := cli.WriteFileAtomic(*out, enc, 0o644); err != nil {
 		fatal(err)
 	}
 	fmt.Printf("wrote %s: workers=%d explored %.2fx the nodes of workers=1 (objective %d vs %d)\n",

@@ -105,10 +105,6 @@ func main() {
 	var submitted, accepted, rejected int
 	// acceptedJobs mirrors the daemon's admitted stream (spec + assigned ID)
 	// for the -verify local replay.
-	type acceptedJob struct {
-		id   int
-		spec mrcprm.JobSpec
-	}
 	var acceptedJobs []acceptedJob
 	start := time.Now()
 	for _, spec := range specs {
@@ -164,7 +160,10 @@ func main() {
 	}
 
 	deadline := time.Now().Add(*timeout)
-	var snap mrcprm.ServiceSnapshot
+	// ShardSnapshot embeds the flat single-engine snapshot, so decoding works
+	// against both a plain mrcpd and a sharded one; Shards is empty when the
+	// daemon runs a single engine.
+	var snap mrcprm.ShardSnapshot
 	for {
 		if err := getJSON(client, *addr+"/v1/metrics", &snap); err != nil {
 			fmt.Fprintf(os.Stderr, "metrics: %v\n", err)
@@ -188,32 +187,47 @@ func main() {
 			accepted, snap.JobsCompleted, snap.JobsAbandoned)
 		os.Exit(1)
 	}
-	if *verify {
-		cluster := mrcprm.Cluster{NumResources: *m, MapSlots: 2, ReduceSlots: 2}
-		opts := mrcprm.PolicyOptions{}
-		if snap.Policy == "mrcp" {
-			opts.Extra = mrcprm.DeterministicConfig()
-		}
-		rm, err := mrcprm.NewPolicy(snap.Policy, cluster, opts)
-		if err != nil {
-			fmt.Fprintf(os.Stderr, "verify: %v\n", err)
-			os.Exit(1)
-		}
-		ref := make([]*mrcprm.Job, 0, len(acceptedJobs))
+	if *verify && len(snap.Shards) > 1 {
+		// Sharded daemon: global IDs encode the placement (gid = local*N +
+		// shard, see internal/shard), so the accepted stream partitions
+		// exactly as the router placed it. Replay each shard's stream on its
+		// slice of the cluster and require every per-shard fingerprint — and
+		// their combination — to match what the daemon served.
+		n := len(snap.Shards)
+		byShard := make([][]acceptedJob, n)
 		for _, a := range acceptedJobs {
-			j, err := a.spec.Job(a.id)
+			byShard[a.id%n] = append(byShard[a.id%n], a)
+		}
+		fps := make([]uint64, n)
+		for s, view := range snap.Shards {
+			cluster := mrcprm.Cluster{NumResources: view.Resources, MapSlots: 2, ReduceSlots: 2}
+			fp, err := replayFingerprint(cluster, view.Policy, byShard[s], n)
 			if err != nil {
-				fmt.Fprintf(os.Stderr, "verify: rebuilding job %d: %v\n", a.id, err)
+				fmt.Fprintf(os.Stderr, "verify: shard %d: %v\n", s, err)
 				os.Exit(1)
 			}
-			ref = append(ref, j)
+			fps[s] = fp
+			if want := fmt.Sprintf("%016x", fp); view.Fingerprint != want {
+				fmt.Fprintf(os.Stderr, "verify: shard %d fingerprint %s diverges from local replay %s\n",
+					s, view.Fingerprint, want)
+				os.Exit(1)
+			}
 		}
-		metrics, err := mrcprm.Simulate(cluster, rm, ref)
+		want := fmt.Sprintf("%016x", mrcprm.CombineShardFingerprints(fps))
+		if snap.Fingerprint != want {
+			fmt.Fprintf(os.Stderr, "verify: combined fingerprint %s diverges from local replay %s\n",
+				snap.Fingerprint, want)
+			os.Exit(1)
+		}
+		fmt.Printf("loadgen: verify ok (%d shards, combined fingerprint %s)\n", n, want)
+	} else if *verify {
+		cluster := mrcprm.Cluster{NumResources: *m, MapSlots: 2, ReduceSlots: 2}
+		fp, err := replayFingerprint(cluster, snap.Policy, acceptedJobs, 1)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "verify: %v\n", err)
 			os.Exit(1)
 		}
-		want := fmt.Sprintf("%016x", metrics.Fingerprint())
+		want := fmt.Sprintf("%016x", fp)
 		if snap.Fingerprint != want {
 			fmt.Fprintf(os.Stderr, "verify: served fingerprint %s diverges from local replay %s\n",
 				snap.Fingerprint, want)
@@ -221,6 +235,41 @@ func main() {
 		}
 		fmt.Printf("loadgen: verify ok (fingerprint %s)\n", want)
 	}
+}
+
+// acceptedJob is one admitted submission (spec + daemon-assigned ID) kept
+// for the -verify local replay.
+type acceptedJob struct {
+	id   int
+	spec mrcprm.JobSpec
+}
+
+// replayFingerprint rebuilds the accepted stream as simulator jobs — with
+// IDs mapped from global to engine-local space (gid/n; n=1 leaves them
+// untouched) — runs it deterministically, and returns the metrics
+// fingerprint for comparison with what the daemon served.
+func replayFingerprint(cluster mrcprm.Cluster, policy string, accepted []acceptedJob, n int) (uint64, error) {
+	opts := mrcprm.PolicyOptions{}
+	if policy == "mrcp" {
+		opts.Extra = mrcprm.DeterministicConfig()
+	}
+	rm, err := mrcprm.NewPolicy(policy, cluster, opts)
+	if err != nil {
+		return 0, err
+	}
+	ref := make([]*mrcprm.Job, 0, len(accepted))
+	for _, a := range accepted {
+		j, err := a.spec.Job(a.id / n)
+		if err != nil {
+			return 0, fmt.Errorf("rebuilding job %d: %w", a.id, err)
+		}
+		ref = append(ref, j)
+	}
+	metrics, err := mrcprm.Simulate(cluster, rm, ref)
+	if err != nil {
+		return 0, err
+	}
+	return metrics.Fingerprint(), nil
 }
 
 // retryAfter extracts the retry hint from a 429 body, falling back to 1s.

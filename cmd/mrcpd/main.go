@@ -89,6 +89,10 @@ func main() {
 
 		missBudget = flag.Float64("missbudget", 0.1, "SLO miss budget: the deadline-miss rate that flips /readyz to slo-burn")
 		sloWindow  = flag.Duration("slowindow", time.Minute, "simulated-time window for the SLO burn monitor")
+
+		shards    = flag.Int("shards", 1, "partition the cluster into this many shards, each with its own engine, behind an admission router")
+		routeSeed = flag.Uint64("routeseed", 1, "seed for the router's deterministic placement tie-break")
+		rebalance = flag.Duration("rebalance", 0, "migrate still-queued jobs from hot to cold shards this often (0 = off)")
 	)
 	common.Parse()
 	defer common.Close()
@@ -142,21 +146,56 @@ func main() {
 		os.Exit(2)
 	}
 
-	var engine *mrcprm.ServiceEngine
-	var err error
-	if *doRecover {
-		if *journal == "" {
-			fmt.Fprintln(os.Stderr, "-recover needs -journal")
-			os.Exit(2)
+	// A single shard keeps the plain engine (same journal path, same
+	// behavior as before); -shards N>1 fronts N engines with the router.
+	var (
+		engine  *mrcprm.ServiceEngine
+		router  *mrcprm.ShardRouter
+		run     runner
+		handler http.Handler
+		closed  bool // recovered-run intake state (virtual auto-resume)
+		err     error
+	)
+	if *doRecover && *journal == "" {
+		fmt.Fprintln(os.Stderr, "-recover needs -journal")
+		os.Exit(2)
+	}
+	if *shards > 1 {
+		if *maxPending > 0 {
+			// Split a global bound evenly (rounding up) so N shards shed at
+			// roughly the same total depth as one engine would.
+			cfg.MaxPending = (*maxPending + *shards - 1) / *shards
 		}
-		var info *mrcprm.ServiceRecoveryInfo
-		engine, info, err = mrcprm.RecoverServiceEngine(cfg)
+		scfg := mrcprm.ShardConfig{Base: cfg, Shards: *shards, Seed: *routeSeed, RebalanceEvery: *rebalance}
+		if *doRecover {
+			var info *mrcprm.ShardRecoveryInfo
+			router, info, err = mrcprm.RecoverShardRouter(scfg)
+			if err == nil {
+				fmt.Printf("recovered  : %d shards, %d records (%d accepted, %d rejected, %d withdrawn, %d rehomed, closed=%v)\n",
+					*shards, info.Records, info.Accepted, info.Rejected, info.Withdrawn, info.Rehomed, info.Closed)
+				closed = info.Closed
+			}
+		} else {
+			router, err = mrcprm.NewShardRouter(scfg)
+		}
 		if err == nil {
-			fmt.Printf("recovered  : %d records (%d accepted, %d rejected, %d fault switches, %d outages, closed=%v, torn=%dB)\n",
-				info.Records, info.Accepted, info.Rejected, info.FaultSwitches, info.Outages, info.Closed, info.TornBytes)
+			run, handler = router, mrcprm.NewShardHandler(router)
 		}
 	} else {
-		engine, err = mrcprm.NewServiceEngine(cfg)
+		if *doRecover {
+			var info *mrcprm.ServiceRecoveryInfo
+			engine, info, err = mrcprm.RecoverServiceEngine(cfg)
+			if err == nil {
+				fmt.Printf("recovered  : %d records (%d accepted, %d rejected, %d fault switches, %d outages, closed=%v, torn=%dB)\n",
+					info.Records, info.Accepted, info.Rejected, info.FaultSwitches, info.Outages, info.Closed, info.TornBytes)
+				closed = info.Closed
+			}
+		} else {
+			engine, err = mrcprm.NewServiceEngine(cfg)
+		}
+		if err == nil {
+			run, handler = engine, mrcprm.NewServiceHandler(engine)
+		}
 	}
 	if err != nil {
 		// An unknown -rm name surfaces here, listing the registered policies.
@@ -164,62 +203,63 @@ func main() {
 		os.Exit(2)
 	}
 	if cfg.Mode == mrcprm.ServiceWall {
-		if err := engine.Start(); err != nil {
+		if err := run.Start(); err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}
-	} else if *doRecover {
+	} else if *doRecover && closed {
 		// A recovered virtual run whose intake was already closed is sealed:
 		// finish the interrupted stream without waiting for a client to POST
 		// /v1/admin/run again.
-		var info mrcprm.ServiceSnapshot
-		if info = engine.Metrics(); info.Closed {
-			if err := engine.Start(); err != nil {
-				fmt.Fprintln(os.Stderr, err)
-				os.Exit(1)
-			}
-			fmt.Println("recovered  : intake was closed; resuming the interrupted run")
+		if err := run.Start(); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
 		}
+		fmt.Println("recovered  : intake was closed; resuming the interrupted run")
 	}
 
 	srv := &http.Server{
 		Addr:              *addr,
-		Handler:           mrcprm.NewServiceHandler(engine),
+		Handler:           handler,
 		ReadHeaderTimeout: 10 * time.Second,
 		IdleTimeout:       2 * time.Minute,
 	}
 	httpErr := make(chan error, 1)
 	go func() { httpErr <- srv.ListenAndServe() }()
 	fmt.Printf("mrcpd      : %s\n", cli.Version())
-	fmt.Printf("listening  : %s (%s mode, %s, m=%d)\n", *addr, *mode, *rmName, *m)
+	if *shards > 1 {
+		fmt.Printf("listening  : %s (%s mode, %s, m=%d, %d shards)\n", *addr, *mode, *rmName, *m, *shards)
+	} else {
+		fmt.Printf("listening  : %s (%s mode, %s, m=%d)\n", *addr, *mode, *rmName, *m)
+	}
 	fmt.Printf("observe    : /metrics (prometheus), /v1/metrics (json + slo burn), /v1/jobs/{id}/trace; miss budget %.0f%% over %v\n",
 		100**missBudget, *sloWindow)
 
 	sigs := make(chan os.Signal, 1)
 	signal.Notify(sigs, syscall.SIGINT, syscall.SIGTERM)
 
-	runDone := engine.Done()
+	runDone := run.Done()
 serve:
 	for {
 		select {
 		case sig := <-sigs:
 			fmt.Printf("signal     : %v, draining outstanding work (up to %v)\n", sig, *drainTimeout)
-			engine.CloseIntake()
+			run.CloseIntake()
 			// A virtual-mode daemon that never received /v1/admin/run still
 			// needs its loop to run the submitted work to completion.
-			if err := engine.Start(); err != nil && !errors.Is(err, mrcprm.ErrServiceRunning) {
+			if err := run.Start(); err != nil && !errors.Is(err, mrcprm.ErrServiceRunning) {
 				fmt.Fprintln(os.Stderr, err)
 			}
 			select {
-			case <-engine.Done():
+			case <-run.Done():
 			case <-time.After(*drainTimeout):
 				fmt.Fprintln(os.Stderr, "drain timeout; aborting run")
-				engine.Stop()
-				<-engine.Done()
+				run.Stop()
+				<-run.Done()
 			case <-sigs:
 				fmt.Fprintln(os.Stderr, "second signal; aborting run")
-				engine.Stop()
-				<-engine.Done()
+				run.Stop()
+				<-run.Done()
 			}
 			break serve
 		case <-runDone:
@@ -230,8 +270,8 @@ serve:
 			runDone = nil
 		case err := <-httpErr:
 			fmt.Fprintln(os.Stderr, err)
-			engine.Stop()
-			<-engine.Done()
+			run.Stop()
+			<-run.Done()
 			os.Exit(1)
 		}
 	}
@@ -244,18 +284,41 @@ serve:
 	// the final counter/gauge/histogram state into summary events stamped
 	// at the drained engine's clock, then flush. On the registry-only
 	// handle the events go to a discard sink and this is a no-op.
-	tel.EmitSummary(engine.NowMS())
+	tel.EmitSummary(run.NowMS())
 	tel.Flush()
 
-	metrics, runErr := engine.Result()
-	if runErr != nil && !errors.Is(runErr, mrcprm.ErrServiceStopped) {
-		fmt.Fprintln(os.Stderr, runErr)
-		os.Exit(1)
+	if engine != nil {
+		metrics, runErr := engine.Result()
+		if runErr != nil && !errors.Is(runErr, mrcprm.ErrServiceStopped) {
+			fmt.Fprintln(os.Stderr, runErr)
+			os.Exit(1)
+		}
+		if metrics != nil {
+			fmt.Printf("jobs       : %d arrived, %d completed, %d late, %d abandoned\n",
+				metrics.JobsArrived, metrics.JobsCompleted, metrics.LateJobs, metrics.JobsAbandoned)
+			fmt.Printf("makespan   : %.1f s   P=%.2f%%   T=%.1f s\n",
+				float64(metrics.MakespanMS)/1000, 100*metrics.P(), metrics.T())
+		}
+	} else {
+		if runErr := router.Wait(); runErr != nil && !errors.Is(runErr, mrcprm.ErrServiceStopped) {
+			fmt.Fprintln(os.Stderr, runErr)
+			os.Exit(1)
+		}
+		snap := router.Metrics()
+		fmt.Printf("jobs       : %d arrived, %d completed, %d late, %d abandoned (across %d shards)\n",
+			snap.JobsArrived, snap.JobsCompleted, snap.LateJobs, snap.JobsAbandoned, *shards)
+		if snap.Fingerprint != "" {
+			fmt.Printf("fingerprint: %s\n", snap.Fingerprint)
+		}
 	}
-	if metrics != nil {
-		fmt.Printf("jobs       : %d arrived, %d completed, %d late, %d abandoned\n",
-			metrics.JobsArrived, metrics.JobsCompleted, metrics.LateJobs, metrics.JobsAbandoned)
-		fmt.Printf("makespan   : %.1f s   P=%.2f%%   T=%.1f s\n",
-			float64(metrics.MakespanMS)/1000, 100*metrics.P(), metrics.T())
-	}
+}
+
+// runner is the lifecycle surface shared by a single engine and the shard
+// router; the serve loop drives whichever the flags built.
+type runner interface {
+	Start() error
+	CloseIntake()
+	Stop()
+	Done() <-chan struct{}
+	NowMS() int64
 }

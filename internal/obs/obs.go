@@ -31,6 +31,7 @@ const (
 	LayerManager = "manager"
 	LayerSim     = "sim"
 	LayerService = "service"
+	LayerShard   = "shard"
 )
 
 // Well-known counter and gauge names shared between the service engine and
@@ -42,6 +43,19 @@ const (
 	// GaugeServicePending tracks the engine's current intake depth:
 	// accepted submissions not yet completed or abandoned.
 	GaugeServicePending = "service_pending_jobs"
+	// CounterShardRouted / CounterShardRejected count admission-router
+	// placements and every-shard-shed rejections; CounterShardMigrated
+	// counts still-queued jobs the rebalancer moved between shards.
+	CounterShardRouted   = "shard_routed"
+	CounterShardRejected = "shard_rejected"
+	CounterShardMigrated = "shard_migrated"
+	// GaugeShardPendingWorkPrefix + shard index is the router's running
+	// estimate of each shard's pending work (sum of queued task exec ms).
+	GaugeShardPendingWorkPrefix = "shard_pending_work_ms_"
+	// HistWallRoute is the wall-clock latency of one router admission
+	// decision (placement + shard Submit), in ms; kept distinct from
+	// HistWallAdmission so a merged exposition does not double-count.
+	HistWallRoute = "wall_route_ms"
 	// CounterSolveCacheHits / CounterSolveCacheMisses count solve-result
 	// cache lookups in the manager's reschedule path (core.Config.SolveCache).
 	CounterSolveCacheHits   = "solve_cache_hits"

@@ -63,6 +63,12 @@ type Report struct {
 	// keys in the stream; the digest normalizes them away.
 	Hists map[string]HistDigest
 
+	// Admission-router digest ("shard/route" and "shard/migrate" events
+	// plus the shard_* counters from the final counter summary).
+	Routed       int
+	RouteByShard map[string]int
+	Migrations   int
+
 	// Deadline-miss attribution digest ("obs/slo_attribution" events).
 	Attributions  int
 	AttrByClass   map[string]int
@@ -112,6 +118,7 @@ func ReadReport(r io.Reader) (*Report, error) {
 		AttrByClass:   make(map[string]int),
 		AttrByOutcome: make(map[string]int),
 		Counters:      make(map[string]float64),
+		RouteByShard:  make(map[string]int),
 	}
 	sc := bufio.NewScanner(r)
 	sc.Buffer(make([]byte, 0, 1<<20), 1<<20)
@@ -248,6 +255,13 @@ func (rep *Report) ingest(ev map[string]any) {
 			P50: val("p50"), P90: val("p90"), P95: val("p95"), P99: val("p99")}
 		d.Count, _ = num("count")
 		rep.Hists[name] = d
+	case "shard/route":
+		rep.Routed++
+		if v, ok := num("shard"); ok {
+			rep.RouteByShard[fmt.Sprintf("%.0f", v)]++
+		}
+	case "shard/migrate":
+		rep.Migrations++
 	case "obs/slo_attribution":
 		rep.Attributions++
 		if class, ok := ev["class"].(string); ok {
@@ -420,6 +434,30 @@ func (rep *Report) Write(w io.Writer) error {
 			}
 			fmt.Fprintf(&b, "  %-22s n=%.0f mean=%.2f p50=%.2f p90=%.2f p95=%.2f p99=%.2f max=%.2f\n",
 				name, h.Count, mean, h.P50, h.P90, h.P95, h.P99, h.Max)
+		}
+	}
+
+	routed := rep.Routed
+	if c := int(rep.Counters[CounterShardRouted]); c > routed {
+		routed = c
+	}
+	if routed > 0 {
+		b.WriteString("\nadmission routing\n")
+		fmt.Fprintf(&b, "  jobs routed            %8d\n", routed)
+		for _, k := range sortedKeys(rep.RouteByShard) {
+			n := rep.RouteByShard[k]
+			fmt.Fprintf(&b, "  shard %-17s %8d  (%.1f%%)\n", k, n,
+				100*float64(n)/float64(rep.Routed))
+		}
+		if rejected := int(rep.Counters[CounterShardRejected]); rejected > 0 {
+			fmt.Fprintf(&b, "  rejected               %8d\n", rejected)
+		}
+		migrated := rep.Migrations
+		if c := int(rep.Counters[CounterShardMigrated]); c > migrated {
+			migrated = c
+		}
+		if migrated > 0 {
+			fmt.Fprintf(&b, "  migrated               %8d\n", migrated)
 		}
 	}
 

@@ -40,6 +40,7 @@ const (
 	recOutage    = "outage"
 	recClose     = "close"
 	recTimetable = "timetable"
+	recWithdraw  = "withdraw"
 )
 
 // journalRecord is the one-line JSON payload of every WAL record; Kind
@@ -53,10 +54,14 @@ type journalRecord struct {
 	Mode    string       `json:"mode,omitempty"`
 	Cluster *sim.Cluster `json:"cluster,omitempty"`
 
-	// submit.
+	// submit (ID is also the target of a withdraw record).
 	ID       int               `json:"id"`
 	Spec     *workload.JobSpec `json:"spec,omitempty"`
 	Rejected string            `json:"rejected,omitempty"`
+	// Tag is the external identity a shard router attached via
+	// SubmitTagged (the job's original global ID after a migration); nil
+	// for plain submissions.
+	Tag *int64 `json:"tag,omitempty"`
 
 	// faults.
 	Faults *FaultSpec `json:"faults,omitempty"`
@@ -193,6 +198,13 @@ type RecoveryInfo struct {
 	// recovered virtual engine can then simply be Started to finish the
 	// interrupted stream.
 	Closed bool
+	// Withdrawn counts submissions later pulled back out of the intake by
+	// a shard rebalancer (they do not run on this engine).
+	Withdrawn int
+	// Tagged maps local submission IDs to the external tag their submit
+	// records carried (migrated-in jobs); shard.Recover rebuilds the
+	// router's global-ID overlay from it. Nil when no record was tagged.
+	Tagged map[int]int64
 }
 
 // Recover rebuilds an engine from the write-ahead journal at
@@ -303,6 +315,8 @@ func (e *Engine) replay(rec *journalRecord, info *RecoveryInfo) error {
 	case recTimetable:
 		info.Timetables++ // audit only: replay re-derives placements
 		return nil
+	case recWithdraw:
+		return e.replayWithdraw(rec, info)
 	}
 	return fmt.Errorf("unknown record kind %q", rec.Kind)
 }
@@ -338,6 +352,14 @@ func (e *Engine) replaySubmit(rec *journalRecord, info *RecoveryInfo) error {
 	e.accepted++
 	e.intake = append(e.intake, j)
 	info.Accepted++
+	if rec.Tag != nil {
+		entry.tag = *rec.Tag
+		entry.tagged = true
+		if info.Tagged == nil {
+			info.Tagged = make(map[int]int64)
+		}
+		info.Tagged[rec.ID] = *rec.Tag
+	}
 	// Re-derive the infeasibility flag the original Submit computed so the
 	// recovered monitor attributes identically.
 	at := rec.SimMS
@@ -345,5 +367,35 @@ func (e *Engine) replaySubmit(rec *journalRecord, info *RecoveryInfo) error {
 		at = j.Arrival
 	}
 	e.mon.JobSubmitted(rec.SimMS, rec.ID, core.CheckAdmission(e.cfg.Cluster, j, at) != nil)
+	return nil
+}
+
+// replayWithdraw re-applies a journaled rebalancer withdrawal: the job
+// leaves the intake and never runs on this engine.
+func (e *Engine) replayWithdraw(rec *journalRecord, info *RecoveryInfo) error {
+	e.intakeMu.Lock()
+	defer e.intakeMu.Unlock()
+	entry, ok := e.entries[rec.ID]
+	if !ok || entry.job == nil || entry.withdrawn {
+		return fmt.Errorf("withdraw of id %d which is not queued", rec.ID)
+	}
+	idx := -1
+	for i, j := range e.intake {
+		if j.ID == rec.ID {
+			idx = i
+			break
+		}
+	}
+	if idx < 0 {
+		return fmt.Errorf("withdraw of id %d which is not in the intake", rec.ID)
+	}
+	e.intake = append(e.intake[:idx], e.intake[idx+1:]...)
+	entry.withdrawn = true
+	e.accepted--
+	info.Withdrawn++
+	if info.Tagged != nil {
+		delete(info.Tagged, rec.ID)
+	}
+	e.mon.JobWithdrawn(rec.SimMS, rec.ID)
 	return nil
 }

@@ -1,0 +1,207 @@
+package shard
+
+import (
+	"path/filepath"
+	"testing"
+	"time"
+
+	"mrcprm/internal/service"
+	"mrcprm/internal/workload"
+)
+
+func journaledConfig(t *testing.T) Config {
+	t.Helper()
+	cfg := testShardConfig()
+	cfg.Base.JournalPath = filepath.Join(t.TempDir(), "run.wal")
+	cfg.Base.JournalSync = "none"
+	return cfg
+}
+
+// TestShardRecoveryEquivalence is the sharded durability contract: a run
+// interrupted at an arbitrary point and recovered from its N journal
+// segments finishes with the same per-shard — and therefore the same
+// aggregate — fingerprint as the uninterrupted sharded run.
+func TestShardRecoveryEquivalence(t *testing.T) {
+	jobs := shardStream(t, 16)
+
+	// Uninterrupted reference run (no journal; routing does not depend on it).
+	_, wantFPs := routeOnce(t, jobs, 7)
+	want := CombineFingerprints(wantFPs)
+
+	for _, after := range []time.Duration{0, 2 * time.Millisecond, 20 * time.Millisecond} {
+		t.Run(after.String(), func(t *testing.T) {
+			cfg := journaledConfig(t)
+			r, err := New(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, j := range jobs {
+				if _, err := r.Submit(workload.SpecOf(j)); err != nil {
+					t.Fatal(err)
+				}
+			}
+			r.CloseIntake()
+			if err := r.Start(); err != nil {
+				t.Fatal(err)
+			}
+			time.Sleep(after)
+			r.Stop()
+			<-r.Done()
+
+			r2, info, err := Recover(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if info.Accepted != len(jobs) || !info.Closed {
+				t.Fatalf("recovered %d accepted (want %d), closed=%v", info.Accepted, len(jobs), info.Closed)
+			}
+			if len(info.Shards) != 2 {
+				t.Fatalf("recovered %d segments, want 2", len(info.Shards))
+			}
+			if err := r2.Start(); err != nil {
+				t.Fatal(err)
+			}
+			if err := r2.Wait(); err != nil {
+				t.Fatal(err)
+			}
+			fps := make([]uint64, r2.Shards())
+			for s := range fps {
+				m, err := r2.Engine(s).Result()
+				if err != nil {
+					t.Fatal(err)
+				}
+				fps[s] = m.Fingerprint()
+				if fps[s] != wantFPs[s] {
+					t.Fatalf("shard %d recovered fingerprint %016x, uninterrupted %016x", s, fps[s], wantFPs[s])
+				}
+			}
+			if got := CombineFingerprints(fps); got != want {
+				t.Fatalf("recovered aggregate fingerprint %016x, uninterrupted %016x", got, want)
+			}
+		})
+	}
+}
+
+// TestRecoverRestoresMigration: a job migrated before the crash must come
+// back on its new shard, still resolvable under its original global ID.
+func TestRecoverRestoresMigration(t *testing.T) {
+	cfg := journaledConfig(t)
+	r, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec := workload.JobSpec{
+		DeadlineMS:   3_600_000,
+		MapExecMS:    []int64{10_000, 10_000},
+		ReduceExecMS: []int64{5_000},
+	}
+	var gids []int64
+	for i := 0; i < 6; i++ {
+		gid, err := r.Submit(spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		gids = append(gids, gid)
+	}
+	probe, _ := spec.Job(0)
+	w := probe.TotalWork()
+	for _, gid := range gids {
+		if gid%2 == 1 {
+			r.noteDone(1, w)
+		}
+	}
+	if moved := r.Rebalance(); moved != 1 {
+		t.Fatalf("rebalance moved %d jobs, want 1", moved)
+	}
+	r.mu.Lock()
+	var migrated int64
+	for gid := range r.overlay {
+		migrated = gid
+	}
+	r.mu.Unlock()
+
+	// Crash before the run: the journals hold 6 submits, 1 withdraw, and 1
+	// tagged resubmit across the two segments.
+	r2, info, err := Recover(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.Withdrawn != 1 || info.Rehomed != 0 {
+		t.Fatalf("recovered withdrawn=%d rehomed=%d, want 1 and 0", info.Withdrawn, info.Rehomed)
+	}
+	r2.mu.Lock()
+	home, ok := r2.overlay[migrated]
+	r2.mu.Unlock()
+	if !ok || home.shard != 1 {
+		t.Fatalf("migrated job %d recovered on %+v ok=%v, want shard 1", migrated, home, ok)
+	}
+	if err := r2.Start(); err != nil {
+		t.Fatal(err)
+	}
+	r2.CloseIntake()
+	if err := r2.Wait(); err != nil {
+		t.Fatal(err)
+	}
+	for _, gid := range gids {
+		st, ok := r2.Job(gid)
+		if !ok || st.State != service.StateCompleted {
+			t.Fatalf("job %d recovered to %+v ok=%v, want completed", gid, st, ok)
+		}
+	}
+}
+
+// TestRecoverRehomesOrphan covers the crash window between a migration's
+// two journal records: the withdraw hit the hot segment but the tagged
+// resubmit never hit the cold one. Recovery must re-place the job through
+// the routing path instead of losing it.
+func TestRecoverRehomesOrphan(t *testing.T) {
+	cfg := journaledConfig(t)
+	r, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec := workload.JobSpec{
+		DeadlineMS:   3_600_000,
+		MapExecMS:    []int64{10_000},
+		ReduceExecMS: []int64{5_000},
+	}
+	var gids []int64
+	for i := 0; i < 4; i++ {
+		gid, err := r.Submit(spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		gids = append(gids, gid)
+	}
+	// Simulate the torn migration: journal the withdraw on the job's home
+	// shard and crash before any resubmit.
+	victim := gids[0]
+	if _, _, _, err := r.Engine(int(victim % 2)).Withdraw(int(victim / 2)); err != nil {
+		t.Fatal(err)
+	}
+
+	r2, info, err := Recover(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.Withdrawn != 1 || info.Rehomed != 1 {
+		t.Fatalf("recovered withdrawn=%d rehomed=%d, want 1 and 1", info.Withdrawn, info.Rehomed)
+	}
+	st, ok := r2.Job(victim)
+	if !ok || st.State != service.StateQueued {
+		t.Fatalf("orphaned job %d recovered to %+v ok=%v, want queued", victim, st, ok)
+	}
+	if err := r2.Start(); err != nil {
+		t.Fatal(err)
+	}
+	r2.CloseIntake()
+	if err := r2.Wait(); err != nil {
+		t.Fatal(err)
+	}
+	for _, gid := range gids {
+		st, ok := r2.Job(gid)
+		if !ok || st.State != service.StateCompleted {
+			t.Fatalf("job %d ended %+v ok=%v, want completed", gid, st, ok)
+		}
+	}
+}

@@ -1,0 +1,792 @@
+// Package shard scales the online scheduling service horizontally: it
+// partitions the cluster into N disjoint shards, runs one full
+// service.Engine per shard (each with its own journal segment, telemetry
+// registry, and SLO monitor), and fronts them with a deterministic
+// admission router.
+//
+// Placement is feasibility-then-load: a submission is offered only to
+// shards whose capacity can fit its SLA window (core.SLALowerBound against
+// the shard's partition), and among those the least-loaded shard — by the
+// router's running estimate of pending work ms — wins, with a seeded hash
+// breaking ties so the same seed and submission stream always produce the
+// same shard assignments (the loadgen replay contract, now per shard).
+// Only when every feasible shard sheds does the router reject with the
+// same typed overload error the single-engine service uses.
+//
+// Job IDs are global: a job accepted by shard s with engine-local ID l is
+// externally job l*N + s, so gid%N locates the home shard without any
+// shared state. A rebalancer migration moves a still-queued job to another
+// shard through the journaled Withdraw/SubmitTagged path; the original
+// global ID rides along as the submission tag and an overlay index keeps
+// it resolvable, so clients never observe an ID change.
+package shard
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"sync"
+	"time"
+
+	"mrcprm/internal/core"
+	"mrcprm/internal/obs"
+	"mrcprm/internal/service"
+	"mrcprm/internal/sim"
+	"mrcprm/internal/slo"
+	"mrcprm/internal/workload"
+)
+
+// Config assembles a sharded router.
+type Config struct {
+	// Base is the per-shard engine template. Cluster is the FULL cluster
+	// (Partition splits it); JournalPath is the base path (each shard
+	// appends to JournalPath+".shard<i>"); MaxPending applies per shard
+	// (split a global bound before constructing the Config). Telemetry is
+	// the ROUTER's handle — routing events, shard counters, and the
+	// per-shard pending-work gauges land there, while each engine gets its
+	// own private registry-only handle so merged expositions never double
+	// count.
+	Base service.Config
+	// Shards is the partition count N (>= 1; at most Cluster.NumResources).
+	Shards int
+	// Seed feeds the deterministic placement tie-break.
+	Seed uint64
+	// RebalanceEvery enables the periodic rebalancer (0 = off, keeping the
+	// routed stream a pure function of the submissions — the CI replay
+	// setting). Rebalance can always be invoked manually.
+	RebalanceEvery time.Duration
+	// RebalanceRatio is the hot/cold pending-work ratio that triggers a
+	// migration round (default 2).
+	RebalanceRatio float64
+}
+
+// SegmentPath names shard i's journal segment under a base path.
+func SegmentPath(base string, i int) string {
+	return fmt.Sprintf("%s.shard%d", base, i)
+}
+
+// Partition splits a cluster into n disjoint shards: each gets
+// NumResources/n resources (the first NumResources%n shards get one
+// extra), with the per-resource slot shape unchanged.
+func Partition(c sim.Cluster, n int) ([]sim.Cluster, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("shard: need at least 1 shard, got %d", n)
+	}
+	if n > c.NumResources {
+		return nil, fmt.Errorf("shard: %d shards over %d resources leaves empty shards", n, c.NumResources)
+	}
+	parts := make([]sim.Cluster, n)
+	base, rem := c.NumResources/n, c.NumResources%n
+	for i := range parts {
+		size := base
+		if i < rem {
+			size++
+		}
+		parts[i] = sim.Cluster{NumResources: size, MapSlots: c.MapSlots, ReduceSlots: c.ReduceSlots}
+	}
+	return parts, nil
+}
+
+// ref locates a job on its current shard by engine-local ID.
+type ref struct {
+	shard int
+	local int
+}
+
+// Router fronts N per-shard engines with deterministic admission routing.
+type Router struct {
+	cfg     Config
+	n       int
+	parts   []sim.Cluster
+	offsets []int // global index of each shard's first resource
+	engines []*service.Engine
+	tel     *obs.Telemetry
+
+	// mu guards the routing state. Lock order: an engine's run loop may
+	// call the shard observer (engine mu -> router mu), and routing calls
+	// engine intake methods (router mu -> engine intakeMu); never call an
+	// engine method that takes the engine's sim lock while holding mu.
+	mu sync.Mutex
+	// seq numbers Submit calls for the placement tie-break.
+	seq uint64
+	// work estimates each shard's pending work: total task exec ms routed
+	// there minus completions and abandonments.
+	work []int64
+	// overlay maps the global ID of every MIGRATED job to its current
+	// home; jobs that never moved resolve by gid%N alone. moved is the
+	// reverse index (current ref -> gid) for listings.
+	overlay map[int64]ref
+	moved   map[ref]int64
+	closed  bool
+
+	rebalStop chan struct{}
+	rebalOnce sync.Once
+
+	done    chan struct{}
+	started bool
+}
+
+// shardObserver keeps the router's pending-work estimate in sync with one
+// engine's job lifecycle (completions and abandonments drain work).
+type shardObserver struct {
+	r *Router
+	s int
+}
+
+func (o *shardObserver) TaskStarted(now int64, tk *workload.Task, j *workload.Job, res int)  {}
+func (o *shardObserver) TaskFinished(now int64, tk *workload.Task, j *workload.Job, res int) {}
+
+func (o *shardObserver) JobCompleted(now int64, j *workload.Job, latenessMS int64) {
+	o.r.noteDone(o.s, j.TotalWork())
+}
+
+func (o *shardObserver) JobAbandoned(now int64, j *workload.Job) {
+	o.r.noteDone(o.s, j.TotalWork())
+}
+
+// New partitions the cluster and builds one engine per shard; no goroutine
+// runs until Start.
+func New(cfg Config) (*Router, error) {
+	r, parts, err := newRouter(cfg)
+	if err != nil {
+		return nil, err
+	}
+	for s := range parts {
+		e, err := service.New(r.shardEngineConfig(s))
+		if err != nil {
+			return nil, fmt.Errorf("shard %d: %w", s, err)
+		}
+		r.engines[s] = e
+	}
+	return r, nil
+}
+
+// newRouter builds the engine-less router skeleton shared by New and
+// Recover.
+func newRouter(cfg Config) (*Router, []sim.Cluster, error) {
+	if cfg.Shards == 0 {
+		cfg.Shards = 1
+	}
+	if cfg.RebalanceRatio <= 1 {
+		cfg.RebalanceRatio = 2
+	}
+	parts, err := Partition(cfg.Base.Cluster, cfg.Shards)
+	if err != nil {
+		return nil, nil, err
+	}
+	offsets := make([]int, len(parts))
+	for i := 1; i < len(parts); i++ {
+		offsets[i] = offsets[i-1] + parts[i-1].NumResources
+	}
+	r := &Router{
+		cfg:       cfg,
+		n:         cfg.Shards,
+		parts:     parts,
+		offsets:   offsets,
+		engines:   make([]*service.Engine, cfg.Shards),
+		tel:       cfg.Base.Telemetry,
+		work:      make([]int64, cfg.Shards),
+		overlay:   make(map[int64]ref),
+		moved:     make(map[ref]int64),
+		rebalStop: make(chan struct{}),
+		done:      make(chan struct{}),
+	}
+	return r, parts, nil
+}
+
+// shardEngineConfig derives shard s's engine config from the base: its
+// partition of the cluster, its journal segment, a private registry-only
+// telemetry handle, and the router's load observer teed with any caller
+// observer.
+func (r *Router) shardEngineConfig(s int) service.Config {
+	sc := r.cfg.Base
+	sc.Cluster = r.parts[s]
+	sc.Telemetry = obs.New(obs.DiscardSink{})
+	sc.Observer = sim.TeeObservers(r.cfg.Base.Observer, &shardObserver{r: r, s: s})
+	if base := r.cfg.Base.JournalPath; base != "" {
+		sc.JournalPath = SegmentPath(base, s)
+	}
+	return sc
+}
+
+// Shards returns the partition count.
+func (r *Router) Shards() int { return r.n }
+
+// Engine exposes shard s's engine (tests and recovery inspection).
+func (r *Router) Engine(s int) *service.Engine { return r.engines[s] }
+
+// noteDone drains w ms of pending work from shard s's load estimate.
+func (r *Router) noteDone(s int, w int64) {
+	r.mu.Lock()
+	r.work[s] -= w
+	if r.work[s] < 0 {
+		r.work[s] = 0
+	}
+	left := r.work[s]
+	r.mu.Unlock()
+	r.tel.SetGauge(obs.GaugeShardPendingWorkPrefix+strconv.Itoa(s), left)
+}
+
+// mix is a splitmix64-style hash of (seed, submission sequence, shard):
+// the placement tie-break. Any fixed bijective mixer works; it only has to
+// be deterministic and spread ties evenly across shards.
+func mix(seed, seq uint64, s int) uint64 {
+	x := seed ^ (seq+1)*0x9e3779b97f4a7c15 ^ uint64(s+1)*0xbf58476d1ce4e5b9
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}
+
+// feasibleOn reports whether the spec's SLA window can fit on cluster c
+// with nothing else running. Deliberately clock-free — the window length
+// DeadlineMS - max(ArrivalMS, EarliestStartMS) is invariant under the wall
+// mode restamp — so routing is a pure function of (seed, stream).
+func feasibleOn(c sim.Cluster, j *workload.Job) bool {
+	start := j.Arrival
+	if j.EarliestStart > start {
+		start = j.EarliestStart
+	}
+	return start+core.SLALowerBound(c, j) <= j.Deadline
+}
+
+// Submit routes one submission: feasibility-filter the shards, offer the
+// job to candidates in (pending work, seeded tie-break) order, and return
+// the job's global ID. Shard-level sheds fall through to the next
+// candidate; only when every candidate sheds does Submit return one
+// aggregated *service.OverloadError. A typed admission rejection
+// (*core.AdmissionError) ends routing immediately — it is deterministic,
+// so every other shard of equal capacity would reject too.
+func (r *Router) Submit(spec workload.JobSpec) (int64, error) {
+	if r.tel.Enabled() {
+		defer func(start time.Time) {
+			r.tel.Observe(obs.HistWallRoute, float64(time.Since(start).Nanoseconds())/1e6)
+		}(time.Now())
+	}
+	probe, err := spec.Job(0)
+	if err != nil {
+		return 0, err
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.closed {
+		return 0, service.ErrClosed
+	}
+	seq := r.seq
+	r.seq++
+	type cand struct {
+		s    int
+		work int64
+		tie  uint64
+	}
+	cands := make([]cand, 0, r.n)
+	for s := 0; s < r.n; s++ {
+		if feasibleOn(r.parts[s], probe) {
+			cands = append(cands, cand{s: s, work: r.work[s], tie: mix(r.cfg.Seed, seq, s)})
+		}
+	}
+	feasible := len(cands)
+	if feasible == 0 {
+		// No shard can fit the window: route to every shard anyway so the
+		// least-loaded one produces the typed 422 (consuming a global ID,
+		// like the single-engine service would).
+		for s := 0; s < r.n; s++ {
+			cands = append(cands, cand{s: s, work: r.work[s], tie: mix(r.cfg.Seed, seq, s)})
+		}
+	}
+	sort.Slice(cands, func(a, b int) bool {
+		if cands[a].work != cands[b].work {
+			return cands[a].work < cands[b].work
+		}
+		if cands[a].tie != cands[b].tie {
+			return cands[a].tie < cands[b].tie
+		}
+		return cands[a].s < cands[b].s
+	})
+	var (
+		sheds      []*service.OverloadError
+		lastClosed error
+	)
+	for _, c := range cands {
+		id, err := r.engines[c.s].Submit(spec)
+		var oe *service.OverloadError
+		switch {
+		case err == nil:
+			gid := int64(id)*int64(r.n) + int64(c.s)
+			w := probe.TotalWork()
+			r.work[c.s] += w
+			r.tel.Add(obs.CounterShardRouted, 1)
+			r.tel.SetGauge(obs.GaugeShardPendingWorkPrefix+strconv.Itoa(c.s), r.work[c.s])
+			r.tel.Emit(r.engines[c.s].NowMS(), obs.LayerShard, "route",
+				obs.I64("job", gid), obs.I64("shard", int64(c.s)),
+				obs.I64("feasible", int64(feasible)), obs.I64("workMs", r.work[c.s]))
+			return gid, nil
+		case errors.As(err, &oe):
+			sheds = append(sheds, oe)
+		case errors.Is(err, service.ErrClosed):
+			lastClosed = err
+		default:
+			gid := int64(id)*int64(r.n) + int64(c.s)
+			var ae *core.AdmissionError
+			if errors.As(err, &ae) {
+				// The engine minted a fresh error for this submission;
+				// surface the global ID in it.
+				ae.JobID = int(gid)
+				r.tel.Add(obs.CounterShardRejected, 1)
+				r.tel.Emit(r.engines[c.s].NowMS(), obs.LayerShard, "reject",
+					obs.I64("job", gid), obs.I64("shard", int64(c.s)))
+				return gid, err
+			}
+			return 0, err // journal failure or malformed spec: not retryable elsewhere
+		}
+	}
+	if len(sheds) > 0 {
+		agg := &service.OverloadError{RetryAfter: sheds[0].RetryAfter}
+		for _, oe := range sheds {
+			agg.Pending += oe.Pending
+			agg.Max += oe.Max
+			if oe.RetryAfter < agg.RetryAfter {
+				agg.RetryAfter = oe.RetryAfter
+			}
+		}
+		r.tel.Add(obs.CounterShardRejected, 1)
+		return 0, agg
+	}
+	if lastClosed != nil {
+		return 0, lastClosed
+	}
+	return 0, service.ErrClosed
+}
+
+// locate resolves a global ID to its current (shard, local) home: the
+// migration overlay first, the gid%N encoding otherwise. Callers must not
+// hold mu.
+func (r *Router) locate(gid int64) (ref, bool) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if ref, ok := r.overlay[gid]; ok {
+		return ref, true
+	}
+	if gid < 0 {
+		return ref{}, false
+	}
+	return ref{shard: int(gid % int64(r.n)), local: int(gid / int64(r.n))}, true
+}
+
+// gidOf reports the global ID a (shard, local) entry is published under.
+// Callers must not hold mu.
+func (r *Router) gidOf(s, local int) int64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if gid, ok := r.moved[ref{shard: s, local: local}]; ok {
+		return gid
+	}
+	return int64(local)*int64(r.n) + int64(s)
+}
+
+// Job returns one submission's status under its global ID.
+func (r *Router) Job(gid int64) (service.JobStatus, bool) {
+	loc, ok := r.locate(gid)
+	if !ok || loc.shard >= r.n {
+		return service.JobStatus{}, false
+	}
+	st, ok := r.engines[loc.shard].Job(loc.local)
+	if !ok {
+		return service.JobStatus{}, false
+	}
+	st.ID = int(gid)
+	return st, true
+}
+
+// Trace returns one job's lifecycle timeline from its CURRENT shard's
+// monitor (a migrated job's pre-migration events live on the old shard,
+// which recorded the withdrawal).
+func (r *Router) Trace(gid int64) (events []slo.TraceEvent, dropped int, ok bool) {
+	loc, okLoc := r.locate(gid)
+	if !okLoc || loc.shard >= r.n {
+		return nil, 0, false
+	}
+	return r.engines[loc.shard].Trace(loc.local)
+}
+
+// Jobs lists every submission across all shards in global-ID order.
+// Withdrawn entries are skipped: the migrated job is listed once, from its
+// current shard, under its original global ID.
+func (r *Router) Jobs() []service.JobStatus {
+	var out []service.JobStatus
+	for s := 0; s < r.n; s++ {
+		for _, st := range r.engines[s].Jobs() {
+			if st.State == service.StateWithdrawn {
+				continue
+			}
+			st.ID = int(r.gidOf(s, st.ID))
+			out = append(out, st)
+		}
+	}
+	sort.Slice(out, func(a, b int) bool { return out[a].ID < out[b].ID })
+	return out
+}
+
+// Schedule merges every shard's placement plan into one global view: job
+// IDs become global and resource indices are offset to the full cluster's
+// numbering.
+func (r *Router) Schedule() []service.TaskPlacement {
+	var out []service.TaskPlacement
+	for s := 0; s < r.n; s++ {
+		off := r.offsets[s]
+		for _, p := range r.engines[s].Schedule() {
+			p.JobID = int(r.gidOf(s, p.JobID))
+			p.Resource += off
+			out = append(out, p)
+		}
+	}
+	sort.Slice(out, func(a, b int) bool {
+		if out[a].StartMS != out[b].StartMS {
+			return out[a].StartMS < out[b].StartMS
+		}
+		if out[a].JobID != out[b].JobID {
+			return out[a].JobID < out[b].JobID
+		}
+		return out[a].Task < out[b].Task
+	})
+	return out
+}
+
+// Start launches every shard's run loop, the rebalancer when configured,
+// and the completion watcher behind Done.
+func (r *Router) Start() error {
+	r.mu.Lock()
+	if r.started {
+		r.mu.Unlock()
+		return service.ErrRunning
+	}
+	r.started = true
+	r.mu.Unlock()
+	for s, e := range r.engines {
+		if err := e.Start(); err != nil {
+			return fmt.Errorf("shard %d: %w", s, err)
+		}
+	}
+	if r.cfg.RebalanceEvery > 0 {
+		go r.rebalanceLoop()
+	}
+	go func() {
+		for _, e := range r.engines {
+			<-e.Done()
+		}
+		r.stopRebalance()
+		close(r.done)
+	}()
+	return nil
+}
+
+// CloseIntake stops accepting submissions on every shard; the rebalancer
+// stops first so no migration can race the close and strand a withdrawn
+// job.
+func (r *Router) CloseIntake() {
+	r.stopRebalance()
+	r.mu.Lock()
+	r.closed = true
+	r.mu.Unlock()
+	for _, e := range r.engines {
+		e.CloseIntake()
+	}
+}
+
+// Stop aborts every shard without finishing outstanding work.
+func (r *Router) Stop() {
+	r.stopRebalance()
+	for _, e := range r.engines {
+		e.Stop()
+	}
+}
+
+// Done closes once every shard's run loop has exited (after Start).
+func (r *Router) Done() <-chan struct{} { return r.done }
+
+// Wait blocks until every shard's run ends and returns the first error.
+func (r *Router) Wait() error {
+	var first error
+	for _, e := range r.engines {
+		if err := e.Wait(); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}
+
+// NowMS returns the most advanced shard clock.
+func (r *Router) NowMS() int64 {
+	var now int64
+	for _, e := range r.engines {
+		if t := e.NowMS(); t > now {
+			now = t
+		}
+	}
+	return now
+}
+
+// Ready reports whether every shard should receive traffic; the reason
+// names the first shard that is not.
+func (r *Router) Ready() (bool, string) {
+	for s, e := range r.engines {
+		if ok, reason := e.Ready(); !ok {
+			return false, fmt.Sprintf("shard %d: %s", s, reason)
+		}
+	}
+	return true, ""
+}
+
+// ApplyFaults installs the same journaled per-attempt fault plan on every
+// shard (each segment journals its own copy).
+func (r *Router) ApplyFaults(spec service.FaultSpec) error {
+	for s, e := range r.engines {
+		if err := e.ApplyFaults(spec); err != nil {
+			return fmt.Errorf("shard %d: %w", s, err)
+		}
+	}
+	return nil
+}
+
+// InjectOutage schedules an outage for a GLOBAL resource index on the
+// shard that owns it.
+func (r *Router) InjectOutage(res int, downAt, upAt int64) error {
+	for s := r.n - 1; s >= 0; s-- {
+		if res >= r.offsets[s] {
+			if res >= r.offsets[s]+r.parts[s].NumResources {
+				break
+			}
+			return r.engines[s].InjectOutage(res-r.offsets[s], downAt, upAt)
+		}
+	}
+	return fmt.Errorf("shard: resource %d out of range", res)
+}
+
+// ShardView is one shard's slice of the aggregated metrics snapshot: the
+// shard's full engine snapshot plus its partition shape and the router's
+// pending-work estimate.
+type ShardView struct {
+	Shard         int   `json:"shard"`
+	Resources     int   `json:"resources"`
+	FirstResource int   `json:"firstResource"`
+	PendingWorkMS int64 `json:"pendingWorkMs"`
+	service.Snapshot
+}
+
+// Snapshot is the sharded /v1/metrics payload: the embedded flat fields
+// carry AGGREGATE values in the exact single-engine shape (sums for flows
+// and queue depths, max for the clock, all-finished/all-closed for the
+// booleans, a combined fingerprint) so existing scrapers and loadgen keep
+// working unchanged, and Shards adds the per-shard breakdown.
+type Snapshot struct {
+	service.Snapshot
+	Shards []ShardView `json:"shards,omitempty"`
+}
+
+// fnv1aOffset/fnv1aPrime are the 64-bit FNV-1a parameters used to combine
+// per-shard fingerprints into the aggregate one.
+const (
+	fnv1aOffset = 1469598103934665603
+	fnv1aPrime  = 1099511628211
+)
+
+// CombineFingerprints folds per-shard fingerprints (in shard order) into
+// one aggregate fingerprint: FNV-1a over their little-endian bytes.
+// Exported so loadgen -verify can recompute it from an offline replay.
+func CombineFingerprints(fps []uint64) uint64 {
+	h := uint64(fnv1aOffset)
+	for _, fp := range fps {
+		for i := 0; i < 8; i++ {
+			h ^= (fp >> (8 * i)) & 0xff
+			h *= fnv1aPrime
+		}
+	}
+	return h
+}
+
+// gaugeTakesMax lists merged-exposition gauges where summing across shards
+// is wrong: clocks align (take the max) and level-triggered booleans OR.
+func gaugeTakesMax(name string) bool {
+	return name == "sim_time_ms" || name == "slo_burning"
+}
+
+// Metrics returns the aggregated snapshot with the per-shard breakdown.
+func (r *Router) Metrics() Snapshot {
+	r.mu.Lock()
+	work := append([]int64(nil), r.work...)
+	r.mu.Unlock()
+	views := make([]ShardView, r.n)
+	var burns []slo.BurnInfo
+	agg := Snapshot{}
+	for s := 0; s < r.n; s++ {
+		snap := r.engines[s].Metrics()
+		views[s] = ShardView{
+			Shard:         s,
+			Resources:     r.parts[s].NumResources,
+			FirstResource: r.offsets[s],
+			PendingWorkMS: work[s],
+			Snapshot:      snap,
+		}
+		if s == 0 {
+			agg.Mode, agg.Policy = snap.Mode, snap.Policy
+			agg.Running, agg.Finished, agg.Closed = snap.Running, snap.Finished, snap.Closed
+		} else {
+			agg.Running = agg.Running || snap.Running
+			agg.Finished = agg.Finished && snap.Finished
+			agg.Closed = agg.Closed && snap.Closed
+		}
+		if snap.SimTimeMS > agg.SimTimeMS {
+			agg.SimTimeMS = snap.SimTimeMS
+		}
+		agg.Submitted += snap.Submitted
+		agg.Rejected += snap.Rejected
+		agg.Shed += snap.Shed
+		agg.Pending += snap.Pending
+		agg.MaxPending += snap.MaxPending
+		agg.JobsArrived += snap.JobsArrived
+		agg.JobsCompleted += snap.JobsCompleted
+		agg.LateJobs += snap.LateJobs
+		agg.JobsAbandoned += snap.JobsAbandoned
+		agg.Outstanding += snap.Outstanding
+		agg.TasksFailed += snap.TasksFailed
+		agg.TasksKilled += snap.TasksKilled
+		agg.Outages += snap.Outages
+		agg.Counters = mergeScalars(agg.Counters, snap.Counters, false)
+		agg.Gauges = mergeScalars(agg.Gauges, snap.Gauges, true)
+		for class, v := range snap.MissByClass {
+			if agg.MissByClass == nil {
+				agg.MissByClass = make(map[string]int64)
+			}
+			agg.MissByClass[class] += v
+		}
+		if snap.SLO != nil {
+			burns = append(burns, *snap.SLO)
+		}
+	}
+	rc, rg := r.tel.Snapshot()
+	agg.Counters = mergeScalars(agg.Counters, rc, false)
+	agg.Gauges = mergeScalars(agg.Gauges, rg, true)
+	agg.Journal = r.cfg.Base.JournalPath
+	if agg.Finished {
+		fps := make([]uint64, r.n)
+		for s := 0; s < r.n; s++ {
+			if m, err := r.engines[s].Result(); err == nil && m != nil {
+				fps[s] = m.Fingerprint()
+			}
+		}
+		agg.Fingerprint = fmt.Sprintf("%016x", CombineFingerprints(fps))
+	}
+	if len(burns) > 0 {
+		b := mergeBurn(burns)
+		agg.SLO = &b
+	}
+	agg.Shards = views
+	return agg
+}
+
+// mergeScalars folds src into dst (allocating dst on first use); gauges
+// with align-not-sum semantics take the max instead.
+func mergeScalars(dst, src map[string]int64, gauges bool) map[string]int64 {
+	if len(src) == 0 {
+		return dst
+	}
+	if dst == nil {
+		dst = make(map[string]int64, len(src))
+	}
+	for k, v := range src {
+		if gauges && gaugeTakesMax(k) {
+			if v > dst[k] {
+				dst[k] = v
+			}
+			continue
+		}
+		dst[k] += v
+	}
+	return dst
+}
+
+// mergeBurn aggregates per-shard burn windows: finishes and misses sum,
+// the rate is recomputed, and the alarm trips on the aggregate rate or any
+// single burning shard (a hot shard is a problem even when the fleet
+// average looks fine).
+func mergeBurn(burns []slo.BurnInfo) slo.BurnInfo {
+	out := burns[0]
+	out.Finished, out.Missed = 0, 0
+	anyBurning := false
+	for _, b := range burns {
+		out.Finished += b.Finished
+		out.Missed += b.Missed
+		anyBurning = anyBurning || b.Burning
+	}
+	out.MissRate, out.BurnRate = 0, 0
+	if out.Finished > 0 {
+		out.MissRate = float64(out.Missed) / float64(out.Finished)
+		if out.MissBudget > 0 {
+			out.BurnRate = out.MissRate / out.MissBudget
+		}
+	}
+	out.Burning = anyBurning || (out.Finished >= out.MinSample && out.MissRate > out.MissBudget)
+	return out
+}
+
+// WriteProm renders ONE Prometheus exposition for the whole fleet:
+// counters sum, align-gauges take the max, histograms merge bucket-wise
+// (the mergeable-snapshot property), and the SLO burn scalars are
+// recomputed from the aggregated windows. The router's own families
+// (shard_routed, wall_route_ms, pending-work gauges) ride along.
+func (r *Router) WriteProm(w io.Writer) error {
+	counters := map[string]int64{}
+	gauges := map[string]int64{}
+	histsByName := map[string]*obs.HistSnapshot{}
+	var histNames []string
+	mergeHists := func(hs []obs.HistSnapshot) error {
+		for _, h := range hs {
+			cur, ok := histsByName[h.Name]
+			if !ok {
+				cp := h
+				histsByName[h.Name] = &cp
+				histNames = append(histNames, h.Name)
+				continue
+			}
+			if err := cur.Merge(h); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	var burns []slo.BurnInfo
+	for s := 0; s < r.n; s++ {
+		d := r.engines[s].PromData()
+		counters = mergeScalars(counters, d.Counters, false)
+		gauges = mergeScalars(gauges, d.Gauges, true)
+		if err := mergeHists(d.Hists); err != nil {
+			return err
+		}
+		burns = append(burns, r.engines[s].Burn())
+	}
+	rc, rg := r.tel.Snapshot()
+	counters = mergeScalars(counters, rc, false)
+	gauges = mergeScalars(gauges, rg, true)
+	if err := mergeHists(r.tel.HistSnapshots()); err != nil {
+		return err
+	}
+	hists := make([]obs.HistSnapshot, 0, len(histNames))
+	sort.Strings(histNames)
+	for _, name := range histNames {
+		hists = append(hists, *histsByName[name])
+	}
+	if err := obs.WritePrometheus(w, "mrcp_", counters, gauges, hists); err != nil {
+		return err
+	}
+	b := mergeBurn(burns)
+	return service.WriteBurnGauges(w, b.MissRate, b.BurnRate)
+}
+
+// String implements fmt.Stringer for logs.
+func (r *Router) String() string {
+	return fmt.Sprintf("shard.Router(%d shards over %d resources)", r.n, r.cfg.Base.Cluster.NumResources)
+}

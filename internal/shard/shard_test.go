@@ -1,0 +1,413 @@
+package shard
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"mrcprm/internal/core"
+	"mrcprm/internal/obs"
+	"mrcprm/internal/service"
+	"mrcprm/internal/sim"
+	"mrcprm/internal/stats"
+	"mrcprm/internal/workload"
+)
+
+// testCluster is the full cluster the router partitions; shardStream
+// generates jobs sized for ONE SHARD's slice (NumResources/n) so every job
+// stays individually feasible after partitioning.
+func testCluster() sim.Cluster {
+	return sim.Cluster{NumResources: 6, MapSlots: 2, ReduceSlots: 2}
+}
+
+func shardStream(t *testing.T, n int) []*workload.Job {
+	t.Helper()
+	wcfg := workload.DefaultSynthetic()
+	wcfg.NumResources = 3 // one shard's slice of testCluster over 2 shards
+	jobs, err := wcfg.Generate(n, stats.NewStream(5, 6))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return jobs
+}
+
+func testShardConfig() Config {
+	return Config{
+		Base:   service.Config{Cluster: testCluster(), Manager: core.DeterministicConfig()},
+		Shards: 2,
+		Seed:   7,
+	}
+}
+
+func TestPartition(t *testing.T) {
+	parts, err := Partition(sim.Cluster{NumResources: 10, MapSlots: 2, ReduceSlots: 3}, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sizes := []int{3, 3, 2, 2}
+	total := 0
+	for i, p := range parts {
+		if p.NumResources != sizes[i] {
+			t.Fatalf("shard %d got %d resources, want %d", i, p.NumResources, sizes[i])
+		}
+		if p.MapSlots != 2 || p.ReduceSlots != 3 {
+			t.Fatalf("shard %d slot shape changed: %+v", i, p)
+		}
+		total += p.NumResources
+	}
+	if total != 10 {
+		t.Fatalf("partition covers %d resources, want 10", total)
+	}
+	if _, err := Partition(sim.Cluster{NumResources: 2}, 3); err == nil {
+		t.Fatal("3 shards over 2 resources must fail")
+	}
+	if _, err := Partition(sim.Cluster{NumResources: 2}, 0); err == nil {
+		t.Fatal("0 shards must fail")
+	}
+}
+
+// routeOnce builds a fresh router, submits the stream, runs it to
+// completion, and returns the assignment vector (gid per submission, in
+// submission order) and the per-shard fingerprints.
+func routeOnce(t *testing.T, jobs []*workload.Job, seed uint64) ([]int64, []uint64) {
+	t.Helper()
+	cfg := testShardConfig()
+	cfg.Seed = seed
+	r, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gids := make([]int64, 0, len(jobs))
+	for _, j := range jobs {
+		gid, err := r.Submit(workload.SpecOf(j))
+		if err != nil {
+			t.Fatal(err)
+		}
+		gids = append(gids, gid)
+	}
+	if err := r.Start(); err != nil {
+		t.Fatal(err)
+	}
+	r.CloseIntake()
+	if err := r.Wait(); err != nil {
+		t.Fatal(err)
+	}
+	fps := make([]uint64, r.Shards())
+	for s := 0; s < r.Shards(); s++ {
+		m, err := r.Engine(s).Result()
+		if err != nil {
+			t.Fatal(err)
+		}
+		fps[s] = m.Fingerprint()
+	}
+	return gids, fps
+}
+
+// TestRouterDeterminism is the replay contract: the same seed and
+// submission stream must produce identical shard assignments and
+// bit-identical per-shard (and combined) fingerprints on every run.
+func TestRouterDeterminism(t *testing.T) {
+	jobs := shardStream(t, 16)
+	gids1, fps1 := routeOnce(t, jobs, 7)
+	gids2, fps2 := routeOnce(t, jobs, 7)
+	for i := range gids1 {
+		if gids1[i] != gids2[i] {
+			t.Fatalf("submission %d routed to gid %d then gid %d with the same seed", i, gids1[i], gids2[i])
+		}
+	}
+	for s := range fps1 {
+		if fps1[s] != fps2[s] {
+			t.Fatalf("shard %d fingerprint %016x then %016x with the same seed", s, fps1[s], fps2[s])
+		}
+	}
+	if CombineFingerprints(fps1) != CombineFingerprints(fps2) {
+		t.Fatal("combined fingerprints diverge")
+	}
+	// Both shards must actually receive work (the stream is feasible on
+	// either, so load balancing has to spread it).
+	perShard := map[int64]int{}
+	for _, gid := range gids1 {
+		perShard[gid%2]++
+	}
+	if perShard[0] == 0 || perShard[1] == 0 {
+		t.Fatalf("placement collapsed onto one shard: %v", perShard)
+	}
+}
+
+// TestAggregateMetrics checks the fan-in snapshot: flat fields carry fleet
+// sums in the single-engine shape and the per-shard breakdown is attached.
+func TestAggregateMetrics(t *testing.T) {
+	jobs := shardStream(t, 12)
+	cfg := testShardConfig()
+	r, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, j := range jobs {
+		if _, err := r.Submit(workload.SpecOf(j)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := r.Start(); err != nil {
+		t.Fatal(err)
+	}
+	r.CloseIntake()
+	if err := r.Wait(); err != nil {
+		t.Fatal(err)
+	}
+	snap := r.Metrics()
+	if len(snap.Shards) != 2 {
+		t.Fatalf("snapshot has %d shard views, want 2", len(snap.Shards))
+	}
+	var completed int
+	for _, v := range snap.Shards {
+		completed += v.JobsCompleted
+	}
+	if snap.JobsCompleted != completed || completed != len(jobs) {
+		t.Fatalf("aggregate completed %d, shard sum %d, want %d", snap.JobsCompleted, completed, len(jobs))
+	}
+	if !snap.Finished || snap.Fingerprint == "" {
+		t.Fatalf("finished=%v fingerprint=%q, want finished with a combined fingerprint", snap.Finished, snap.Fingerprint)
+	}
+	fps := make([]uint64, 2)
+	for s := 0; s < 2; s++ {
+		m, err := r.Engine(s).Result()
+		if err != nil {
+			t.Fatal(err)
+		}
+		fps[s] = m.Fingerprint()
+		if want := fmt.Sprintf("%016x", fps[s]); snap.Shards[s].Fingerprint != want {
+			t.Fatalf("shard %d view fingerprint %q, want %q", s, snap.Shards[s].Fingerprint, want)
+		}
+	}
+	if want := fmt.Sprintf("%016x", CombineFingerprints(fps)); snap.Fingerprint != want {
+		t.Fatalf("combined fingerprint %q, want %q", snap.Fingerprint, want)
+	}
+	// Every job resolves under its global ID from the aggregate view.
+	for _, st := range r.Jobs() {
+		got, ok := r.Job(int64(st.ID))
+		if !ok || got.State != service.StateCompleted {
+			t.Fatalf("job %d: ok=%v state=%v, want completed", st.ID, ok, got.State)
+		}
+	}
+}
+
+// TestRebalanceMigratesQueuedJobs drives one migration round by hand: a hot
+// shard with queued work, a drained cold shard, and an explicit Rebalance
+// call. The migrated job must keep its global ID and the run must still
+// complete every job.
+func TestRebalanceMigratesQueuedJobs(t *testing.T) {
+	cfg := testShardConfig()
+	r, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec := workload.JobSpec{
+		DeadlineMS:   3_600_000,
+		MapExecMS:    []int64{10_000, 10_000},
+		ReduceExecMS: []int64{5_000},
+	}
+	var gids []int64
+	for i := 0; i < 6; i++ {
+		gid, err := r.Submit(spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		gids = append(gids, gid)
+	}
+	probe, err := spec.Job(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := probe.TotalWork()
+	// Identical jobs alternate, so each shard holds 3. Pretend shard 1
+	// drained its pending work (the load estimate empties on completion
+	// even though migration sees the router-side counters only): shard 0
+	// is now hot at 3w against a cold shard at 0.
+	for _, gid := range gids {
+		if gid%2 == 1 {
+			r.noteDone(1, w)
+		}
+	}
+	moved := r.Rebalance()
+	// 3w vs 0 → one job moves (2w vs w); a second would overshoot.
+	if moved != 1 {
+		t.Fatalf("rebalance moved %d jobs, want 1", moved)
+	}
+	r.mu.Lock()
+	if len(r.overlay) != 1 {
+		r.mu.Unlock()
+		t.Fatalf("overlay tracks %d migrations, want 1", len(r.overlay))
+	}
+	var migrated int64
+	for gid := range r.overlay {
+		migrated = gid
+	}
+	home := r.overlay[migrated]
+	r.mu.Unlock()
+	if migrated%2 != 0 || home.shard != 1 {
+		t.Fatalf("migrated gid %d now on shard %d, want a shard-0 job on shard 1", migrated, home.shard)
+	}
+	st, ok := r.Job(migrated)
+	if !ok || st.State != service.StateQueued || st.ID != int(migrated) {
+		t.Fatalf("migrated job status %+v ok=%v, want queued under gid %d", st, ok, migrated)
+	}
+	// The listing still shows each submission exactly once, under its
+	// original global ID.
+	listed := map[int]bool{}
+	for _, js := range r.Jobs() {
+		listed[js.ID] = true
+	}
+	if len(listed) != len(gids) {
+		t.Fatalf("listing has %d jobs, want %d", len(listed), len(gids))
+	}
+	for _, gid := range gids {
+		if !listed[int(gid)] {
+			t.Fatalf("gid %d missing from the listing after migration", gid)
+		}
+	}
+	if err := r.Start(); err != nil {
+		t.Fatal(err)
+	}
+	r.CloseIntake()
+	if err := r.Wait(); err != nil {
+		t.Fatal(err)
+	}
+	for _, gid := range gids {
+		st, ok := r.Job(gid)
+		if !ok || st.State != service.StateCompleted {
+			t.Fatalf("job %d ended %+v ok=%v, want completed", gid, st, ok)
+		}
+	}
+}
+
+// TestShardHTTPEndToEnd drives the sharded front-end over HTTP exactly the
+// way loadgen does: submit, run+close, poll the aggregate metrics, then
+// check per-job lookups and the merged Prometheus exposition.
+func TestShardHTTPEndToEnd(t *testing.T) {
+	jobs := shardStream(t, 10)
+	cfg := testShardConfig()
+	cfg.Base.Telemetry = obs.New(obs.DiscardSink{})
+	r, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(NewHandler(r))
+	defer srv.Close()
+	client := srv.Client()
+
+	var ids []int64
+	for _, j := range jobs {
+		buf, _ := json.Marshal(workload.SpecOf(j))
+		resp, err := client.Post(srv.URL+"/v1/jobs", "application/json", bytes.NewReader(buf))
+		if err != nil {
+			t.Fatal(err)
+		}
+		var body struct {
+			ID int64 `json:"id"`
+		}
+		if err := json.NewDecoder(resp.Body).Decode(&body); err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusAccepted {
+			t.Fatalf("submit returned %d", resp.StatusCode)
+		}
+		ids = append(ids, body.ID)
+	}
+
+	resp, err := client.Post(srv.URL+"/v1/admin/run", "application/json", strings.NewReader(`{"close":true}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("run returned %d", resp.StatusCode)
+	}
+
+	// Generous: the race detector on a loaded single-core host slows the
+	// deterministic solves by an order of magnitude.
+	deadline := time.Now().Add(120 * time.Second)
+	var snap Snapshot
+	for {
+		resp, err := client.Get(srv.URL + "/v1/metrics")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := json.NewDecoder(resp.Body).Decode(&snap); err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if snap.Finished {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("run did not finish: %d/%d completed", snap.JobsCompleted, len(jobs))
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	if snap.JobsCompleted != len(jobs) || len(snap.Shards) != 2 || snap.Fingerprint == "" {
+		t.Fatalf("final snapshot completed=%d shards=%d fingerprint=%q", snap.JobsCompleted, len(snap.Shards), snap.Fingerprint)
+	}
+
+	for _, id := range ids {
+		resp, err := client.Get(fmt.Sprintf("%s/v1/jobs/%d", srv.URL, id))
+		if err != nil {
+			t.Fatal(err)
+		}
+		var st service.JobStatus
+		if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK || st.ID != int(id) || st.State != service.StateCompleted {
+			t.Fatalf("job %d: status %d state %v id %d", id, resp.StatusCode, st.State, st.ID)
+		}
+	}
+
+	resp, err = client.Get(srv.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var prom bytes.Buffer
+	if _, err := prom.ReadFrom(resp.Body); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	text := prom.String()
+	for _, want := range []string{"mrcp_shard_routed 10", "mrcp_jobs_completed_total 10", "mrcp_slo_miss_rate"} {
+		if !strings.Contains(text, want) {
+			t.Fatalf("merged exposition is missing %q:\n%s", want, text)
+		}
+	}
+}
+
+// TestRouterRejectsInfeasible: a job no shard can fit must come back as the
+// same typed admission error the single-engine service returns, consuming a
+// global ID.
+func TestRouterRejectsInfeasible(t *testing.T) {
+	cfg := testShardConfig()
+	cfg.Base.Admission = true
+	r, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gid, err := r.Submit(workload.JobSpec{DeadlineMS: 1_000, MapExecMS: []int64{500_000}})
+	var ae *core.AdmissionError
+	if !errors.As(err, &ae) {
+		t.Fatalf("infeasible submission returned %v, want *core.AdmissionError", err)
+	}
+	if ae.JobID != int(gid) {
+		t.Fatalf("rejection carries id %d, want global id %d", ae.JobID, gid)
+	}
+	st, ok := r.Job(gid)
+	if !ok || st.State != service.StateRejected {
+		t.Fatalf("rejected job resolves to %+v ok=%v", st, ok)
+	}
+}

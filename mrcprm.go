@@ -38,6 +38,7 @@ import (
 	"mrcprm/internal/obs"
 	_ "mrcprm/internal/policies" // register every built-in policy
 	"mrcprm/internal/rmkit"
+	"mrcprm/internal/shard"
 	"mrcprm/internal/service"
 	"mrcprm/internal/sim"
 	"mrcprm/internal/slo"
@@ -348,6 +349,50 @@ func NewServiceHandler(e *ServiceEngine) http.Handler { return service.NewHandle
 
 // JobSpecOf captures a job as a submission spec for the service API.
 func JobSpecOf(j *Job) JobSpec { return workload.SpecOf(j) }
+
+// Sharded multi-engine service (the admission router behind mrcpd -shards).
+type (
+	// ShardConfig assembles a sharded router over N per-shard engines.
+	ShardConfig = shard.Config
+	// ShardRouter fronts N independent scheduler shards with deterministic
+	// feasibility-then-load admission routing.
+	ShardRouter = shard.Router
+	// ShardSnapshot is the aggregated /v1/metrics payload: the embedded
+	// flat ServiceSnapshot carries fleet aggregates and Shards the
+	// per-shard breakdown.
+	ShardSnapshot = shard.Snapshot
+	// ShardView is one shard's slice of the aggregated snapshot.
+	ShardView = shard.ShardView
+	// ShardRecoveryInfo aggregates what RecoverShardRouter replayed across
+	// the per-shard journal segments.
+	ShardRecoveryInfo = shard.RecoveryInfo
+)
+
+// NewShardRouter partitions the cluster and builds one engine per shard;
+// call Start to launch every shard's run loop.
+func NewShardRouter(cfg ShardConfig) (*ShardRouter, error) { return shard.New(cfg) }
+
+// RecoverShardRouter rebuilds a sharded router from its N journal segments
+// (ShardJournalPath(Base.JournalPath, 0..N-1)).
+func RecoverShardRouter(cfg ShardConfig) (*ShardRouter, *ShardRecoveryInfo, error) {
+	return shard.Recover(cfg)
+}
+
+// NewShardHandler exposes the router over the same HTTP surface as the
+// single-engine service handler.
+func NewShardHandler(r *ShardRouter) http.Handler { return shard.NewHandler(r) }
+
+// ShardJournalPath names shard i's write-ahead journal segment under a
+// base path.
+func ShardJournalPath(base string, i int) string { return shard.SegmentPath(base, i) }
+
+// PartitionCluster splits a cluster into n disjoint shards (the first
+// NumResources%n shards absorb the remainder).
+func PartitionCluster(c Cluster, n int) ([]Cluster, error) { return shard.Partition(c, n) }
+
+// CombineShardFingerprints folds per-shard run fingerprints (in shard
+// order) into the aggregate fingerprint the sharded /v1/metrics reports.
+func CombineShardFingerprints(fps []uint64) uint64 { return shard.CombineFingerprints(fps) }
 
 // CheckAdmission is the service's fast lower-bound feasibility test: a
 // non-nil *AdmissionError means the job provably cannot meet its deadline
