@@ -1,0 +1,154 @@
+// Command benchhetero measures what speed-aware planning buys on a
+// heterogeneous cluster, and writes a machine-readable report
+// (BENCH_hetero.json at the repository root is a committed snapshot).
+//
+// The grid is speed spread x arrival rate: at each cell the identical
+// Table 3 workload runs under MRCP-RM twice on the same two-class cluster
+// (first half of the machines at speed 1.0, second half at 1/spread).
+// The speed-aware configuration plans with per-(task,resource) durations;
+// the speed-blind one plans as if every machine ran at full speed and
+// discovers the slowdown only when tasks overrun in the simulator. Both
+// use pinned deterministic solver settings and the same workload seed, so
+// the report is a pure function of the flags: late-job counts and run
+// fingerprints are byte-stable across hosts.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"mrcprm/internal/cli"
+	"mrcprm/internal/core"
+	"mrcprm/internal/sim"
+	"mrcprm/internal/stats"
+	"mrcprm/internal/workload"
+)
+
+type cell struct {
+	Spread           float64 `json:"spread"`
+	Lambda           float64 `json:"lambda"`
+	AwareLate        int     `json:"aware_late"`
+	BlindLate        int     `json:"blind_late"`
+	AwareT           float64 `json:"aware_t_s"`
+	BlindT           float64 `json:"blind_t_s"`
+	AwareFingerprint string  `json:"aware_fingerprint"`
+	BlindFingerprint string  `json:"blind_fingerprint"`
+}
+
+type report struct {
+	GeneratedBy string    `json:"generated_by"`
+	Seed        uint64    `json:"seed"`
+	Jobs        int       `json:"jobs"`
+	Resources   int       `json:"resources"`
+	Spreads     []float64 `json:"spreads"`
+	Lambdas     []float64 `json:"lambdas"`
+	Cells       []cell    `json:"cells"`
+}
+
+func main() {
+	common := cli.New(cli.WithSeed(1))
+	var (
+		out     = flag.String("out", "BENCH_hetero.json", "output file (- for stdout)")
+		jobs    = flag.Int("jobs", 120, "jobs per run")
+		m       = flag.Int("m", 20, "number of resources")
+		spreads = flag.String("spreads", "1,2,4", "comma-separated speed spreads")
+		lambdas = flag.String("lambdas", "0.01,0.02", "comma-separated arrival rates (jobs/s)")
+	)
+	common.Parse()
+	defer common.Close()
+
+	rep := report{
+		GeneratedBy: "cmd/benchhetero",
+		Seed:        common.Seed,
+		Jobs:        *jobs,
+		Resources:   *m,
+		Spreads:     parseFloats(*spreads),
+		Lambdas:     parseFloats(*lambdas),
+	}
+
+	for _, spread := range rep.Spreads {
+		for _, lambda := range rep.Lambdas {
+			c := cell{Spread: spread, Lambda: lambda}
+			aware := runOne(common.Seed, *jobs, *m, spread, lambda, false)
+			blind := runOne(common.Seed, *jobs, *m, spread, lambda, true)
+			c.AwareLate, c.BlindLate = aware.N(), blind.N()
+			c.AwareT, c.BlindT = aware.T(), blind.T()
+			c.AwareFingerprint = fmt.Sprintf("%016x", aware.Fingerprint())
+			c.BlindFingerprint = fmt.Sprintf("%016x", blind.Fingerprint())
+			rep.Cells = append(rep.Cells, c)
+			fmt.Printf("spread=%g lambda=%g  aware late=%d T=%.1fs | blind late=%d T=%.1fs\n",
+				spread, lambda, c.AwareLate, c.AwareT, c.BlindLate, c.BlindT)
+		}
+	}
+
+	buf, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		fatal(err)
+	}
+	buf = append(buf, '\n')
+	if *out == "-" {
+		os.Stdout.Write(buf)
+		return
+	}
+	if err := cli.WriteFileAtomic(*out, buf, 0o644); err != nil {
+		fatal(err)
+	}
+	fmt.Printf("benchhetero: wrote %s\n", *out)
+}
+
+// runOne plays one (spread, lambda) cell under pinned deterministic solver
+// settings and returns the run metrics.
+func runOne(seed uint64, jobs, m int, spread, lambda float64, blind bool) *sim.Metrics {
+	// Table 3 shape scaled down (fewer tasks per job, shorter tasks, a
+	// tighter deadline multiplier) so a full grid finishes in CI time and
+	// deadlines are contested rather than uniformly loose — the regime
+	// where planning with the wrong durations actually costs late jobs.
+	wcfg := workload.DefaultSynthetic()
+	wcfg.NumResources = m
+	wcfg.NumMapHi = 20
+	wcfg.NumReduceHi = 10
+	wcfg.EmaxSec = 30
+	wcfg.DeadlineUL = 2
+	wcfg.Lambda = lambda
+	jl, err := wcfg.Generate(jobs, stats.NewStream(seed, 0xbe7e))
+	if err != nil {
+		fatal(err)
+	}
+	cluster, err := core.TwoClassSpec(m, wcfg.MapSlotsPerResource,
+		wcfg.ReduceSlotsPerResource, spread).Cluster()
+	if err != nil {
+		fatal(err)
+	}
+	cfg := core.DeterministicConfig()
+	cfg.SpeedBlind = blind
+	s, err := sim.New(cluster, core.New(cluster, cfg), jl)
+	if err != nil {
+		fatal(err)
+	}
+	metrics, err := s.Run()
+	if err != nil {
+		fatal(err)
+	}
+	return metrics
+}
+
+func parseFloats(s string) []float64 {
+	var out []float64
+	for _, f := range strings.Split(s, ",") {
+		v, err := strconv.ParseFloat(strings.TrimSpace(f), 64)
+		if err != nil || v <= 0 {
+			fatal(fmt.Errorf("bad list entry %q", f))
+		}
+		out = append(out, v)
+	}
+	return out
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "benchhetero:", err)
+	os.Exit(1)
+}

@@ -25,7 +25,7 @@ import (
 func main() {
 	common := cli.New(cli.WithSeed(1), cli.WithWorkers(), cli.WithTelemetry(), cli.WithProfiling())
 	var (
-		fig     = flag.String("fig", "all", "experiment id: all, 2..9, fig2..fig9, ablation-*, or faults")
+		fig     = flag.String("fig", "all", "experiment id: all, 2..9, fig2..fig9, ablation-*, faults, or hetero")
 		fast    = flag.Bool("fast", false, "use benchmark-sized options")
 		jobs    = flag.Int("jobs", 0, "jobs per replication for synthetic experiments (0 = default)")
 		fbjobs  = flag.Int("fbjobs", 0, "jobs for the Facebook workload (1000 = paper scale; 0 = default)")

@@ -37,6 +37,7 @@
 //	mrcpd -mode virtual -addr :9000 -m 50
 //	mrcpd -speedup 60 -batchwindow 5s -batchmax 20
 //	mrcpd -rm minedf -admission=false
+//	mrcpd -hetero 2 -memcap 64             # two speed classes + memory dimension
 //	mrcpd -mode virtual -deterministic -journal run.wal   # durable
 //	mrcpd -mode virtual -deterministic -journal run.wal -recover
 package main
@@ -66,7 +67,11 @@ func main() {
 		m       = flag.Int("m", 10, "number of resources")
 		cmp     = flag.Int64("cmp", 2, "map slots per resource")
 		crd     = flag.Int64("crd", 2, "reduce slots per resource")
-		rmName  = flag.String("rm", "mrcp",
+		hetero  = flag.Float64("hetero", 1, "speed spread: second half of the machines run at 1/spread speed (1 = uniform)")
+		memCap  = flag.Int64("memcap", 0, "per-machine memory capacity (0 = memory dimension off)")
+
+		speedBlind = flag.Bool("speedblind", false, "mrcp: plan as if every machine ran at speed 1.0 (ablation baseline)")
+		rmName     = flag.String("rm", "mrcp",
 			"resource manager: "+strings.Join(mrcprm.PolicyNames(), ", "))
 		listPolicies = flag.Bool("listpolicies", false, "print registered policy names and exit")
 
@@ -103,11 +108,22 @@ func main() {
 	}
 
 	cluster := mrcprm.Cluster{NumResources: *m, MapSlots: *cmp, ReduceSlots: *crd}
+	if *hetero > 1 || *memCap > 0 {
+		spec := mrcprm.TwoClassCluster(*m, *cmp, *crd, *hetero)
+		spec.MemCapacity = *memCap
+		var err error
+		cluster, err = spec.Cluster()
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+	}
 	mcfg := mrcprm.DefaultConfig()
 	mcfg.Workers = common.Workers
 	if *determin {
 		mcfg = mrcprm.DeterministicConfig()
 	}
+	mcfg.SpeedBlind = *speedBlind
 	mcfg.BatchWindow = *batchWindow
 	mcfg.BatchMaxPending = *batchMax
 	mcfg.BatchUrgencyLead = *batchUrgency
@@ -231,6 +247,10 @@ func main() {
 		fmt.Printf("listening  : %s (%s mode, %s, m=%d, %d shards)\n", *addr, *mode, *rmName, *m, *shards)
 	} else {
 		fmt.Printf("listening  : %s (%s mode, %s, m=%d)\n", *addr, *mode, *rmName, *m)
+	}
+	if cluster.Heterogeneous() || cluster.MemCapacity > 0 {
+		fmt.Printf("hetero     : speeds %.3g..%.3g, mem capacity %d\n",
+			cluster.MinSpeed(), cluster.MaxSpeed(), cluster.MemCapacity)
 	}
 	fmt.Printf("observe    : /metrics (prometheus), /v1/metrics (json + slo burn), /v1/jobs/{id}/trace; miss budget %.0f%% over %v\n",
 		100**missBudget, *sloWindow)

@@ -10,6 +10,9 @@
 //	mrcpsim -workload facebook -fbjobs 200 -lambda 0.0003
 //	mrcpsim -emax 100 -dul 2 -jobs 500 -v
 //	mrcpsim -failrate 0.05 -straggler 0.02 -mtbf 20000 -mttr 120
+//	mrcpsim -hetero 2                    # half the machines at half speed
+//	mrcpsim -hetero 2 -speedblind        # same cluster, speed-unaware planning
+//	mrcpsim -memcap 64 -memlo 1 -memhi 16  # memory as a second dimension
 //	mrcpsim -telemetry run.jsonl          # stream telemetry events, then: obsreport run.jsonl
 //	mrcpsim -cpuprofile cpu.out -memprofile mem.out
 package main
@@ -28,7 +31,7 @@ import (
 func main() {
 	common := cli.New(cli.WithSeed(1), cli.WithWorkers(), cli.WithTelemetry(), cli.WithProfiling())
 	var (
-		rmName   = flag.String("rm", "mrcp",
+		rmName = flag.String("rm", "mrcp",
 			"resource manager: "+strings.Join(mrcprm.PolicyNames(), ", "))
 		wl       = flag.String("workload", "synthetic", "workload: synthetic or facebook")
 		jobs     = flag.Int("jobs", 300, "number of jobs (synthetic)")
@@ -54,6 +57,12 @@ func main() {
 		horizon    = flag.Duration("horizon", 0, "mrcp: park jobs whose latest feasible start is further away than this (0 = off)")
 		warmStart  = flag.Bool("warmstart", false, "mrcp: seed each reschedule from the installed timetable")
 		solveCache = flag.Bool("solvecache", false, "mrcp: memoize solve results keyed by the full reschedule input")
+
+		hetero     = flag.Float64("hetero", 1, "speed spread: second half of the machines run at 1/spread speed (1 = uniform)")
+		speedBlind = flag.Bool("speedblind", false, "mrcp: plan as if every machine ran at speed 1.0 (ablation baseline)")
+		memCap     = flag.Int64("memcap", 0, "per-machine memory capacity (0 = memory dimension off)")
+		taskMemLo  = flag.Int64("memlo", 0, "synthetic: per-task memory demand lower bound (needs -memcap)")
+		taskMemHi  = flag.Int64("memhi", 0, "synthetic: per-task memory demand upper bound (needs -memcap)")
 	)
 	common.Parse()
 	defer common.Close()
@@ -80,6 +89,8 @@ func main() {
 		}
 		cfg.MapSlotsPerResource = *cmp
 		cfg.ReduceSlotsPerResource = *crd
+		cfg.TaskMemLo = *taskMemLo
+		cfg.TaskMemHi = *taskMemHi
 		cluster = mrcprm.Cluster{NumResources: cfg.NumResources,
 			MapSlots: cfg.MapSlotsPerResource, ReduceSlots: cfg.ReduceSlotsPerResource}
 		jl, err = cfg.Generate(*jobs, rng)
@@ -106,6 +117,18 @@ func main() {
 		os.Exit(1)
 	}
 
+	// -hetero/-memcap rebuild the same-shaped cluster through the
+	// declarative spec: a two-class speed profile and/or a memory dimension.
+	if *hetero > 1 || *memCap > 0 {
+		spec := mrcprm.TwoClassCluster(cluster.NumResources, cluster.MapSlots, cluster.ReduceSlots, *hetero)
+		spec.MemCapacity = *memCap
+		cluster, err = spec.Cluster()
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+	}
+
 	// Policies come from the registry; -rm selects by name. MRCP-RM's
 	// policy-specific config rides along in Extra (other factories ignore it).
 	popts := mrcprm.PolicyOptions{}
@@ -115,6 +138,7 @@ func main() {
 		mcfg.HorizonWindow = *horizon
 		mcfg.WarmStart = *warmStart
 		mcfg.SolveCache = *solveCache
+		mcfg.SpeedBlind = *speedBlind
 		popts.Extra = mcfg
 	}
 	rm, err := mrcprm.NewPolicy(*rmName, cluster, popts)
@@ -168,6 +192,10 @@ func main() {
 	fmt.Printf("workload   : %s (%d jobs)\n", *wl, len(jl))
 	fmt.Printf("cluster    : m=%d, %d map + %d reduce slots each\n",
 		cluster.NumResources, cluster.MapSlots, cluster.ReduceSlots)
+	if cluster.Heterogeneous() || cluster.MemCapacity > 0 {
+		fmt.Printf("hetero     : speeds %.3g..%.3g, mem capacity %d\n",
+			cluster.MinSpeed(), cluster.MaxSpeed(), cluster.MemCapacity)
+	}
 	fmt.Printf("N (late)   : %d\n", metrics.N())
 	fmt.Printf("P          : %.2f%%\n", 100*metrics.P())
 	fmt.Printf("T          : %.1f s\n", metrics.T())

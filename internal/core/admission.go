@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"math"
 
 	"mrcprm/internal/sim"
 	"mrcprm/internal/workload"
@@ -19,8 +20,18 @@ import (
 // exceed the optimum), this is a true bound: each phase needs at least its
 // longest task and at least its total work spread across every slot of the
 // cluster, and classic MapReduce semantics force the reduce phase to start
-// after the map phase ends.
+// after the map phase ends. On heterogeneous clusters the longest-task term
+// assumes the fastest machine and the spread term the aggregate
+// speed-weighted slot capacity — both still true bounds, and both reduce
+// exactly to the uniform integer arithmetic when every speed is 1.0.
 func SLALowerBound(cluster sim.Cluster, j *workload.Job) int64 {
+	if cluster.Heterogeneous() {
+		lb := phaseLowerBoundHetero(j.MapTasks, cluster.MapSlots, cluster)
+		if len(j.ReduceTasks) > 0 {
+			lb += phaseLowerBoundHetero(j.ReduceTasks, cluster.ReduceSlots, cluster)
+		}
+		return lb
+	}
 	lb := phaseLowerBound(j.MapTasks, cluster.TotalMapSlots())
 	if len(j.ReduceTasks) > 0 {
 		lb += phaseLowerBound(j.ReduceTasks, cluster.TotalReduceSlots())
@@ -41,6 +52,37 @@ func phaseLowerBound(tasks []*workload.Task, slots int64) int64 {
 		area += t.Exec * t.Req
 	}
 	if spread := (area + slots - 1) / slots; spread > longest {
+		return spread
+	}
+	return longest
+}
+
+// phaseLowerBoundHetero bounds one phase of a heterogeneous cluster:
+// max(longest task on the fastest machine, total nominal work over the
+// aggregate speed-weighted slot rate). Every slot of resource r retires
+// nominal work at rate SpeedOf(r), so slotsPer * Σ_r speed_r nominal
+// milliseconds of the phase drain per wall millisecond at best.
+func phaseLowerBoundHetero(tasks []*workload.Task, slotsPer int64, cluster sim.Cluster) int64 {
+	if slotsPer <= 0 || len(tasks) == 0 {
+		return 0
+	}
+	var rate float64
+	for r := 0; r < cluster.NumResources; r++ {
+		rate += cluster.SpeedOf(r)
+	}
+	rate *= float64(slotsPer)
+	if rate <= 0 {
+		return 0
+	}
+	maxSpeed := cluster.MaxSpeed()
+	var longest, area int64
+	for _, t := range tasks {
+		if e := sim.ScaledExec(t.Exec, maxSpeed); e > longest {
+			longest = e
+		}
+		area += t.Exec * t.Req
+	}
+	if spread := int64(math.Ceil(float64(area) / rate)); spread > longest {
 		return spread
 	}
 	return longest
@@ -71,6 +113,15 @@ func CheckAdmission(cluster sim.Cluster, j *workload.Job, now int64) error {
 	start := j.EarliestStart
 	if now > start {
 		start = now
+	}
+	if cluster.MemCapacity > 0 {
+		for _, t := range j.Tasks() {
+			if t.Mem > cluster.MemCapacity {
+				// No machine can ever host the task: infeasible regardless
+				// of the deadline.
+				return &AdmissionError{JobID: j.ID, EarliestFinish: math.MaxInt64, Deadline: j.Deadline}
+			}
+		}
 	}
 	if fin := start + SLALowerBound(cluster, j); fin > j.Deadline {
 		return &AdmissionError{JobID: j.ID, EarliestFinish: fin, Deadline: j.Deadline}

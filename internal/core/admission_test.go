@@ -21,6 +21,46 @@ func TestSLALowerBound(t *testing.T) {
 	}
 }
 
+func TestSLALowerBoundHetero(t *testing.T) {
+	cluster := sim.Cluster{NumResources: 2, MapSlots: 1, ReduceSlots: 1,
+		Speed: []float64{1.0, 0.5}}
+	// Aggregate drain rate is 1.5 nominal ms per wall ms: the area term
+	// ceil(20000/1.5) = 13334 beats the longest task (10s on the fast
+	// machine).
+	j := mkJob(0, 0, 0, 1, []int64{10_000, 10_000}, nil)
+	if lb := SLALowerBound(cluster, j); lb != 13_334 {
+		t.Fatalf("hetero area bound = %d, want 13334", lb)
+	}
+	// One dominant task: even the fastest machine needs its full 30s.
+	j2 := mkJob(1, 0, 0, 1, []int64{30_000}, nil)
+	if lb := SLALowerBound(cluster, j2); lb != 30_000 {
+		t.Fatalf("hetero longest bound = %d, want 30000", lb)
+	}
+	// An explicit all-1.0 vector must take the uniform integer path and
+	// agree exactly with the nil representation.
+	uniform := sim.Cluster{NumResources: 2, MapSlots: 1, ReduceSlots: 1}
+	explicit := uniform
+	explicit.Speed = []float64{1, 1}
+	j3 := mkJob(2, 0, 0, 1, []int64{10_000, 10_000, 10_000, 10_000}, []int64{5_000})
+	if a, b := SLALowerBound(uniform, j3), SLALowerBound(explicit, j3); a != b {
+		t.Fatalf("uniform bound %d != explicit all-1.0 bound %d", a, b)
+	}
+}
+
+func TestCheckAdmissionMemory(t *testing.T) {
+	cluster := sim.Cluster{NumResources: 1, MapSlots: 1, ReduceSlots: 1, MemCapacity: 4}
+	j := mkJob(0, 0, 0, 100_000, []int64{1_000}, nil)
+	j.MapTasks[0].Mem = 5
+	var ae *AdmissionError
+	if err := CheckAdmission(cluster, j, 0); !errors.As(err, &ae) {
+		t.Fatalf("task with Mem 5 on capacity-4 cluster admitted: %v", err)
+	}
+	j.MapTasks[0].Mem = 4
+	if err := CheckAdmission(cluster, j, 0); err != nil {
+		t.Fatalf("exactly-fitting task rejected: %v", err)
+	}
+}
+
 func TestCheckAdmission(t *testing.T) {
 	cluster := sim.Cluster{NumResources: 1, MapSlots: 1, ReduceSlots: 1}
 	// Needs 10s of map work; deadline leaves exactly 10s: feasible.

@@ -3,6 +3,7 @@ package core
 import (
 	"encoding/binary"
 	"hash/fnv"
+	"math"
 
 	"mrcprm/internal/cp"
 	"mrcprm/internal/sim"
@@ -150,6 +151,20 @@ func (m *Manager) cacheKey(now int64, work []*jobWork, down []bool,
 	b(m.cfg.StrictSolveLimits)
 	b(m.cfg.OpportunisticSolve)
 	b(m.cfg.WarmStart)
+	b(m.cfg.SpeedBlind)
+	for _, r := range m.resRank {
+		i64(int64(r))
+	}
+
+	// The planning cluster's heterogeneous shape (speeds, memory) changes
+	// model durations and capacities; a per-manager cache never sees it
+	// vary, but hashing it keeps the key an honest fingerprint of every
+	// solve input.
+	i64(int64(m.cluster.NumResources))
+	i64(m.cluster.MemCapacity)
+	for r := 0; r < len(m.cluster.Speed); r++ {
+		u64(math.Float64bits(m.cluster.Speed[r]))
+	}
 
 	i64(now)
 	for _, d := range down {
@@ -167,6 +182,7 @@ func (m *Manager) cacheKey(now int64, work []*jobWork, down []bool,
 		str(t.ID)
 		i64(t.Exec)
 		i64(t.Req)
+		i64(t.Mem)
 		if p, ok := hints[t]; ok {
 			i64(int64(p.res))
 			i64(p.start)

@@ -1,0 +1,125 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"mrcprm/internal/sim"
+)
+
+// ClusterSpec is the declarative description of a (possibly heterogeneous)
+// cluster: one ResourceSpec per machine plus the per-resource slot counts
+// shared by all of them. It is the configuration-facing builder for
+// sim.Cluster — command-line flags and service configs construct a spec,
+// validate it once, and hand the resulting Cluster to everything else.
+type ClusterSpec struct {
+	// Resources lists the machines. Order is the resource index order.
+	Resources []ResourceSpec
+	// MapSlots and ReduceSlots are the per-resource slot capacities (c^mp
+	// and c^rd), identical across machines as in the paper.
+	MapSlots    int64
+	ReduceSlots int64
+	// MemCapacity is the optional per-resource memory capacity; 0 disables
+	// the memory dimension.
+	MemCapacity int64
+}
+
+// ResourceSpec describes one machine of a ClusterSpec.
+type ResourceSpec struct {
+	// SpeedFactor is the machine's relative speed; 1.0 is the reference.
+	// A task with nominal execution time e runs for sim.ScaledExec(e,
+	// SpeedFactor) milliseconds here. Must be > 0.
+	SpeedFactor float64
+	// Locality is an optional placement-preference weight (higher
+	// preferred); it only breaks exact completion-time ties in the CP
+	// search. Zero everywhere means no preference.
+	Locality float64
+}
+
+// Cluster materializes the spec as a sim.Cluster, normalizing an all-1.0
+// speed profile to the nil (uniform) representation so that a spec of
+// identical machines is indistinguishable — bit for bit — from a cluster
+// that never heard of heterogeneity.
+func (s ClusterSpec) Cluster() (sim.Cluster, error) {
+	if len(s.Resources) == 0 {
+		return sim.Cluster{}, fmt.Errorf("core: cluster spec has no resources")
+	}
+	c := sim.Cluster{
+		NumResources: len(s.Resources),
+		MapSlots:     s.MapSlots,
+		ReduceSlots:  s.ReduceSlots,
+		MemCapacity:  s.MemCapacity,
+	}
+	uniform := true
+	speeds := make([]float64, len(s.Resources))
+	for i, r := range s.Resources {
+		if !(r.SpeedFactor > 0) {
+			return sim.Cluster{}, fmt.Errorf("core: resource %d has invalid speed factor %v", i, r.SpeedFactor)
+		}
+		speeds[i] = r.SpeedFactor
+		if r.SpeedFactor != 1.0 {
+			uniform = false
+		}
+	}
+	if !uniform {
+		c.Speed = speeds
+	}
+	if err := c.Validate(); err != nil {
+		return sim.Cluster{}, err
+	}
+	return c, nil
+}
+
+// LocalityWeights returns the per-resource locality weights, or nil when no
+// resource declares a preference.
+func (s ClusterSpec) LocalityWeights() []float64 {
+	any := false
+	w := make([]float64, len(s.Resources))
+	for i, r := range s.Resources {
+		w[i] = r.Locality
+		any = any || r.Locality != 0
+	}
+	if !any {
+		return nil
+	}
+	return w
+}
+
+// TwoClassSpec builds the canonical heterogeneity experiment cluster: m
+// resources where the first half run at speed 1.0 and the second half at
+// 1/spread (spread >= 1; 1.0 yields a uniform cluster). Slot counts follow
+// the paper's per-resource shape.
+func TwoClassSpec(m int, mapSlots, reduceSlots int64, spread float64) ClusterSpec {
+	s := ClusterSpec{
+		Resources:   make([]ResourceSpec, m),
+		MapSlots:    mapSlots,
+		ReduceSlots: reduceSlots,
+	}
+	for i := range s.Resources {
+		speed := 1.0
+		if spread > 1 && i >= m/2 {
+			speed = 1 / spread
+		}
+		s.Resources[i] = ResourceSpec{SpeedFactor: speed}
+	}
+	return s
+}
+
+// localityRank converts locality weights into the cp.Params.ResRank
+// preference order: resources sorted by descending weight, index breaking
+// ties, so rank[r] is r's position in that order. Nil weights rank nil.
+func localityRank(weights []float64) []int {
+	if len(weights) == 0 {
+		return nil
+	}
+	idx := make([]int, len(weights))
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.SliceStable(idx, func(a, b int) bool { return weights[idx[a]] > weights[idx[b]] })
+	rank := make([]int, len(weights))
+	for pos, r := range idx {
+		rank[r] = pos
+	}
+	return rank
+}

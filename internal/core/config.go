@@ -125,6 +125,22 @@ type Config struct {
 	// scales with the window, not the backlog. Zero (the default)
 	// disables the window.
 	HorizonWindow time.Duration
+	// SpeedBlind makes the planner ignore the cluster's per-resource speed
+	// factors: models, admission bounds, and the greedy fallback all assume
+	// nominal (speed 1.0) durations even on a heterogeneous cluster, while
+	// the simulation still runs tasks at their true machine-scaled
+	// durations. This is the ablation baseline for the heterogeneity
+	// experiment — the manager only learns about slow machines reactively,
+	// through slowdown replans. No effect on uniform clusters.
+	SpeedBlind bool
+	// Locality optionally weights resources by placement preference (one
+	// weight per resource, higher preferred). It is forwarded to the CP
+	// search as a tie-break rank: when two resources offer the same
+	// earliest completion for a task, the higher-weighted one wins instead
+	// of the lower-indexed one. Nil (the default) keeps the historical
+	// index tie-break. Preferences never override completion times, so
+	// they cannot make schedules worse.
+	Locality []float64
 	// SolveCache caches each successful CP install keyed by a fingerprint
 	// of everything the solve depends on (frozen-task set, pending-job
 	// set, down mask, now, solver params, warm-start hint); a repeat
@@ -142,9 +158,9 @@ func DefaultConfig() Config {
 		Mode:           ModeCombined,
 		SolveTimeLimit: 200 * time.Millisecond,
 		NodeLimit:      100_000,
-		Ordering:     cp.OrderEDF,
-		DeferralLead: 30 * time.Second,
-		Retry:        rmkit.DefaultRetryPolicy(),
+		Ordering:       cp.OrderEDF,
+		DeferralLead:   30 * time.Second,
+		Retry:          rmkit.DefaultRetryPolicy(),
 	}
 }
 

@@ -128,10 +128,20 @@ func (p *capProfile) earliestFit(from, dur, req, cap int64) int64 {
 
 // greedyDirect places tasks on per-resource capacity profiles (direct mode
 // allows multi-slot demands, which the unit-slot matchmaker cannot model).
+// It is speed- and memory-aware: each resource is probed with the task's
+// machine-scaled duration (and, when the cluster has a memory dimension,
+// a joint slot+memory fit), and the resource finishing the task earliest
+// wins. On uniform clusters the duration term is constant and there is no
+// memory profile, so the choice degenerates to the historical
+// earliest-start, lowest-index rule bit for bit.
 func (m *Manager) greedyDirect(ctx sim.Context, now int64, ordered []*jobWork, down []bool) error {
 	n := m.cluster.NumResources
 	mapProf := make([]capProfile, n)
 	redProf := make([]capProfile, n)
+	var memProf []capProfile
+	if m.cluster.MemCapacity > 0 {
+		memProf = make([]capProfile, n)
+	}
 	taskEnd := make(map[*workload.Task]int64)
 	mapEnd := make(map[int]int64) // per job: latest placed/frozen map end
 
@@ -141,9 +151,33 @@ func (m *Manager) greedyDirect(ctx sim.Context, now int64, ordered []*jobWork, d
 		}
 		return &redProf[r]
 	}
+	// jointFit finds the earliest start >= lb where both the slot profile
+	// and (when present) the memory profile of resource r admit the task
+	// for dur: the two earliestFit passes alternate until they agree, which
+	// terminates because candidate starts only move forward through a
+	// finite set of span boundaries.
+	jointFit := func(t *workload.Task, r int, lb, dur, cap int64) int64 {
+		at := profile(t, r).earliestFit(lb, dur, t.Req, cap)
+		if memProf == nil || t.Mem == 0 {
+			return at
+		}
+		for {
+			memAt := memProf[r].earliestFit(at, dur, t.Mem, m.cluster.MemCapacity)
+			if memAt == at {
+				return at
+			}
+			at = profile(t, r).earliestFit(memAt, dur, t.Req, cap)
+			if at == memAt {
+				return at
+			}
+		}
+	}
 	for _, w := range ordered {
 		for _, f := range append(append([]frozenTask(nil), w.frozenMaps...), w.frozenReds...) {
 			profile(f.task, f.res).add(f.start, f.start+f.exec, f.task.Req)
+			if memProf != nil && f.task.Mem > 0 {
+				memProf[f.res].add(f.start, f.start+f.exec, f.task.Mem)
+			}
 			taskEnd[f.task] = f.start + f.exec
 			if f.task.Type == workload.MapTask {
 				if end := f.start + f.exec; end > mapEnd[w.job.ID] {
@@ -174,25 +208,27 @@ func (m *Manager) greedyDirect(ctx sim.Context, now int64, ordered []*jobWork, d
 			if t.Type == workload.ReduceTask {
 				cap = m.cluster.ReduceSlots
 			}
-			bestRes, bestAt := -1, int64(0)
+			bestRes, bestAt, bestEnd := -1, int64(0), int64(0)
 			for r := 0; r < n; r++ {
 				if r < len(down) && down[r] {
 					continue
 				}
-				at := profile(t, r).earliestFit(lb, t.Exec, t.Req, cap)
-				if bestRes < 0 || at < bestAt {
-					bestRes, bestAt = r, at
+				dur := sim.ScaledExec(t.Exec, m.cluster.SpeedOf(r))
+				at := jointFit(t, r, lb, dur, cap)
+				if bestRes < 0 || at+dur < bestEnd {
+					bestRes, bestAt, bestEnd = r, at, at+dur
 				}
 			}
 			if bestRes < 0 {
 				return fmt.Errorf("core: greedy fallback found no up resource for task %s", t.ID)
 			}
-			profile(t, bestRes).add(bestAt, bestAt+t.Exec, t.Req)
-			taskEnd[t] = bestAt + t.Exec
-			if t.Type == workload.MapTask {
-				if end := bestAt + t.Exec; end > mapEnd[w.job.ID] {
-					mapEnd[w.job.ID] = end
-				}
+			profile(t, bestRes).add(bestAt, bestEnd, t.Req)
+			if memProf != nil && t.Mem > 0 {
+				memProf[bestRes].add(bestAt, bestEnd, t.Mem)
+			}
+			taskEnd[t] = bestEnd
+			if t.Type == workload.MapTask && bestEnd > mapEnd[w.job.ID] {
+				mapEnd[w.job.ID] = bestEnd
 			}
 			if err := ctx.Schedule(t, bestRes, bestAt); err != nil {
 				return err

@@ -15,8 +15,15 @@ import (
 // Manager is MRCP-RM; it implements sim.ResourceManager. Create one per
 // simulation run with New.
 type Manager struct {
-	cfg     Config
+	cfg Config
+	// cluster is the PLANNING view of the system: the true cluster, except
+	// that SpeedBlind strips the speed factors. Models, admission bounds,
+	// and the greedy fallback all read this; the simulation's own cluster
+	// (ctx.Cluster()) keeps the true speeds.
 	cluster sim.Cluster
+	// resRank is the locality tie-break order forwarded to the CP search
+	// (nil without Config.Locality).
+	resRank []int
 
 	// jobs owns per-job lifecycle state (retries, abandonment) in arrival
 	// order for deterministic iteration; the kernel's pending queues stay
@@ -48,11 +55,25 @@ type Manager struct {
 	onReschedule func(now int64, reason string, fallback bool)
 }
 
-// New creates an MRCP-RM manager for the cluster.
+// New creates an MRCP-RM manager for the cluster. Two normalizations
+// happen here so the rest of the manager never special-cases them: a
+// SpeedBlind manager plans against a uniform view of the cluster (the
+// simulation still runs true machine speeds), and combined mode — whose
+// single-resource relaxation assumes interchangeable unit slots — upgrades
+// itself to the direct formulation when the planning cluster is
+// heterogeneous or memory-constrained.
 func New(cluster sim.Cluster, cfg Config) *Manager {
+	plan := cluster
+	if cfg.SpeedBlind {
+		plan.Speed = nil
+	}
+	if cfg.Mode == ModeCombined && (plan.Heterogeneous() || plan.MemCapacity > 0) {
+		cfg.Mode = ModeDirect
+	}
 	m := &Manager{
 		cfg:      cfg,
-		cluster:  cluster,
+		cluster:  plan,
+		resRank:  localityRank(cfg.Locality),
 		jobs:     rmkit.NewTracker(nil),
 		unitSlot: make(map[*workload.Task]int),
 	}
@@ -313,11 +334,23 @@ func (m *Manager) OnResourceUp(ctx sim.Context, _ int) error {
 	return err
 }
 
-// OnTaskSlowdown implements sim.FaultHooks: a straggler attempt will
-// overrun its planned window, so replan with its true duration (the
+// OnTaskSlowdown implements sim.FaultHooks: an attempt that will overrun
+// its planned window forces a replan with its true duration (the
 // reschedule freezes it at ctx.RunningExec) before later starts collide.
-func (m *Manager) OnTaskSlowdown(ctx sim.Context, _ *workload.Task) error {
+// The hook also fires for ordinary slow-machine starts; when the planning
+// cluster already budgeted the attempt's machine-scaled duration the plan
+// is intact and no replan is needed — only genuinely unplanned overruns
+// (stragglers, or any slow-machine start under a speed-blind plan) pay for
+// a reschedule.
+func (m *Manager) OnTaskSlowdown(ctx sim.Context, t *workload.Task) error {
 	started := time.Now()
+	if res, _, ok := ctx.Placement(t); ok {
+		planned := sim.ScaledExec(t.Exec, m.cluster.SpeedOf(res))
+		if ctx.RunningExec(t) <= planned {
+			ctx.AddOverhead(time.Since(started))
+			return nil
+		}
+	}
 	err := m.reschedule(ctx, "slowdown")
 	ctx.AddOverhead(time.Since(started))
 	return err
@@ -592,10 +625,16 @@ func predictedLateAfter(ctx sim.Context, work []*jobWork, installErr error) int 
 				end = e
 			}
 		}
+		cluster := ctx.Cluster()
 		pend := func(ts []*workload.Task) {
 			for _, t := range ts {
-				if _, start, ok := ctx.Placement(t); ok && start+t.Exec > end {
-					end = start + t.Exec
+				if res, start, ok := ctx.Placement(t); ok {
+					// True machine-scaled duration, so the prediction
+					// reflects what will actually happen — including the
+					// overruns a speed-blind plan is about to suffer.
+					if e := start + sim.ScaledExec(t.Exec, cluster.SpeedOf(res)); e > end {
+						end = e
+					}
 				}
 			}
 		}
@@ -624,6 +663,7 @@ func (m *Manager) solve(bm *builtModel, hint *cp.Hint) (res cp.Result, err error
 		Workers:       m.cfg.Workers,
 		Opportunistic: m.cfg.OpportunisticSolve,
 		Hint:          hint,
+		ResRank:       m.resRank,
 	})
 	return solver.Solve(), nil
 }

@@ -253,10 +253,17 @@ func TestStatsAccounting(t *testing.T) {
 func TestHorizonFor(t *testing.T) {
 	j := mkJob(0, 0, 5000, 100_000, []int64{2000, 3000}, []int64{1000})
 	w := &jobWork{job: j, pendingMaps: j.MapTasks, pendingReds: j.ReduceTasks}
-	h := horizonFor(1000, []*jobWork{w})
+	cluster := sim.Cluster{NumResources: 2, MapSlots: 1, ReduceSlots: 1}
+	h := horizonFor(1000, cluster, []*jobWork{w})
 	// 5000 (release) + 1 + 6000 (total) + 3000 (max) + 1.
 	if h != 5001+6000+3000+1 {
 		t.Fatalf("horizon %d", h)
+	}
+	// A half-speed machine doubles the worst-case serial budget.
+	cluster.Speed = []float64{1.0, 0.5}
+	h = horizonFor(1000, cluster, []*jobWork{w})
+	if h != 5001+12000+6000+1 {
+		t.Fatalf("hetero horizon %d", h)
 	}
 }
 

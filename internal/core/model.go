@@ -53,7 +53,16 @@ type frozenTask struct {
 // down flags resources currently in an outage, which must receive no new
 // work (nil means all up).
 func buildModel(mode SolveMode, now int64, cluster sim.Cluster, work []*jobWork, down []bool) (*builtModel, error) {
-	horizon := horizonFor(now, work)
+	hetero := cluster.Heterogeneous()
+	memOn := cluster.MemCapacity > 0
+	if mode == ModeCombined && (hetero || memOn) {
+		// The combined single-resource relaxation assumes interchangeable
+		// unit slots; machine speeds and a second capacity dimension need
+		// the per-resource formulation (the manager upgrades the mode
+		// before ever getting here).
+		return nil, fmt.Errorf("core: combined mode cannot model a heterogeneous or memory-constrained cluster")
+	}
+	horizon := horizonFor(now, cluster, work)
 	m := cp.NewModel(horizon)
 	bm := &builtModel{
 		model:  m,
@@ -66,6 +75,15 @@ func buildModel(mode SolveMode, now int64, cluster sim.Cluster, work []*jobWork,
 	var mapTasks, redTasks []*cp.Interval // combined-mode cumulative members
 	perResMap := make([][]*cp.Interval, numRes)
 	perResRed := make([][]*cp.Interval, numRes)
+	// Memory cumulative members: map and reduce tasks share one node-wide
+	// memory pool per resource, so there is a single member list (and a
+	// parallel demand vector) per resource.
+	var perResMem [][]*cp.Interval
+	var perResMemDem [][]int64
+	if memOn {
+		perResMem = make([][]*cp.Interval, numRes)
+		perResMemDem = make([][]int64, numRes)
+	}
 
 	var lates []*cp.Bool
 	for _, w := range work {
@@ -90,6 +108,23 @@ func buildModel(mode SolveMode, now int64, cluster sim.Cluster, work []*jobWork,
 					t.ID, t.Req)
 			}
 			dur := t.Exec
+			// Pending tasks on a heterogeneous cluster carry one candidate
+			// duration per resource; the interval is created at the slowest
+			// mode (the table's upper bound) so every start-bound derived
+			// from it stays conservative, and the per-resource table below
+			// refines it. Frozen attempts already run at their machine's
+			// (and straggler-adjusted) effective duration, so they stay
+			// plain fixed-length intervals.
+			var durs []int64
+			if hetero && fz == nil {
+				durs = make([]int64, numRes)
+				for r := range durs {
+					durs[r] = sim.ScaledExec(t.Exec, cluster.SpeedOf(r))
+					if durs[r] > dur {
+						dur = durs[r]
+					}
+				}
+			}
 			if fz != nil && fz.exec > 0 {
 				dur = fz.exec
 			}
@@ -126,12 +161,19 @@ func buildModel(mode SolveMode, now int64, cluster sim.Cluster, work []*jobWork,
 							m.ForbidRes(rv, r)
 						}
 					}
+					if durs != nil {
+						m.SetResDurations(iv, durs)
+					}
 				}
 				for r := 0; r < numRes; r++ {
 					if t.Type == workload.MapTask {
 						perResMap[r] = append(perResMap[r], iv)
 					} else {
 						perResRed[r] = append(perResRed[r], iv)
+					}
+					if memOn && t.Mem > 0 {
+						perResMem[r] = append(perResMem[r], iv)
+						perResMemDem[r] = append(perResMemDem[r], t.Mem)
 					}
 				}
 			}
@@ -239,6 +281,9 @@ func buildModel(mode SolveMode, now int64, cluster sim.Cluster, work []*jobWork,
 			if len(perResRed[r]) > 0 {
 				m.AddCumulative(fmt.Sprintf("red_r%d", r), r, cluster.ReduceSlots, perResRed[r])
 			}
+			if memOn && len(perResMem[r]) > 0 {
+				m.AddCumulativeDemands(fmt.Sprintf("mem_r%d", r), r, cluster.MemCapacity, perResMem[r], perResMemDem[r])
+			}
 		}
 	}
 
@@ -248,8 +293,12 @@ func buildModel(mode SolveMode, now int64, cluster sim.Cluster, work []*jobWork,
 }
 
 // horizonFor returns a safe scheduling horizon: everything can run
-// serially after the latest release.
-func horizonFor(now int64, work []*jobWork) int64 {
+// serially after the latest release. On heterogeneous clusters every task
+// is budgeted at its slowest-machine duration, so the horizon covers even
+// an all-slow serial schedule; with uniform speeds the arithmetic is the
+// historical integer path.
+func horizonFor(now int64, cluster sim.Cluster, work []*jobWork) int64 {
+	minSpeed := cluster.MinSpeed()
 	h := now + 1
 	var total, maxDur int64
 	for _, w := range work {
@@ -257,9 +306,10 @@ func horizonFor(now int64, work []*jobWork) int64 {
 			h = w.job.EarliestStart + 1
 		}
 		for _, t := range w.job.Tasks() {
-			total += t.Exec
-			if t.Exec > maxDur {
-				maxDur = t.Exec
+			e := sim.ScaledExec(t.Exec, minSpeed)
+			total += e
+			if e > maxDur {
+				maxDur = e
 			}
 		}
 		// Straggler-slowed frozen attempts can end past their nominal

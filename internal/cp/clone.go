@@ -18,11 +18,11 @@ func (m *Model) Clone() *Model {
 		panic("cp: Model.Clone requires the store at root level")
 	}
 	c := &Model{
-		store:    &Store{cells: append([]int64(nil), m.store.cells...)},
-		horizon:  m.horizon,
-		ivWatch:  cloneWatch(m.ivWatch),
+		store:     &Store{cells: append([]int64(nil), m.store.cells...)},
+		horizon:   m.horizon,
+		ivWatch:   cloneWatch(m.ivWatch),
 		boolWatch: cloneWatch(m.boolWatch),
-		rvWatch:  cloneWatch(m.rvWatch),
+		rvWatch:   cloneWatch(m.rvWatch),
 	}
 
 	c.intervals = make([]*Interval, len(m.intervals))
@@ -74,7 +74,7 @@ func (m *Model) Clone() *Model {
 			c.props = append(c.props, sl)
 			c.sumLE = sl
 		case *cumulative:
-			cc := newCumulative(p.name, p.resIndex, p.capacity, mapIvs(p.tasks))
+			cc := newCumulative(p.name, p.resIndex, p.capacity, mapIvs(p.tasks), p.demands)
 			c.props = append(c.props, cc)
 			c.cumuls = append(c.cumuls, cc)
 		default:

@@ -27,6 +27,9 @@ type cumulative struct {
 	resIndex int
 	capacity int64
 	tasks    []*Interval
+	// demands, when non-nil, is the per-task demand vector of this
+	// dimension (demands[i] for tasks[i]); nil uses each task's Demand.
+	demands []int64
 
 	taskPos map[int]int // interval ID -> position in tasks
 
@@ -72,12 +75,13 @@ const (
 	onResYes
 )
 
-func newCumulative(name string, resIndex int, capacity int64, tasks []*Interval) *cumulative {
+func newCumulative(name string, resIndex int, capacity int64, tasks []*Interval, demands []int64) *cumulative {
 	c := &cumulative{
 		name:      name,
 		resIndex:  resIndex,
 		capacity:  capacity,
 		tasks:     tasks,
+		demands:   demands,
 		taskPos:   make(map[int]int, len(tasks)),
 		lastMA:    make([]int64, len(tasks)),
 		lastMB:    make([]int64, len(tasks)),
@@ -88,6 +92,29 @@ func newCumulative(name string, resIndex int, capacity int64, tasks []*Interval)
 		c.taskPos[t.id] = i
 	}
 	return c
+}
+
+// demandAt returns the demand tasks[pos] places on this dimension.
+func (c *cumulative) demandAt(pos int) int64 {
+	if c.demands != nil {
+		return c.demands[pos]
+	}
+	return c.tasks[pos].Demand
+}
+
+// demandOf is demandAt keyed by the task.
+func (c *cumulative) demandOf(t *Interval) int64 {
+	if c.demands == nil {
+		return t.Demand
+	}
+	return c.demands[c.taskPos[t.id]]
+}
+
+// durOf returns the time t occupies this cumulative when running on it:
+// its duration on the cumulative's resource for heterogeneous intervals,
+// its uniform duration otherwise.
+func (c *cumulative) durOf(t *Interval) int64 {
+	return t.DurOn(c.resIndex)
 }
 
 func (c *cumulative) onRes(m *Model, t *Interval) onResState {
@@ -109,7 +136,7 @@ func (c *cumulative) mandatoryOf(m *Model, t *Interval) (int64, int64) {
 	if c.onRes(m, t) != onResYes {
 		return 0, 0
 	}
-	return m.StartMax(t), m.EndMin(t)
+	return m.StartMax(t), m.StartMin(t) + c.durOf(t)
 }
 
 // noteChange records that a watched task's bounds or matchmaking domain
@@ -209,11 +236,12 @@ func (c *cumulative) rebuildFull(m *Model) {
 	for i, t := range c.tasks {
 		a, b := c.mandatoryOf(m, t)
 		c.lastMA[i], c.lastMB[i] = a, b
+		dem := c.demandAt(i)
 		if a < b {
-			c.events = append(c.events, ttEvent{a, t.Demand}, ttEvent{b, -t.Demand})
+			c.events = append(c.events, ttEvent{a, dem}, ttEvent{b, -dem})
 		}
-		if t.Demand < c.minDemand {
-			c.minDemand = t.Demand
+		if dem < c.minDemand {
+			c.minDemand = dem
 		}
 		c.changedFl[i] = false
 		c.selfFl[i] = false
@@ -243,14 +271,15 @@ func (c *cumulative) applyIncremental(m *Model) {
 		if oldA == newA && oldB == newB {
 			continue
 		}
+		dem := c.demandAt(pos)
 		if oldA < oldB {
-			c.removeEvent(ttEvent{oldA, t.Demand})
-			c.removeEvent(ttEvent{oldB, -t.Demand})
+			c.removeEvent(ttEvent{oldA, dem})
+			c.removeEvent(ttEvent{oldB, -dem})
 			c.markRaw(oldA, oldB)
 		}
 		if newA < newB {
-			c.insertEvent(ttEvent{newA, t.Demand})
-			c.insertEvent(ttEvent{newB, -t.Demand})
+			c.insertEvent(ttEvent{newA, dem})
+			c.insertEvent(ttEvent{newB, -dem})
 			c.markRaw(newA, newB)
 		}
 		c.lastMA[pos], c.lastMB[pos] = newA, newB
@@ -297,14 +326,15 @@ func (c *cumulative) refresh(m *Model) error {
 	return c.buildSegs()
 }
 
-// earliestFit returns the smallest start >= from at which a window of
-// t.Dur time units of demand t.Demand fits under capacity on the current
-// profile. When withOwn is true, t's own mandatory part [mA, mB) is
-// discounted from the profile.
+// earliestFit returns the smallest start >= from at which a window of the
+// task's duration on this resource, at the task's demand on this
+// dimension, fits under capacity on the current profile. When withOwn is
+// true, t's own mandatory part [mA, mB) is discounted from the profile.
 func (c *cumulative) earliestFit(m *Model, t *Interval, from int64, withOwn bool) int64 {
+	dur, dem := c.durOf(t), c.demandOf(t)
 	var mA, mB int64
 	if withOwn {
-		mA, mB = m.StartMax(t), m.EndMin(t)
+		mA, mB = m.StartMax(t), m.StartMin(t)+dur
 	}
 	st := from
 	first := sort.Search(len(c.segs), func(i int) bool { return c.segs[i].to > st })
@@ -313,10 +343,10 @@ func (c *cumulative) earliestFit(m *Model, t *Interval, from int64, withOwn bool
 		if seg.to <= st {
 			continue
 		}
-		if seg.from >= st+t.Dur {
+		if seg.from >= st+dur {
 			break
 		}
-		if seg.load+t.Demand <= c.capacity {
+		if seg.load+dem <= c.capacity {
 			continue
 		}
 		// The segment conflicts except where t's own mandatory part covers
@@ -329,10 +359,10 @@ func (c *cumulative) earliestFit(m *Model, t *Interval, from int64, withOwn bool
 			hi1 = min64(seg.to, mA)
 			lo2, hi2 = max64(seg.from, mB), seg.to
 		}
-		if hi1 > lo1 && hi1 > st && lo1 < st+t.Dur {
+		if hi1 > lo1 && hi1 > st && lo1 < st+dur {
 			st = hi1 // jump past the conflict and rescan this segment window
 		}
-		if hi2 > lo2 && hi2 > st && lo2 < st+t.Dur {
+		if hi2 > lo2 && hi2 > st && lo2 < st+dur {
 			st = hi2
 		}
 	}
@@ -343,21 +373,22 @@ func (c *cumulative) earliestFit(m *Model, t *Interval, from int64, withOwn bool
 // fits on the profile; the result may fall below the task's start window,
 // which the caller detects through setStartMax failing.
 func (c *cumulative) latestFit(m *Model, t *Interval, from int64, withOwn bool) int64 {
+	dur, dem := c.durOf(t), c.demandOf(t)
 	var mA, mB int64
 	if withOwn {
-		mA, mB = m.StartMax(t), m.EndMin(t)
+		mA, mB = m.StartMax(t), m.StartMin(t)+dur
 	}
 	st := from
-	last := sort.Search(len(c.segs), func(i int) bool { return c.segs[i].from >= st+t.Dur }) - 1
+	last := sort.Search(len(c.segs), func(i int) bool { return c.segs[i].from >= st+dur }) - 1
 	for i := last; i >= 0; i-- {
 		seg := c.segs[i]
-		if seg.from >= st+t.Dur {
+		if seg.from >= st+dur {
 			continue
 		}
 		if seg.to <= st {
 			break
 		}
-		if seg.load+t.Demand <= c.capacity {
+		if seg.load+dem <= c.capacity {
 			continue
 		}
 		// Mirror of earliestFit's inline subtraction, spans visited in
@@ -368,11 +399,11 @@ func (c *cumulative) latestFit(m *Model, t *Interval, from int64, withOwn bool) 
 			hi1 = min64(seg.to, mA)
 			lo2, hi2 = max64(seg.from, mB), seg.to
 		}
-		if hi2 > lo2 && hi2 > st && lo2 < st+t.Dur {
-			st = lo2 - t.Dur // pull the window fully before the conflict
+		if hi2 > lo2 && hi2 > st && lo2 < st+dur {
+			st = lo2 - dur // pull the window fully before the conflict
 		}
-		if hi1 > lo1 && hi1 > st && lo1 < st+t.Dur {
-			st = lo1 - t.Dur
+		if hi1 > lo1 && hi1 > st && lo1 < st+dur {
+			st = lo1 - dur
 		}
 	}
 	return st

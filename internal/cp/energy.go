@@ -63,14 +63,17 @@ func (c *cumulative) energyCheck(m *Model) error {
 		return nil
 	}
 	c.eItems = c.eItems[:0]
-	for _, t := range c.tasks {
+	for pos, t := range c.tasks {
 		if c.onRes(m, t) != onResYes {
 			continue
 		}
+		// onResYes pins the task to this resource, so its duration here and
+		// its demand on this dimension are exact.
+		dur := c.durOf(t)
 		c.eItems = append(c.eItems, energyItem{
 			release: m.StartMin(t),
-			due:     m.EndMax(t),
-			energy:  t.Dur * t.Demand,
+			due:     m.StartMax(t) + dur,
+			energy:  dur * c.demandAt(pos),
 		})
 	}
 	// Sort by due; sweep windows ending at each distinct due.

@@ -25,7 +25,19 @@ type Interval struct {
 	origMin int64
 	origMax int64
 	resVar  *ResVar // non-nil when matchmaking is part of the model
+
+	// durs, when non-nil, is the per-resource duration table of a
+	// heterogeneous model: running on resource r takes durs[r] time units.
+	// nil keeps the uniform fast path where Dur holds for every resource.
+	// durLo/durHi cache min/max over the table.
+	durs  []int64
+	durLo int64
+	durHi int64
 }
+
+// Durations returns the per-resource duration table, or nil for a uniform
+// interval.
+func (iv *Interval) Durations() []int64 { return iv.durs }
 
 // ID returns the interval's dense model index.
 func (iv *Interval) ID() int { return iv.id }
@@ -126,6 +138,43 @@ func (m *Model) NewInterval(name string, dur int64) *Interval {
 	return iv
 }
 
+// SetResDurations attaches a per-resource duration table to an interval
+// with a resvar: running on resource r takes durs[r] time units. Call it
+// after NewResVar and before posting constraints over the interval. Every
+// entry must be positive and no larger than the duration the interval was
+// created with (create heterogeneous intervals with their slowest-resource
+// duration so the horizon bound stays valid for every mode).
+func (m *Model) SetResDurations(iv *Interval, durs []int64) {
+	if iv.resVar == nil {
+		panic(fmt.Sprintf("cp: interval %q needs a resvar before durations", iv.Name))
+	}
+	if len(durs) != iv.resVar.NumRes {
+		panic(fmt.Sprintf("cp: interval %q duration table has %d entries for %d resources",
+			iv.Name, len(durs), iv.resVar.NumRes))
+	}
+	lo, hi := durs[0], durs[0]
+	for _, d := range durs {
+		if d <= 0 {
+			panic(fmt.Sprintf("cp: interval %q has non-positive mode duration %d", iv.Name, d))
+		}
+		if d < lo {
+			lo = d
+		}
+		if d > hi {
+			hi = d
+		}
+	}
+	if hi > iv.Dur {
+		panic(fmt.Sprintf("cp: interval %q mode duration %d exceeds nominal duration %d",
+			iv.Name, hi, iv.Dur))
+	}
+	if lo == hi && hi == iv.Dur {
+		return // a constant table is the uniform case; keep the fast path
+	}
+	iv.durs = append([]int64(nil), durs...)
+	iv.durLo, iv.durHi = lo, hi
+}
+
 // SetStartBounds narrows an interval's start window at build time.
 func (m *Model) SetStartBounds(iv *Interval, min, max int64) {
 	if min > max {
@@ -152,11 +201,65 @@ func (m *Model) StartMin(iv *Interval) int64 { return m.store.get(iv.base + 0) }
 // StartMax returns the current upper bound of the interval's start.
 func (m *Model) StartMax(iv *Interval) int64 { return m.store.get(iv.base + 1) }
 
+// DurMin returns the smallest duration the interval can still take: its
+// uniform duration, or the minimum of the duration table over the resvar's
+// remaining domain.
+func (m *Model) DurMin(iv *Interval) int64 {
+	if iv.durs == nil {
+		return iv.Dur
+	}
+	rv := iv.resVar
+	lo := int64(math.MaxInt64)
+	for w := 0; w < rv.words; w++ {
+		word := uint64(m.store.get(rv.base + int32(w)))
+		for word != 0 {
+			if d := iv.durs[w*64+bits.TrailingZeros64(word)]; d < lo {
+				lo = d
+			}
+			word &= word - 1
+		}
+	}
+	if lo == math.MaxInt64 {
+		return iv.durLo // empty domain; the search is about to fail anyway
+	}
+	return lo
+}
+
+// DurMax returns the largest duration the interval can still take.
+func (m *Model) DurMax(iv *Interval) int64 {
+	if iv.durs == nil {
+		return iv.Dur
+	}
+	rv := iv.resVar
+	hi := int64(-1)
+	for w := 0; w < rv.words; w++ {
+		word := uint64(m.store.get(rv.base + int32(w)))
+		for word != 0 {
+			if d := iv.durs[w*64+bits.TrailingZeros64(word)]; d > hi {
+				hi = d
+			}
+			word &= word - 1
+		}
+	}
+	if hi < 0 {
+		return iv.durHi
+	}
+	return hi
+}
+
+// DurOn returns the interval's duration on resource r.
+func (iv *Interval) DurOn(r int) int64 {
+	if iv.durs == nil || r < 0 || r >= len(iv.durs) {
+		return iv.Dur
+	}
+	return iv.durs[r]
+}
+
 // EndMin returns the current lower bound of the interval's end.
-func (m *Model) EndMin(iv *Interval) int64 { return m.StartMin(iv) + iv.Dur }
+func (m *Model) EndMin(iv *Interval) int64 { return m.StartMin(iv) + m.DurMin(iv) }
 
 // EndMax returns the current upper bound of the interval's end.
-func (m *Model) EndMax(iv *Interval) int64 { return m.StartMax(iv) + iv.Dur }
+func (m *Model) EndMax(iv *Interval) int64 { return m.StartMax(iv) + m.DurMax(iv) }
 
 // Fixed reports whether the interval's start is decided.
 func (m *Model) Fixed(iv *Interval) bool { return m.StartMin(iv) == m.StartMax(iv) }
@@ -310,6 +413,10 @@ func (m *Model) AddPhaseBarrier(preds, succs []*Interval) {
 	idx := m.addProp(p)
 	for _, pr := range preds {
 		m.watchInterval(pr, idx)
+		// A duration-table pred's EndMin moves when its resvar narrows.
+		if pr.durs != nil {
+			m.watchResVar(pr.resVar, idx)
+		}
 	}
 	for _, su := range succs {
 		m.watchInterval(su, idx)
@@ -337,6 +444,10 @@ func (m *Model) AddLateness(terminals []*Interval, deadline int64, late *Bool) {
 	idx := m.addProp(p)
 	for _, t := range terminals {
 		m.watchInterval(t, idx)
+		// A duration-table terminal's end bounds move when its resvar narrows.
+		if t.durs != nil {
+			m.watchResVar(t.resVar, idx)
+		}
 	}
 	m.watchBool(late, idx)
 }
@@ -376,14 +487,27 @@ func (h *SumLEHandle) Bound() int { return h.p.bound }
 // their domain. resIndex identifies this resource in the resvar domains;
 // pass -1 for a combined resource that no resvar refers to.
 func (m *Model) AddCumulative(name string, resIndex int, capacity int64, tasks []*Interval) *Cumulative {
+	return m.AddCumulativeDemands(name, resIndex, capacity, tasks, nil)
+}
+
+// AddCumulativeDemands is AddCumulative with an explicit per-task demand
+// vector: task tasks[i] consumes demands[i] units of this dimension while
+// executing. It is how parallel resource dimensions (e.g. memory next to
+// cpu slots) are posted — one cumulative per (resource, dimension), each
+// with its own demand vector. A nil demands falls back to each task's
+// Demand field.
+func (m *Model) AddCumulativeDemands(name string, resIndex int, capacity int64, tasks []*Interval, demands []int64) *Cumulative {
 	if capacity <= 0 {
 		panic(fmt.Sprintf("cp: cumulative %q capacity %d must be positive", name, capacity))
 	}
-	c := newCumulative(name, resIndex, capacity, tasks)
+	if demands != nil && len(demands) != len(tasks) {
+		panic(fmt.Sprintf("cp: cumulative %q has %d demands for %d tasks", name, len(demands), len(tasks)))
+	}
+	c := newCumulative(name, resIndex, capacity, tasks, demands)
 	idx := m.addProp(c)
 	for _, t := range tasks {
 		m.watchInterval(t, idx)
-		if t.resVar != nil && resIndex >= 0 {
+		if t.resVar != nil && (resIndex >= 0 || t.durs != nil) {
 			m.watchResVar(t.resVar, idx)
 		}
 	}

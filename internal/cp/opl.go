@@ -31,6 +31,18 @@ func (m *Model) WriteOPL(w io.Writer) error {
 		if err := p("%s\n", line); err != nil {
 			return err
 		}
+		// Heterogeneous tasks carry one optional mode per resource; emit the
+		// alternative modes with their per-resource sizes (OPL's multi-mode
+		// interval idiom) so the export preserves the machine-dependent
+		// durations the in-memory model schedules with.
+		if durs := iv.Durations(); durs != nil {
+			for r, d := range durs {
+				if err := p("dvar interval %s_mode%d optional size %d; // mode of %s on resource %d\n",
+					oplName(iv.Name, iv.id), r, d, oplName(iv.Name, iv.id), r); err != nil {
+					return err
+				}
+			}
+		}
 	}
 	for _, b := range m.bools {
 		if err := p("dvar boolean %s;\n", oplName(b.Name, b.id)); err != nil {
@@ -71,8 +83,13 @@ func (m *Model) WriteOPL(w io.Writer) error {
 			}
 			err = p("  %s <= %d; // branch-and-bound cut\n", joinPlus(names), c.bound)
 		case *cumulative:
-			err = p("  sum over {%s} of pulse(t, demand) <= %d; // cumulative %q\n",
-				ivNames(m, c.tasks), c.capacity, c.name)
+			if c.demands != nil {
+				err = p("  sum over {%s} of pulse(t, demand[t] in %v) <= %d; // cumulative %q, per-task demands\n",
+					ivNames(m, c.tasks), c.demands, c.capacity, c.name)
+			} else {
+				err = p("  sum over {%s} of pulse(t, demand) <= %d; // cumulative %q\n",
+					ivNames(m, c.tasks), c.capacity, c.name)
+			}
 		}
 		if err != nil {
 			return err

@@ -71,3 +71,44 @@ func TestOplNameSanitizes(t *testing.T) {
 		t.Fatalf("got %q", got)
 	}
 }
+
+// The heterogeneous export, golden: per-resource optional mode intervals
+// for duration-table tasks and per-task demand annotations on vector
+// cumulatives, byte for byte.
+func TestWriteOPLHeteroGolden(t *testing.T) {
+	m := NewModel(100)
+	iv := m.NewInterval("t0_m1", 8)
+	iv.JobKey = 0
+	iv.Due = 40
+	m.NewResVar(iv, 2)
+	m.SetResDurations(iv, []int64{4, 8})
+	m.AddCumulative("slot_r0", 0, 1, []*Interval{iv})
+	m.AddCumulativeDemands("mem_r0", 0, 16, []*Interval{iv}, []int64{3})
+	late := m.NewBool("late_0")
+	m.AddLateness([]*Interval{iv}, 40, late)
+	m.Minimize([]*Bool{late})
+
+	var buf bytes.Buffer
+	if err := m.WriteOPL(&buf); err != nil {
+		t.Fatal(err)
+	}
+	const golden = `// model: 1 intervals, 1 bools, 1 resvars, 3 constraints, horizon 100
+
+dvar interval t0_m1_0 size 8 in 0..100; // job 0, due 40
+dvar interval t0_m1_0_mode0 optional size 4; // mode of t0_m1_0 on resource 0
+dvar interval t0_m1_0_mode1 optional size 8; // mode of t0_m1_0 on resource 1
+dvar boolean late_0_0;
+
+minimize late_0_0;
+
+subject to {
+  alternative(t0_m1_0, resources 0..1); // x_tr, domain [0 1]
+  sum over {t0_m1_0} of pulse(t, demand) <= 1; // cumulative "slot_r0"
+  sum over {t0_m1_0} of pulse(t, demand[t] in [3]) <= 16; // cumulative "mem_r0", per-task demands
+  (max over {t0_m1_0} of endOf(t)) > 40 => late_0_0 == 1; // constraint 4
+}
+`
+	if got := buf.String(); got != golden {
+		t.Fatalf("hetero OPL output differs from golden:\n--- got ---\n%s\n--- want ---\n%s", got, golden)
+	}
+}

@@ -29,9 +29,11 @@ func (p *phaseBarrier) propagate(e *engine) error {
 			latest = v
 		}
 	}
-	// Every pred must end by the time the tightest successor can still start.
+	// Every pred must end by the time the tightest successor can still
+	// start. DurMin keeps the deduction sound for heterogeneous preds: only
+	// the fastest remaining mode bounds how late the start may be.
 	for _, pr := range p.preds {
-		if err := e.setStartMax(pr, latest-pr.Dur); err != nil {
+		if err := e.setStartMax(pr, latest-m.DurMin(pr)); err != nil {
 			return err
 		}
 	}
@@ -72,9 +74,10 @@ func (p *lateness) propagate(e *engine) error {
 		}
 	}
 	if m.BoolMax(p.late) == 0 {
-		// late is decided 0: enforce the deadline on all terminals.
+		// late is decided 0: enforce the deadline on all terminals (via the
+		// fastest remaining mode, the sound bound for heterogeneous tasks).
 		for _, t := range p.terminals {
-			if err := e.setStartMax(t, p.deadline-t.Dur); err != nil {
+			if err := e.setStartMax(t, p.deadline-m.DurMin(t)); err != nil {
 				return err
 			}
 		}

@@ -59,6 +59,12 @@ type Params struct {
 	// hint-unaware solver. A hint that does not cover the model's
 	// intervals is ignored.
 	Hint *Hint
+	// ResRank optionally overrides the resource tie-break order used when
+	// two resources offer the same earliest completion: lower rank wins.
+	// Resources beyond len(ResRank), and a nil slice, rank by index — the
+	// historical behaviour. Ranks only break exact completion ties, so a
+	// uniform model solves identically for any permutation-free ranking.
+	ResRank []int
 }
 
 // Status reports how a solve ended.
@@ -225,8 +231,12 @@ type Solver struct {
 	e      *engine
 	params Params
 
-	resCum   map[int]*cumulative
-	taskCums [][]*cumulative // cumulatives containing each interval, by ID
+	// resCum lists the cumulatives of each resource index — one for the
+	// slot dimension, plus one per extra dimension (memory) on
+	// multi-dimensional models. taskCums lists the cumulatives containing
+	// each interval, by ID.
+	resCum   map[int][]*cumulative
+	taskCums [][]*cumulative
 
 	deadline  time.Time
 	hasDL     bool
@@ -290,11 +300,11 @@ func NewSolver(m *Model, params Params) *Solver {
 	}
 	s := &Solver{m: m, params: params, nodeLimit: params.NodeLimit,
 		provedLE: provedNothing, hintObjective: -1}
-	s.resCum = make(map[int]*cumulative)
+	s.resCum = make(map[int][]*cumulative)
 	s.taskCums = make([][]*cumulative, len(m.intervals))
 	for _, c := range m.cumuls {
 		if c.resIndex >= 0 {
-			s.resCum[c.resIndex] = c
+			s.resCum[c.resIndex] = append(s.resCum[c.resIndex], c)
 		}
 		for _, t := range c.tasks {
 			s.taskCums[t.id] = append(s.taskCums[t.id], c)
@@ -706,31 +716,55 @@ func lessKey(a, b [5]int64) bool {
 	return false
 }
 
-// pickResource chooses the domain value where the task can start earliest
-// on the current timetable, preferring lower indices on ties.
+// pickResource chooses the domain value where the task can COMPLETE
+// earliest on the current timetables (earliest fit plus the task's
+// duration on that resource), preferring lower indices on ties. On uniform
+// models the duration term is constant, so the choice reduces to the
+// classic earliest-start rule bit for bit; on heterogeneous models it is
+// what makes the descent speed-aware — a later slot on a fast machine
+// beats an earlier slot on a slow one when it finishes sooner. A non-nil
+// Params.ResRank overrides the index tie-break with a preference order
+// (locality weights).
 func (s *Solver) pickResource(iv *Interval) int {
 	m := s.m
 	bestRes := -1
-	bestFit := int64(math.MaxInt64)
+	bestComp := int64(math.MaxInt64)
+	var bestRank int64
 	target := s.targetStart(iv)
 	s.resBuf = m.AppendResDomain(iv.resVar, s.resBuf[:0])
 	for _, r := range s.resBuf {
 		fit := target
-		if c, ok := s.resCum[r]; ok {
-			if err := c.refresh(m); err == nil {
-				fit = c.earliestFit(m, iv, target, false)
-			} else {
+		for _, c := range s.resCum[r] {
+			if err := c.refresh(m); err != nil {
 				fit = math.MaxInt64
+				break
+			}
+			if f := c.earliestFit(m, iv, fit, false); f > fit {
+				fit = f
 			}
 		}
-		if fit < bestFit {
-			bestFit, bestRes = fit, r
+		comp := int64(math.MaxInt64)
+		if dur := iv.DurOn(r); fit < math.MaxInt64-dur {
+			comp = fit + dur
+		}
+		rank := s.resRank(r)
+		if comp < bestComp || (comp == bestComp && bestRes >= 0 && rank < bestRank) {
+			bestComp, bestRes, bestRank = comp, r, rank
 		}
 	}
 	if bestRes < 0 {
 		bestRes = s.resBuf[0]
 	}
 	return bestRes
+}
+
+// resRank returns the preference rank of resource r: its position in
+// Params.ResRank when set (lower is preferred), its index otherwise.
+func (s *Solver) resRank(r int) int64 {
+	if rk := s.params.ResRank; r < len(rk) {
+		return int64(rk[r])
+	}
+	return int64(r)
 }
 
 // dfs explores the subtree below the current store state. It returns

@@ -339,3 +339,111 @@ func TestDueDefaultsDoNotOverflowLaxity(t *testing.T) {
 	}
 	solveOK(t, m, Params{Ordering: OrderLeastLaxity})
 }
+
+// bruteForceMinLateHetero enumerates resource assignments and start times
+// for tiny two-resource instances with per-(task,resource) durations and a
+// second (memory) capacity dimension, returning the minimum late count.
+func bruteForceMinLateHetero(durs [][]int64, mems, deadlines []int64,
+	slotCap, memCap, horizon int64) int {
+	n := len(durs)
+	starts := make([]int64, n)
+	res := make([]int, n)
+	best := n + 1
+	feasible := func() bool {
+		for x := int64(0); x < horizon; x++ {
+			for r := 0; r < 2; r++ {
+				var load, mem int64
+				for j := 0; j < n; j++ {
+					if res[j] == r && starts[j] <= x && x < starts[j]+durs[j][r] {
+						load++
+						mem += mems[j]
+					}
+				}
+				if load > slotCap || mem > memCap {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	var rec func(i int)
+	rec = func(i int) {
+		if i == n {
+			if !feasible() {
+				return
+			}
+			late := 0
+			for j := 0; j < n; j++ {
+				if starts[j]+durs[j][res[j]] > deadlines[j] {
+					late++
+				}
+			}
+			if late < best {
+				best = late
+			}
+			return
+		}
+		for r := 0; r < 2; r++ {
+			res[i] = r
+			for st := int64(0); st+durs[i][r] <= horizon; st++ {
+				starts[i] = st
+				rec(i + 1)
+			}
+		}
+	}
+	rec(0)
+	return best
+}
+
+// The heterogeneous cross-check: two speed classes (resource 1 runs every
+// task slower) and two capacity dimensions (unit slots plus a memory
+// cumulative), solved to optimality and compared against exhaustive
+// enumeration.
+func TestSolverMatchesBruteForceOnHeteroInstances(t *testing.T) {
+	rng := stats.NewStream(17, 19)
+	for trial := 0; trial < 40; trial++ {
+		n := 2 + rng.IntN(2) // 2..3 tasks
+		horizon := int64(10)
+		slotCap := int64(1 + rng.IntN(2))
+		memCap := int64(2)
+		durs := make([][]int64, n)
+		mems := make([]int64, n)
+		deadlines := make([]int64, n)
+		for i := range durs {
+			base := 1 + int64(rng.IntN(3))
+			slow := base + 1 + int64(rng.IntN(2)) // resource 1 is the slow class
+			durs[i] = []int64{base, slow}
+			mems[i] = 1 + int64(rng.IntN(2))
+			deadlines[i] = 2 + int64(rng.IntN(7))
+		}
+
+		want := bruteForceMinLateHetero(durs, mems, deadlines, slotCap, memCap, horizon)
+
+		m := NewModel(horizon)
+		var ivs []*Interval
+		var lates []*Bool
+		for i := 0; i < n; i++ {
+			iv := m.NewInterval("t", durs[i][1]) // slowest mode, as buildModel does
+			iv.Due = deadlines[i]
+			m.NewResVar(iv, 2)
+			m.SetResDurations(iv, durs[i])
+			ivs = append(ivs, iv)
+			l := m.NewBool("late")
+			m.AddLateness([]*Interval{iv}, deadlines[i], l)
+			lates = append(lates, l)
+		}
+		for r := 0; r < 2; r++ {
+			m.AddCumulative("slot", r, slotCap, ivs)
+			m.AddCumulativeDemands("mem", r, memCap, ivs, mems)
+		}
+		m.Minimize(lates)
+		r := solveOK(t, m, Params{})
+		if want > n {
+			t.Fatalf("trial %d: brute force found no feasible schedule but the solver did", trial)
+		}
+		if r.Objective != want {
+			t.Fatalf("trial %d (durs=%v mems=%v deadlines=%v slotCap=%d): objective %d, brute force %d",
+				trial, durs, mems, deadlines, slotCap, r.Objective, want)
+		}
+	}
+}

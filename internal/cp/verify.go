@@ -46,7 +46,7 @@ func (m *Model) verifyProp(p propagator, r *Result) error {
 	case *phaseBarrier:
 		var lastEnd int64
 		for _, pr := range c.preds {
-			if end := r.Starts[pr.id] + pr.Dur; end > lastEnd {
+			if end := r.Starts[pr.id] + m.resultDur(pr, r); end > lastEnd {
 				lastEnd = end
 			}
 		}
@@ -59,7 +59,7 @@ func (m *Model) verifyProp(p propagator, r *Result) error {
 	case *lateness:
 		var complete int64
 		for _, t := range c.terminals {
-			if end := r.Starts[t.id] + t.Dur; end > complete {
+			if end := r.Starts[t.id] + m.resultDur(t, r); end > complete {
 				complete = end
 			}
 		}
@@ -87,13 +87,14 @@ func (m *Model) verifyCumulative(c *cumulative, r *Result) error {
 		delta int64
 	}
 	var evs []ev
-	for _, t := range c.tasks {
+	for pos, t := range c.tasks {
 		onThis := t.resVar == nil || c.resIndex < 0 || r.Res[t.id] == c.resIndex
 		if !onThis {
 			continue
 		}
 		st := r.Starts[t.id]
-		evs = append(evs, ev{st, t.Demand}, ev{st + t.Dur, -t.Demand})
+		dur, dem := m.resultDur(t, r), c.demandAt(pos)
+		evs = append(evs, ev{st, dem}, ev{st + dur, -dem})
 	}
 	sort.Slice(evs, func(i, j int) bool {
 		if evs[i].at != evs[j].at {
@@ -115,4 +116,14 @@ func (m *Model) verifyCumulative(c *cumulative, r *Result) error {
 		}
 	}
 	return nil
+}
+
+// resultDur is the duration iv actually runs for under the assignment in r:
+// its mode duration on the chosen resource, or the uniform duration when no
+// per-resource table was posted.
+func (m *Model) resultDur(iv *Interval, r *Result) int64 {
+	if iv.durs == nil {
+		return iv.Dur
+	}
+	return iv.DurOn(r.Res[iv.id])
 }

@@ -243,6 +243,7 @@ var Registry = []Spec{
 	{"ablation-ordering", "Job ordering strategies: EDF vs job-id vs least laxity (Section VI.B)", runAblationOrdering},
 	{"ablation-batching", "Arrival batching window at high lambda (future work)", runAblationBatching},
 	{"faults", "Effect of task failure rate: MRCP-RM vs MinEDF-WC (robustness)", runFaultSweep},
+	{"hetero", "Effect of machine speed heterogeneity: speed-aware vs speed-blind planning", runHeteroSweep},
 }
 
 // ByID looks up a Spec.

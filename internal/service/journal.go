@@ -272,7 +272,7 @@ func (e *Engine) replay(rec *journalRecord, info *RecoveryInfo) error {
 		if rec.Mode != e.cfg.Mode.String() {
 			return fmt.Errorf("journal was written in %s mode, engine runs %s", rec.Mode, e.cfg.Mode)
 		}
-		if rec.Cluster != nil && *rec.Cluster != e.cfg.Cluster {
+		if rec.Cluster != nil && !rec.Cluster.Equal(e.cfg.Cluster) {
 			return fmt.Errorf("journal cluster %+v does not match engine cluster %+v", *rec.Cluster, e.cfg.Cluster)
 		}
 		return nil

@@ -69,7 +69,10 @@ func SegmentPath(base string, i int) string {
 
 // Partition splits a cluster into n disjoint shards: each gets
 // NumResources/n resources (the first NumResources%n shards get one
-// extra), with the per-resource slot shape unchanged.
+// extra), with the per-resource slot shape unchanged. Heterogeneous
+// clusters partition positionally — shard i owns the speed factors of its
+// contiguous resource range — and the memory capacity carries over to
+// every shard.
 func Partition(c sim.Cluster, n int) ([]sim.Cluster, error) {
 	if n < 1 {
 		return nil, fmt.Errorf("shard: need at least 1 shard, got %d", n)
@@ -79,12 +82,22 @@ func Partition(c sim.Cluster, n int) ([]sim.Cluster, error) {
 	}
 	parts := make([]sim.Cluster, n)
 	base, rem := c.NumResources/n, c.NumResources%n
+	off := 0
 	for i := range parts {
 		size := base
 		if i < rem {
 			size++
 		}
-		parts[i] = sim.Cluster{NumResources: size, MapSlots: c.MapSlots, ReduceSlots: c.ReduceSlots}
+		parts[i] = sim.Cluster{
+			NumResources: size,
+			MapSlots:     c.MapSlots,
+			ReduceSlots:  c.ReduceSlots,
+			MemCapacity:  c.MemCapacity,
+		}
+		if len(c.Speed) > 0 {
+			parts[i].Speed = append([]float64(nil), c.Speed[off:off+size]...)
+		}
+		off += size
 	}
 	return parts, nil
 }
@@ -139,11 +152,36 @@ func (o *shardObserver) TaskStarted(now int64, tk *workload.Task, j *workload.Jo
 func (o *shardObserver) TaskFinished(now int64, tk *workload.Task, j *workload.Job, res int) {}
 
 func (o *shardObserver) JobCompleted(now int64, j *workload.Job, latenessMS int64) {
-	o.r.noteDone(o.s, j.TotalWork())
+	o.r.noteDone(o.s, o.r.effectiveWork(o.s, j))
 }
 
 func (o *shardObserver) JobAbandoned(now int64, j *workload.Job) {
-	o.r.noteDone(o.s, j.TotalWork())
+	o.r.noteDone(o.s, o.r.effectiveWork(o.s, j))
+}
+
+// effectiveWork estimates the wall-clock slot time job j will consume on
+// shard s: its total nominal work divided by the shard's mean speed. On a
+// uniform shard this is exactly TotalWork (no float round-trip), so
+// homogeneous routing is bit-identical to the historical estimate; on a
+// slow shard the same nominal work counts for more pending load, which
+// keeps the least-loaded routing comparison honest across speed classes.
+// Submit's load accrual and the completion observer use the same formula,
+// so the estimate drains to zero either way.
+func (r *Router) effectiveWork(s int, j *workload.Job) int64 {
+	w := j.TotalWork()
+	part := r.parts[s]
+	if !part.Heterogeneous() {
+		return w
+	}
+	var mean float64
+	for rr := 0; rr < part.NumResources; rr++ {
+		mean += part.SpeedOf(rr)
+	}
+	mean /= float64(part.NumResources)
+	if mean <= 0 {
+		return w
+	}
+	return int64(float64(w) / mean)
 }
 
 // New partitions the cluster and builds one engine per shard; no goroutine
@@ -317,7 +355,7 @@ func (r *Router) Submit(spec workload.JobSpec) (int64, error) {
 		switch {
 		case err == nil:
 			gid := int64(id)*int64(r.n) + int64(c.s)
-			w := probe.TotalWork()
+			w := r.effectiveWork(c.s, probe)
 			r.work[c.s] += w
 			r.tel.Add(obs.CounterShardRouted, 1)
 			r.tel.SetGauge(obs.GaugeShardPendingWorkPrefix+strconv.Itoa(c.s), r.work[c.s])

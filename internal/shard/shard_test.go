@@ -72,6 +72,49 @@ func TestPartition(t *testing.T) {
 	}
 }
 
+// Partitioning a heterogeneous cluster must slice the speed vector
+// positionally (shard i gets the speeds of exactly its resources) and copy
+// the memory capacity to every shard.
+func TestPartitionHetero(t *testing.T) {
+	full := sim.Cluster{NumResources: 5, MapSlots: 2, ReduceSlots: 1,
+		Speed:       []float64{1, 1, 0.5, 0.5, 0.25},
+		MemCapacity: 16,
+	}
+	parts, err := Partition(full, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantSpeeds := [][]float64{{1, 1, 0.5}, {0.5, 0.25}}
+	for i, p := range parts {
+		if len(p.Speed) != len(wantSpeeds[i]) {
+			t.Fatalf("shard %d speed slice %v, want %v", i, p.Speed, wantSpeeds[i])
+		}
+		for r, s := range wantSpeeds[i] {
+			if p.Speed[r] != s {
+				t.Fatalf("shard %d speed slice %v, want %v", i, p.Speed, wantSpeeds[i])
+			}
+		}
+		if p.MemCapacity != 16 {
+			t.Fatalf("shard %d memory capacity %d, want 16", i, p.MemCapacity)
+		}
+	}
+	// The slices must be copies: mutating a shard cannot corrupt the parent.
+	parts[0].Speed[0] = 99
+	if full.Speed[0] != 1 {
+		t.Fatal("shard speed slice aliases the parent cluster's vector")
+	}
+	// A uniform (nil-speed) cluster partitions to nil-speed shards.
+	uparts, err := Partition(sim.Cluster{NumResources: 4, MapSlots: 1, ReduceSlots: 1}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, p := range uparts {
+		if p.Speed != nil {
+			t.Fatalf("uniform shard %d grew a speed vector %v", i, p.Speed)
+		}
+	}
+}
+
 // routeOnce builds a fresh router, submits the stream, runs it to
 // completion, and returns the assignment vector (gid per submission, in
 // submission order) and the per-shard fingerprints.

@@ -1,0 +1,171 @@
+package sim
+
+import (
+	"strings"
+	"testing"
+
+	"mrcprm/internal/workload"
+)
+
+func TestScaledExec(t *testing.T) {
+	cases := []struct {
+		exec  int64
+		speed float64
+		want  int64
+	}{
+		{4000, 1.0, 4000}, // speed 1.0 is the exact identity, no float round-trip
+		{4000, 0.5, 8000}, // half speed doubles
+		{4000, 2.0, 2000}, // double speed halves
+		{1000, 0.3, 3334}, // ceiling, not truncation
+		{1, 1000, 1},      // never below 1 ms
+		{0, 0.5, 0},       // non-positive exec passes through
+		{-5, 0.5, -5},
+	}
+	for _, c := range cases {
+		if got := ScaledExec(c.exec, c.speed); got != c.want {
+			t.Errorf("ScaledExec(%d, %g) = %d, want %d", c.exec, c.speed, got, c.want)
+		}
+	}
+}
+
+func TestClusterSpeedAccessors(t *testing.T) {
+	uniform := Cluster{NumResources: 3, MapSlots: 1, ReduceSlots: 1}
+	if uniform.Heterogeneous() || uniform.SpeedOf(0) != 1.0 || uniform.SpeedOf(99) != 1.0 {
+		t.Fatal("nil speed vector must read as uniform 1.0 everywhere")
+	}
+	if uniform.MaxSpeed() != 1.0 || uniform.MinSpeed() != 1.0 {
+		t.Fatal("uniform extremes must be 1.0")
+	}
+	hetero := Cluster{NumResources: 3, MapSlots: 1, ReduceSlots: 1, Speed: []float64{1, 0.5, 2}}
+	if !hetero.Heterogeneous() || hetero.SpeedOf(1) != 0.5 {
+		t.Fatal("speed vector not read back")
+	}
+	if hetero.MaxSpeed() != 2 || hetero.MinSpeed() != 0.5 {
+		t.Fatalf("extremes %g..%g, want 0.5..2", hetero.MinSpeed(), hetero.MaxSpeed())
+	}
+	allOnes := uniform
+	allOnes.Speed = []float64{1, 1, 1}
+	if !allOnes.Heterogeneous() == false || !uniform.Equal(allOnes) {
+		t.Fatal("an explicit all-1.0 vector must compare equal to nil")
+	}
+	if uniform.Equal(hetero) {
+		t.Fatal("different speeds must not compare equal")
+	}
+	withMem := uniform
+	withMem.MemCapacity = 8
+	if uniform.Equal(withMem) {
+		t.Fatal("memory capacity must participate in equality")
+	}
+}
+
+func TestClusterValidateHetero(t *testing.T) {
+	bad := []Cluster{
+		{NumResources: 2, MapSlots: 1, ReduceSlots: 1, Speed: []float64{1}},     // wrong length
+		{NumResources: 2, MapSlots: 1, ReduceSlots: 1, Speed: []float64{1, 0}},  // non-positive
+		{NumResources: 2, MapSlots: 1, ReduceSlots: 1, Speed: []float64{1, -2}}, // negative
+		{NumResources: 2, MapSlots: 1, ReduceSlots: 1, MemCapacity: -1},         // negative mem
+	}
+	for i, c := range bad {
+		if err := c.Validate(); err == nil {
+			t.Errorf("case %d: invalid cluster %+v passed validation", i, c)
+		}
+	}
+	ok := Cluster{NumResources: 2, MapSlots: 1, ReduceSlots: 1,
+		Speed: []float64{1, 0.25}, MemCapacity: 16}
+	if err := ok.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// pinRM schedules every task at a fixed, pre-declared placement.
+type pinRM struct {
+	NoFaults
+	place map[string][2]int64 // task ID -> {resource, start}
+}
+
+func (p *pinRM) Name() string { return "pin-test" }
+func (p *pinRM) OnJobArrival(ctx Context, j *workload.Job) error {
+	for _, t := range j.Tasks() {
+		pl, ok := p.place[t.ID]
+		if !ok {
+			continue
+		}
+		if err := ctx.Schedule(t, int(pl[0]), pl[1]); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+func (p *pinRM) OnTaskComplete(Context, *workload.Task) error { return nil }
+func (p *pinRM) OnTimer(Context) error                        { return nil }
+
+// A task on a slow machine must run for its machine-scaled duration: the
+// engine applies ScaledExec at attempt start, not the nominal Exec.
+func TestHeteroExecutionScaling(t *testing.T) {
+	cluster := Cluster{NumResources: 2, MapSlots: 1, ReduceSlots: 1,
+		Speed: []float64{1.0, 0.25}}
+	j := &workload.Job{ID: 0, Deadline: 100_000}
+	j.MapTasks = []*workload.Task{
+		{ID: "m0", JobID: 0, Type: workload.MapTask, Exec: 4000, Req: 1},
+		{ID: "m1", JobID: 0, Type: workload.MapTask, Exec: 4000, Req: 1},
+	}
+	rm := &pinRM{place: map[string][2]int64{"m0": {0, 0}, "m1": {1, 0}}}
+	s, err := New(cluster, rm, []*workload.Job{j})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := s.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// m0 finishes at 4000 on the full-speed machine; m1 at 16000 on the
+	// quarter-speed one, so the job (and makespan) completes at 16000.
+	if m.MakespanMS != 16_000 {
+		t.Fatalf("makespan %d, want 16000 (4000 ms task at 1/4 speed)", m.MakespanMS)
+	}
+}
+
+// The memory ledger must reject a placement whose concurrent memory demand
+// exceeds the capacity even when slots are free, and must admit the same
+// tasks when they do not overlap.
+func TestMemoryLedgerEnforcesCapacity(t *testing.T) {
+	cluster := Cluster{NumResources: 1, MapSlots: 2, ReduceSlots: 1, MemCapacity: 4}
+	mk := func() *workload.Job {
+		j := &workload.Job{ID: 0, Deadline: 100_000}
+		j.MapTasks = []*workload.Task{
+			{ID: "m0", JobID: 0, Type: workload.MapTask, Exec: 1000, Req: 1, Mem: 3},
+			{ID: "m1", JobID: 0, Type: workload.MapTask, Exec: 1000, Req: 1, Mem: 3},
+		}
+		return j
+	}
+	// Overlapping: 3+3 > 4 despite two free map slots.
+	rm := &pinRM{place: map[string][2]int64{"m0": {0, 0}, "m1": {0, 0}}}
+	s, err := New(cluster, rm, []*workload.Job{mk()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Run(); err == nil || !strings.Contains(err.Error(), "memory capacity") {
+		t.Fatalf("overlapping over-memory run error = %v, want memory capacity violation", err)
+	}
+	// Disjoint in time: fits.
+	rm = &pinRM{place: map[string][2]int64{"m0": {0, 0}, "m1": {0, 1000}}}
+	s, err = New(cluster, rm, []*workload.Job{mk()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m, err := s.Run(); err != nil || m.MakespanMS != 2000 {
+		t.Fatalf("sequential run: metrics %v err %v, want makespan 2000", m, err)
+	}
+}
+
+// A task whose memory demand can never fit must be rejected up front.
+func TestMemoryValidationRejectsOversizedTask(t *testing.T) {
+	cluster := Cluster{NumResources: 1, MapSlots: 1, ReduceSlots: 1, MemCapacity: 4}
+	j := &workload.Job{ID: 0, Deadline: 100_000}
+	j.MapTasks = []*workload.Task{
+		{ID: "m0", JobID: 0, Type: workload.MapTask, Exec: 1000, Req: 1, Mem: 5},
+	}
+	if _, err := New(cluster, &pinRM{}, []*workload.Job{j}); err == nil {
+		t.Fatal("task with Mem > MemCapacity must be rejected at construction")
+	}
+}

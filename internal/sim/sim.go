@@ -283,6 +283,10 @@ func New(cluster Cluster, rm ResourceManager, jobs []*workload.Job) (*Simulator,
 				return nil, fmt.Errorf("sim: task %s demand %d exceeds per-resource reduce capacity %d",
 					t.ID, t.Req, cluster.ReduceSlots)
 			}
+			if cluster.MemCapacity > 0 && t.Mem > cluster.MemCapacity {
+				return nil, fmt.Errorf("sim: task %s memory demand %d exceeds per-resource capacity %d",
+					t.ID, t.Mem, cluster.MemCapacity)
+			}
 			st := &taskState{task: t, job: j, key: len(s.byKey), res: -1}
 			s.tasks[t] = st
 			s.byKey = append(s.byKey, st)
@@ -432,6 +436,10 @@ func (s *Simulator) AddJob(j *workload.Job) error {
 		if t.Type == workload.ReduceTask && t.Req > s.cluster.ReduceSlots {
 			return fmt.Errorf("sim: task %s demand %d exceeds per-resource reduce capacity %d",
 				t.ID, t.Req, s.cluster.ReduceSlots)
+		}
+		if s.cluster.MemCapacity > 0 && t.Mem > s.cluster.MemCapacity {
+			return fmt.Errorf("sim: task %s memory demand %d exceeds per-resource capacity %d",
+				t.ID, t.Mem, s.cluster.MemCapacity)
 		}
 	}
 	s.jobs = append(s.jobs, j)
@@ -589,14 +597,18 @@ func (s *Simulator) handleTaskStart(ev event) error {
 	if s.observer != nil {
 		s.observer.TaskStarted(s.clock, t, j, st.res)
 	}
-	st.effExec = t.Exec
+	// The machine's speed factor scales the nominal execution time first
+	// (exactly the identity on uniform clusters); straggler fault factors
+	// then stretch the machine-adjusted duration.
+	scaled := ScaledExec(t.Exec, s.cluster.SpeedOf(st.res))
+	st.effExec = scaled
 	var fault AttemptFault
 	if s.injector != nil {
 		fault = s.injector.Attempt(t.ID, st.attempt)
 		if fault.Factor > 1 {
-			st.effExec = int64(float64(t.Exec) * fault.Factor)
-			if st.effExec < t.Exec {
-				st.effExec = t.Exec
+			st.effExec = int64(float64(scaled) * fault.Factor)
+			if st.effExec < scaled {
+				st.effExec = scaled
 			}
 		}
 	}
@@ -612,12 +624,16 @@ func (s *Simulator) handleTaskStart(ev event) error {
 	} else {
 		s.queue.push(event{at: s.clock + st.effExec, kind: evTaskFinish, taskKey: ev.taskKey, version: st.version})
 	}
-	if st.effExec > t.Exec {
-		if s.slowObs != nil {
-			s.slowObs.TaskSlowdown(s.clock, t, j, st.res, st.effExec, t.Exec)
+	if st.effExec > scaled || st.effExec > t.Exec {
+		if s.slowObs != nil && st.effExec > scaled {
+			// Genuine straggler: the attempt overruns even the
+			// machine-adjusted expectation.
+			s.slowObs.TaskSlowdown(s.clock, t, j, st.res, st.effExec, scaled)
 		}
-		// Straggler: the attempt will overrun its planned window; let the
-		// manager replan before later start events collide with it.
+		// The attempt may overrun the window some planner assumed for it —
+		// either the machine-adjusted one (straggler) or the nominal one (a
+		// speed-blind plan on a slow machine). Let the manager decide whether
+		// its plan is affected and replan before later starts collide with it.
 		return s.rm.OnTaskSlowdown(s, t)
 	}
 	return nil

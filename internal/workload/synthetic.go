@@ -40,6 +40,11 @@ type SyntheticConfig struct {
 	NumResources           int
 	MapSlotsPerResource    int64
 	ReduceSlotsPerResource int64
+	// TaskMemLo/Hi bound an optional per-task memory demand ~ DU[lo, hi]
+	// (arbitrary units, matched against Cluster.MemCapacity). TaskMemHi = 0
+	// (the default) disables the draws entirely, leaving the generator's
+	// random stream — and therefore every historical workload — unchanged.
+	TaskMemLo, TaskMemHi int64
 }
 
 // DefaultSynthetic returns Table 3 with every factor at its default value.
@@ -89,6 +94,10 @@ func (c SyntheticConfig) Validate() error {
 	case c.NumResources < 1 || c.MapSlotsPerResource < 1 || c.ReduceSlotsPerResource < 1:
 		return fmt.Errorf("workload: bad cluster shape m=%d c_mp=%d c_rd=%d",
 			c.NumResources, c.MapSlotsPerResource, c.ReduceSlotsPerResource)
+	case c.TaskMemHi > 0 && (c.TaskMemLo < 1 || c.TaskMemHi < c.TaskMemLo):
+		return fmt.Errorf("workload: bad task memory range [%d,%d]", c.TaskMemLo, c.TaskMemHi)
+	case c.TaskMemHi == 0 && c.TaskMemLo != 0:
+		return fmt.Errorf("workload: task memory lower bound %d without an upper bound", c.TaskMemLo)
 	}
 	return nil
 }
@@ -103,10 +112,24 @@ func (c SyntheticConfig) Generate(n int, rng *stats.Stream) ([]*Job, error) {
 	shapeRng := rng.Derive(2)
 	slaRng := rng.Derive(3)
 
+	// Memory demands draw from their own derived stream, and only when the
+	// knob is on — streams 1..3 see exactly the historical draw sequence
+	// either way, so mem-off generation is bit-identical to older versions.
+	var memRng *stats.Stream
+	if c.TaskMemHi > 0 {
+		memRng = rng.Derive(4)
+	}
+
 	arrivals := stats.PoissonProcess{Rate: c.Lambda}.Arrivals(n, arrivalRng)
 	jobs := make([]*Job, n)
 	for i := range jobs {
 		j := c.generateJob(i, shapeRng)
+		if memRng != nil {
+			memDist := stats.DiscreteUniform{Lo: c.TaskMemLo, Hi: c.TaskMemHi}
+			for _, t := range j.Tasks() {
+				t.Mem = memDist.SampleInt(memRng)
+			}
+		}
 		assignSLA(j, int64(arrivals[i]*1000), c.P, c.SmaxSec*1000, c.DeadlineUL,
 			c.TotalMapSlots(), c.TotalReduceSlots(), slaRng)
 		if err := j.Validate(); err != nil {

@@ -43,6 +43,10 @@ type Task struct {
 	Exec int64
 	// Req is the resource capacity requirement q_t; the paper sets it to 1.
 	Req int64
+	// Mem is the task's memory demand in the cluster's memory units. It is
+	// only enforced on clusters with a memory dimension (MemCapacity > 0);
+	// zero means the task needs no accountable memory.
+	Mem int64
 	// Preds lists same-job tasks that must complete before this one may
 	// start. Only meaningful when the owning job sets TaskPrecedence (the
 	// generalized-workflow extension); nil under classic MapReduce

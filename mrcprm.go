@@ -38,8 +38,8 @@ import (
 	"mrcprm/internal/obs"
 	_ "mrcprm/internal/policies" // register every built-in policy
 	"mrcprm/internal/rmkit"
-	"mrcprm/internal/shard"
 	"mrcprm/internal/service"
+	"mrcprm/internal/shard"
 	"mrcprm/internal/sim"
 	"mrcprm/internal/slo"
 	"mrcprm/internal/stats"
@@ -71,8 +71,20 @@ const (
 
 // Simulation substrate (Section VI).
 type (
-	// Cluster is the simulated system component.
+	// Cluster is the simulated system component. Cluster.Speed gives every
+	// machine a relative speed factor (nil = uniform) and
+	// Cluster.MemCapacity adds an optional per-machine memory dimension;
+	// both default off, in which case behavior is bit-identical to the
+	// historical uniform-slot model.
 	Cluster = sim.Cluster
+	// ClusterSpec is the declarative builder for a (possibly heterogeneous)
+	// cluster: one ResourceSpec per machine plus shared slot counts and an
+	// optional memory capacity. Build the sim.Cluster with its Cluster()
+	// method.
+	ClusterSpec = core.ClusterSpec
+	// ResourceSpec describes one machine of a ClusterSpec: a relative speed
+	// factor and an optional locality weight.
+	ResourceSpec = core.ResourceSpec
 	// Metrics carries the paper's O, N, T, P metrics for one run.
 	Metrics = sim.Metrics
 	// JobRecord is a per-job outcome.
@@ -393,6 +405,18 @@ func PartitionCluster(c Cluster, n int) ([]Cluster, error) { return shard.Partit
 // CombineShardFingerprints folds per-shard run fingerprints (in shard
 // order) into the aggregate fingerprint the sharded /v1/metrics reports.
 func CombineShardFingerprints(fps []uint64) uint64 { return shard.CombineFingerprints(fps) }
+
+// TwoClassCluster builds the canonical heterogeneity experiment spec: m
+// machines where the first half run at speed 1.0 and the second half at
+// 1/spread (spread >= 1; 1.0 yields a uniform cluster).
+func TwoClassCluster(m int, mapSlots, reduceSlots int64, spread float64) ClusterSpec {
+	return core.TwoClassSpec(m, mapSlots, reduceSlots, spread)
+}
+
+// ScaledExec returns the effective running time of a task with nominal
+// execution time exec on a machine with the given speed factor (ceiling,
+// minimum 1 ms; speed 1.0 returns exec unchanged).
+func ScaledExec(exec int64, speed float64) int64 { return sim.ScaledExec(exec, speed) }
 
 // CheckAdmission is the service's fast lower-bound feasibility test: a
 // non-nil *AdmissionError means the job provably cannot meet its deadline
